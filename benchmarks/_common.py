@@ -1,0 +1,82 @@
+"""Shared fixtures for the benchmark suite.
+
+Datasets are generated once per pytest session through the registry
+cache.  The linear ``scale`` (default 0.12 of the paper's city sizes)
+and the K sweep can be overridden through environment variables so the
+full-size experiments remain reachable:
+
+* ``REPRO_BENCH_SCALE``   — e.g. ``0.3`` for larger cities;
+* ``REPRO_BENCH_KS``      — e.g. ``10,20,30,40,50`` (the paper's grid).
+
+Every benchmark prints the paper-style rows (visible with ``-s``) and
+also writes them under ``benchmarks/results/`` so the output survives
+pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List
+
+from repro.datasets import CityDataset, load_city
+from repro.eval.experiments import calibrated_alpha
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.12"))
+
+_default_ks = "10,20,30,40,50"
+BENCH_KS: List[int] = [
+    int(k) for k in os.environ.get("REPRO_BENCH_KS", _default_ks).split(",")
+]
+
+#: paper default C (km)
+BENCH_C = 2.0
+
+
+def city(name: str) -> CityDataset:
+    """The cached benchmark dataset for ``name``."""
+    return load_city(name, scale=BENCH_SCALE)
+
+
+def alpha_for(dataset: CityDataset) -> float:
+    """The calibrated utility trade-off for ``dataset`` (cached)."""
+    return calibrated_alpha(dataset)
+
+
+_EFFECT_K_CACHE: dict = {}
+_EFFECT_Q_CACHE: dict = {}
+
+
+def effect_of_k_rows(name: str) -> list:
+    """Shared effect-of-K runs: Figs. 7, 8, and 13 all read the same
+    sweep (as in the paper), so it is executed once per city."""
+    from repro.eval import effect_of_k
+
+    if name not in _EFFECT_K_CACHE:
+        dataset = city(name)
+        _EFFECT_K_CACHE[name] = effect_of_k(
+            dataset, BENCH_KS, alpha=alpha_for(dataset), max_adjacent_cost=BENCH_C
+        )
+    return _EFFECT_K_CACHE[name]
+
+
+def effect_of_q_rows(name: str) -> list:
+    """Shared effect-of-Q runs: Figs. 9, 10, and 14."""
+    from repro.eval import effect_of_q
+
+    if name not in _EFFECT_Q_CACHE:
+        dataset = city(name)
+        _EFFECT_Q_CACHE[name] = effect_of_q(
+            dataset, max_stops=30, alpha=alpha_for(dataset), max_adjacent_cost=BENCH_C
+        )
+    return _EFFECT_Q_CACHE[name]
+
+
+def report(text: str, filename: str) -> None:
+    """Print a report and persist it under ``benchmarks/results/``."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / filename).write_text(text + "\n")

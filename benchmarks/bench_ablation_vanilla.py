@@ -1,0 +1,52 @@
+"""§VI-B ablation — the expensive variants on a small city.
+
+The paper reports that the "vanilla" variant (enumerate every stop
+each iteration) and the "real price" variant (true network price in
+the queue priorities instead of the Euclidean lower bound) take at
+least an hour at full scale, so it omits them from the plots.  At a
+small scale they terminate, letting us check the ordering: vanilla does
+(far) more function evaluations than EBRR, and both variants return
+the same-quality route.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load_city
+from repro.eval import format_table
+from repro.eval.experiments import ablation_study, calibrated_alpha
+
+from _common import BENCH_C, report
+
+KS = [10, 20]
+
+
+def test_vanilla_and_real_price_variants(experiment):
+    dataset = load_city("chicago", scale=0.08)
+
+    def run():
+        return ablation_study(
+            dataset,
+            KS,
+            alpha=calibrated_alpha(dataset),
+            max_adjacent_cost=BENCH_C,
+            variants=["EBRR", "real price", "vanilla"],
+        )
+
+    rows = experiment(run)
+    text = format_table(
+        rows,
+        ["K", "variant", "time_s", "evaluations", "utility", "num_stops"],
+        title="Ablation (small Chicago): vanilla and real-price variants",
+    )
+    report(text, "ablation_vanilla.txt")
+
+    by_k: dict = {}
+    for row in rows:
+        by_k.setdefault(row["K"], {})[row["variant"]] = row
+    for k, variants in by_k.items():
+        # Vanilla evaluates every remaining stop every iteration.
+        assert variants["vanilla"]["evaluations"] >= variants["EBRR"]["evaluations"]
+        # All variants solve the same problem: utilities match closely.
+        base = variants["EBRR"]["utility"]
+        for name in ("real price", "vanilla"):
+            assert variants[name]["utility"] >= 0.9 * base

@@ -1,0 +1,69 @@
+"""Design-choice ablation — the 2K/3 selection budget.
+
+Algorithm 1 stops selecting once the accumulated price reaches 2K/3;
+the constant comes from Christofides' 3/2 worst case (Theorem 3), and
+path refinement pads the slack back.  This bench sweeps the fraction to
+show the design point: smaller budgets under-select (refinement has to
+invent the difference), larger ones risk overshooting K before the
+ordering step.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import EBRRConfig
+from repro.core.ebrr import plan_route
+from repro.eval import format_table
+
+from _common import BENCH_C, alpha_for, city, report
+
+FRACTIONS = [1.0 / 3.0, 0.5, 2.0 / 3.0, 5.0 / 6.0, 1.0]
+K = 30
+
+
+def test_budget_fraction_sweep(experiment):
+    dataset = city("chicago")
+    alpha = alpha_for(dataset)
+    instance = dataset.instance(alpha)
+
+    def run():
+        rows = []
+        for fraction in FRACTIONS:
+            config = EBRRConfig(
+                max_stops=K,
+                max_adjacent_cost=BENCH_C,
+                alpha=alpha,
+                price_budget_fraction=fraction,
+            )
+            result = plan_route(instance, config)
+            rows.append(
+                {
+                    "fraction": round(fraction, 3),
+                    "selected": len(result.trace.selected),
+                    "final_stops": result.metrics.num_stops,
+                    "utility": result.metrics.utility,
+                    "feasible": result.is_feasible,
+                    "time_s": result.timings["total"],
+                }
+            )
+        return rows
+
+    rows = experiment(run)
+    text = format_table(
+        rows,
+        title=f"Design ablation: selection budget fraction (K={K}, Chicago)",
+        float_digits=1,
+    )
+    report(text, "ablation_budget_fraction.txt")
+
+    by_fraction = {row["fraction"]: row for row in rows}
+    # The budget caps the greedy phase: more budget, more selected stops.
+    selected = [by_fraction[round(f, 3)]["selected"] for f in FRACTIONS]
+    assert selected == sorted(selected)
+    # All fractions stay feasible after refinement (K is enforced).
+    for row in rows:
+        assert row["final_stops"] <= K
+        assert row["feasible"]
+    # The default 2/3 point should be within 5% of the best utility —
+    # the design choice costs little.
+    best = max(row["utility"] for row in rows)
+    assert by_fraction[round(2.0 / 3.0, 3)]["utility"] >= 0.95 * best

@@ -1,0 +1,43 @@
+"""Fig. 10 — connectivity of varying Q.
+
+Paper shape: EBRR has the highest connectivity on all partitions (up to
+6x the baselines on some, e.g. Queens).
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_series
+
+from _common import effect_of_q_rows, report
+
+
+def test_fig10a_connectivity_vs_q_chicago(experiment):
+    rows = experiment(effect_of_q_rows, "chicago")
+    text = format_series(
+        rows, x="Q", series="algorithm", value="connectivity",
+        title="Fig 10a: connectivity vs Q (Chicago Dataset1-4)",
+    )
+    report(text, "fig10a_connectivity_q_chicago.txt")
+    _check(rows)
+
+
+def test_fig10b_connectivity_vs_q_nyc(experiment):
+    rows = experiment(effect_of_q_rows, "nyc")
+    text = format_series(
+        rows, x="Q", series="algorithm", value="connectivity",
+        title="Fig 10b: connectivity vs Q (NYC boroughs)",
+    )
+    report(text, "fig10b_connectivity_q_nyc.txt")
+    _check(rows)
+
+
+def _check(rows):
+    by_q: dict = {}
+    for row in rows:
+        by_q.setdefault(row["Q"], {})[row["algorithm"]] = row["connectivity"]
+    losses = sum(
+        1
+        for values in by_q.values()
+        if values["EBRR"] < max(v for n, v in values.items() if n != "EBRR")
+    )
+    assert losses <= 1, f"EBRR lost connectivity on {losses} partitions"

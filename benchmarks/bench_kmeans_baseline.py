@@ -1,0 +1,71 @@
+"""Extension benchmark — the k-means clustering baseline.
+
+The paper's related work describes the k-means + heuristic family
+(IntRoute, DASFAA'21) and predicts its weakness: Euclidean clustering
+"would fail to identify the real demand centers" on road networks.
+This bench adds :class:`~repro.baselines.KMeansRoute` as a fourth
+planner on the Fig. 7/8 axes to test that prediction.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import KMeansRoute
+from repro.core.config import EBRRConfig
+from repro.eval import format_series, run_planners
+from repro.eval.runner import default_planners
+
+from _common import BENCH_C, alpha_for, city, report
+
+KS = [10, 30]
+
+
+def test_kmeans_fourth_planner(experiment):
+    dataset = city("chicago")
+    alpha = alpha_for(dataset)
+    instance = dataset.instance(alpha)
+    planners = default_planners() + [KMeansRoute(seed=0)]
+
+    def run():
+        rows = []
+        for k in KS:
+            config = EBRRConfig(
+                max_stops=k, max_adjacent_cost=BENCH_C, alpha=alpha
+            )
+            plans = run_planners(instance, config, planners)
+            for name, plan in plans.items():
+                rows.append(
+                    {
+                        "K": k,
+                        "algorithm": name,
+                        "walk_cost": plan.metrics.walk_cost,
+                        "connectivity": plan.metrics.connectivity,
+                        "utility": plan.metrics.utility,
+                    }
+                )
+        return rows
+
+    rows = experiment(run)
+    report(
+        format_series(
+            rows, x="K", series="algorithm", value="walk_cost",
+            title="Walking cost vs K with the k-means baseline (Chicago)",
+            float_digits=1,
+        ),
+        "kmeans_walk_cost.txt",
+    )
+    report(
+        format_series(
+            rows, x="K", series="algorithm", value="utility",
+            title="Utility vs K with the k-means baseline (Chicago)",
+            float_digits=1,
+        ),
+        "kmeans_utility.txt",
+    )
+
+    by_k: dict = {}
+    for row in rows:
+        by_k.setdefault(row["K"], {})[row["algorithm"]] = row
+    for k, entries in by_k.items():
+        # The paper's prediction: path-cost-aware EBRR beats Euclidean
+        # clustering on utility at every K.
+        assert entries["EBRR"]["utility"] >= entries["k-means"]["utility"]

@@ -1,0 +1,62 @@
+"""Supplement — EBRR per-phase time breakdown.
+
+Theorem 5 decomposes EBRR's cost into |Q| early-stop searches
+(preprocess), the queue-driven selection, and the small ordering +
+refinement tail ("the time cost on the final path refinement is greater
+when there are more nodes, but it could be ignored").  This bench
+measures the split per K so the analysis can be checked empirically.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import EBRRConfig
+from repro.core.ebrr import plan_route
+from repro.eval import format_table
+
+from _common import BENCH_C, BENCH_KS, alpha_for, city, report
+
+
+def test_phase_breakdown(experiment):
+    dataset = city("chicago")
+    alpha = alpha_for(dataset)
+    instance = dataset.instance(alpha)
+
+    def run():
+        rows = []
+        for k in BENCH_KS:
+            config = EBRRConfig(
+                max_stops=k, max_adjacent_cost=BENCH_C, alpha=alpha
+            )
+            result = plan_route(instance, config)
+            timings = result.timings
+            rows.append(
+                {
+                    "K": k,
+                    "preprocess_s": timings["preprocess"],
+                    "selection_s": timings["selection"],
+                    "ordering_s": timings["ordering"],
+                    "refinement_s": timings["refinement"],
+                    "total_s": timings["total"],
+                }
+            )
+        return rows
+
+    rows = experiment(run)
+    text = format_table(
+        rows,
+        title="EBRR per-phase time (s) vs K (Chicago) — Theorem 5 split",
+        float_digits=4,
+    )
+    report(text, "phase_breakdown.txt")
+
+    for row in rows:
+        parts = (
+            row["preprocess_s"] + row["selection_s"]
+            + row["ordering_s"] + row["refinement_s"]
+        )
+        # The four phases account for (almost) the whole runtime.
+        assert parts <= row["total_s"] + 1e-6
+        assert parts >= 0.8 * row["total_s"]
+    # Preprocessing does not depend on K (same searches every time).
+    pres = [row["preprocess_s"] for row in rows]
+    assert max(pres) <= 10 * max(min(pres), 1e-4)

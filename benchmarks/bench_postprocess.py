@@ -1,0 +1,61 @@
+"""Extension benchmark — the paper's future-work second stage.
+
+The conclusion proposes post-processing EBRR's output.  This bench
+measures what the local search (``repro.core.postprocess``) buys on top
+of each first-stage planner: utility gained, moves applied, and the
+extra time — the numbers a practitioner needs to decide whether the
+second stage is worth running.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import EBRRConfig
+from repro.core.postprocess import postprocess_route
+from repro.eval import format_table, run_planners
+from repro.eval.runner import default_planners
+
+from _common import BENCH_C, alpha_for, city, report
+
+
+def test_postprocess_second_stage(experiment):
+    dataset = city("chicago")
+    alpha = alpha_for(dataset)
+    instance = dataset.instance(alpha)
+    config = EBRRConfig(max_stops=20, max_adjacent_cost=BENCH_C, alpha=alpha)
+
+    def run():
+        plans = run_planners(instance, config, default_planners())
+        rows = []
+        for name, plan in plans.items():
+            polished = postprocess_route(
+                instance, plan.route, config, max_rounds=2
+            )
+            rows.append(
+                {
+                    "first_stage": name,
+                    "utility_before": plan.metrics.utility,
+                    "utility_after": polished.metrics.utility,
+                    "gain_pct": 100.0
+                    * polished.improvement
+                    / max(plan.metrics.utility, 1e-9),
+                    "moves": polished.moves_applied,
+                    "extra_time_s": polished.elapsed_s,
+                }
+            )
+        return rows
+
+    rows = experiment(run)
+    text = format_table(
+        rows,
+        title="Post-processing (future work): second-stage local search "
+              "on Chicago, K=20",
+        float_digits=1,
+    )
+    report(text, "postprocess_second_stage.txt")
+
+    for row in rows:
+        assert row["utility_after"] >= row["utility_before"] - 1e-6
+    # EBRR's output should be closest to locally optimal: its relative
+    # gain is no larger than the worst baseline's.
+    gains = {row["first_stage"]: row["gain_pct"] for row in rows}
+    assert gains["EBRR"] <= max(gains.values()) + 1e-9

@@ -1,0 +1,95 @@
+"""Substrate benchmark — point-to-point search acceleration.
+
+The paper's efficiency argument is about avoiding expensive path-cost
+computations on road networks.  This bench measures the substrate
+options the library provides for exactly that job — Dijkstra (early
+stop), A* (Euclidean), ALT (landmarks), and Contraction Hierarchies —
+on the same random query workload, asserting they all return identical
+distances and reporting the time per 100 queries plus each method's
+preprocessing cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.network.astar import LandmarkIndex, astar_distance
+from repro.network.contraction import ContractionHierarchy
+from repro.network.dijkstra import distance_between
+from repro.eval import format_table
+
+from _common import city, report
+
+NUM_QUERIES = 100
+
+
+def test_search_acceleration(experiment):
+    network = city("chicago").network
+    rng = np.random.default_rng(11)
+    queries = [
+        (int(rng.integers(0, network.num_nodes)),
+         int(rng.integers(0, network.num_nodes)))
+        for _ in range(NUM_QUERIES)
+    ]
+
+    def run():
+        rows = []
+
+        start = time.perf_counter()
+        baseline = [distance_between(network, s, t) for s, t in queries]
+        rows.append(
+            {"method": "Dijkstra (early stop)", "preprocess_s": 0.0,
+             "query_s_per_100": time.perf_counter() - start}
+        )
+
+        start = time.perf_counter()
+        astar = [astar_distance(network, s, t) for s, t in queries]
+        rows.append(
+            {"method": "A* (Euclidean)", "preprocess_s": 0.0,
+             "query_s_per_100": time.perf_counter() - start}
+        )
+
+        start = time.perf_counter()
+        landmarks = LandmarkIndex(network, num_landmarks=8)
+        alt_pre = time.perf_counter() - start
+        start = time.perf_counter()
+        alt = [landmarks.distance(s, t) for s, t in queries]
+        rows.append(
+            {"method": "ALT (8 landmarks)", "preprocess_s": alt_pre,
+             "query_s_per_100": time.perf_counter() - start}
+        )
+
+        start = time.perf_counter()
+        ch = ContractionHierarchy(network)
+        ch_pre = time.perf_counter() - start
+        start = time.perf_counter()
+        contracted = [ch.distance(s, t) for s, t in queries]
+        rows.append(
+            {"method": f"CH ({ch.num_shortcuts} shortcuts)",
+             "preprocess_s": ch_pre,
+             "query_s_per_100": time.perf_counter() - start}
+        )
+
+        # Exactness across the board.
+        for other in (astar, alt, contracted):
+            for expected, got in zip(baseline, other):
+                assert got == pytest.approx(expected)
+        return rows
+
+    rows = experiment(run)
+    text = format_table(
+        rows,
+        title=f"Point-to-point search methods, {NUM_QUERIES} random queries "
+              "(Chicago network)",
+        float_digits=4,
+    )
+    report(text, "search_acceleration.txt")
+
+    by_method = {row["method"].split(" ")[0]: row for row in rows}
+    # Goal-direction should not be slower than plain Dijkstra overall.
+    assert by_method["A*"]["query_s_per_100"] <= (
+        by_method["Dijkstra"]["query_s_per_100"] * 1.5
+    )

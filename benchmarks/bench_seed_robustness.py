@@ -1,0 +1,44 @@
+"""Robustness benchmark — the headline comparison across dataset seeds.
+
+The reproduction's datasets are synthetic, so the EBRR-wins conclusion
+must hold across generator seeds, not on one lucky draw.  Three seeds
+of the Chicago-style city; EBRR must win walking cost and connectivity
+on a clear majority of them.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_table
+from repro.eval.sensitivity import seed_robustness
+
+from _common import report
+
+SEEDS = [7, 107, 207]
+
+
+def test_headline_conclusion_across_seeds(experiment):
+    def run():
+        return seed_robustness("chicago", SEEDS, scale=0.1, max_stops=20)
+
+    rows = experiment(run)
+    text = format_table(
+        rows,
+        [
+            "algorithm",
+            "walk_cost_mean", "walk_cost_std", "walk_cost_wins",
+            "connectivity_mean", "connectivity_wins",
+            "time_s_mean", "time_s_wins",
+        ],
+        title=f"Seed robustness over {len(SEEDS)} Chicago seeds (K=20)",
+        float_digits=1,
+    )
+    report(text, "seed_robustness.txt")
+
+    by_algo = {row["algorithm"]: row for row in rows}
+    majority = len(SEEDS) // 2 + 1
+    assert by_algo["EBRR"]["walk_cost_wins"] >= majority
+    assert by_algo["EBRR"]["connectivity_wins"] >= majority
+    # EBRR's mean walking cost beats both baselines' means outright.
+    for name, row in by_algo.items():
+        if name != "EBRR":
+            assert by_algo["EBRR"]["walk_cost_mean"] <= row["walk_cost_mean"]

@@ -1,0 +1,31 @@
+"""Table III — EBRR execution time varying C (km), three cities.
+
+Paper shape: the time generally grows with C (more stops satisfy the
+constraint and are considered), NYC is the slowest city, and all runs
+finish fast.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_series
+from repro.eval.experiments import time_vs_c
+
+from _common import city, report
+
+CS = [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_table3_time_vs_c(experiment):
+    datasets = [city("chicago"), city("nyc"), city("orlando")]
+
+    def run():
+        return time_vs_c(datasets, CS, max_stops=30)
+
+    rows = experiment(run)
+    text = format_series(
+        rows, x="C", series="dataset", value="time_s",
+        title="Table III: execution time (s) of EBRR of varying C (km)",
+    )
+    report(text, "table3_time_c.txt")
+    assert len(rows) == len(CS) * 3
+    assert all(row["time_s"] >= 0 for row in rows)

@@ -1,0 +1,36 @@
+"""Table IV — EBRR execution time varying α, three cities.
+
+Paper shape: the time is largely insensitive to α; larger α pushes the
+solution toward existing stops with more transfer choices.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_series
+from repro.eval.experiments import time_vs_alpha
+
+from _common import city, report
+
+PAPER_ALPHAS = [1000.0, 2000.0, 3000.0, 4000.0, 5000.0]
+
+
+def test_table4_time_vs_alpha(experiment):
+    datasets = [city("chicago"), city("nyc"), city("orlando")]
+
+    def run():
+        return time_vs_alpha(datasets, PAPER_ALPHAS, max_stops=30)
+
+    rows = experiment(run)
+    text = format_series(
+        rows, x="paper_alpha", series="dataset", value="time_s",
+        title="Table IV: execution time (s) of EBRR of varying alpha",
+    )
+    report(text, "table4_time_alpha.txt")
+    assert len(rows) == len(PAPER_ALPHAS) * 3
+    # Insensitivity: max/min time ratio per city stays moderate.
+    by_city: dict = {}
+    for row in rows:
+        by_city.setdefault(row["dataset"], []).append(row["time_s"])
+    for name, times in by_city.items():
+        floor = max(min(times), 1e-3)
+        assert max(times) / floor < 50, f"{name} time wildly sensitive to alpha"

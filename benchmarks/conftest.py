@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Keeps pytest-benchmark in single-shot mode: every benchmark here is a
+full experiment (seconds to minutes), so statistical repetition would
+multiply runtimes without adding information.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def experiment(benchmark):
+    """Run an experiment callable exactly once under the benchmark
+    timer and hand back its result rows."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+        )
+
+    return _run

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Working with DIMACS road-network files.
+
+The paper's road networks come from the 9th DIMACS Implementation
+Challenge.  This example shows the full file workflow a user with real
+data would follow:
+
+1. write a synthetic network out as a DIMACS ``.gr``/``.co`` pair (so
+   you can see the exact format expected);
+2. read it back — this is the entry point for real city extracts;
+3. save/reload the transit network in the GTFS-like CSV flavour;
+4. plan a route on the reloaded data, proving the formats round-trip.
+
+Run:
+    python examples/dimacs_roundtrip.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import BRRInstance, EBRRConfig, plan_route
+from repro.demand import hotspot_demand
+from repro.network import grid_city, read_dimacs, write_dimacs
+from repro.transit import build_transit_network, load_transit, save_transit
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        gr, co = tmp_path / "city.gr", tmp_path / "city.co"
+
+        # 1. Produce a DIMACS pair from a synthetic network.
+        original = grid_city(rows=30, cols=30, block_km=0.3, seed=1)
+        write_dimacs(original, gr, co)
+        print(f"wrote {gr.name}: {original.num_nodes} nodes, "
+              f"{original.num_edges} edges")
+
+        # 2. Read it back the way real DIMACS data is loaded.
+        network = read_dimacs(gr, co)
+        print(f"read back: {network}")
+
+        # 3. Transit persistence (GTFS-like CSV).
+        transit = build_transit_network(network, num_routes=8, seed=2)
+        save_transit(transit, tmp_path / "transit")
+        transit = load_transit(network, tmp_path / "transit")
+        print(f"transit round-trip: {transit}")
+
+        # 4. Plan on the reloaded data.
+        queries = hotspot_demand(network, 3000, transit=transit, seed=3)
+        instance = BRRInstance(transit, queries, alpha=100.0)
+        config = EBRRConfig(max_stops=10, max_adjacent_cost=2.0, alpha=100.0)
+        result = plan_route(instance, config)
+        print(f"\nplanned on reloaded data: {result.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Parameter study: how K, C, and alpha shape the planned route.
+
+Practitioners "fine-tune some parameters or adjust the input
+frequently" (Section I) — the whole reason EBRR optimizes for planning
+speed.  This example sweeps each knob on one city and prints how the
+route reacts:
+
+* K (max stops): more stops, more walking-cost reduction;
+* C (max adjacent cost): looser spacing reaches farther demand;
+* alpha: larger values trade walking-cost savings for transfer hubs.
+
+Run:
+    python examples/parameter_study.py
+"""
+
+import time
+
+from repro import EBRRConfig, plan_route
+from repro.datasets import load_city
+from repro.eval import format_table
+from repro.eval.experiments import calibrated_alpha
+
+
+def main() -> None:
+    city = load_city("nyc", scale=0.1)
+    print(f"{city.name}: {city.statistics()}")
+    base_alpha = calibrated_alpha(city)
+
+    rows = []
+    for k in (10, 20, 30):
+        rows.append(_run(city, k=k, c=2.0, alpha=base_alpha, knob=f"K={k}"))
+    print("\n" + format_table(rows, title="Sweep K (C=2, alpha calibrated)"))
+
+    rows = []
+    for c in (1.0, 2.0, 4.0):
+        rows.append(_run(city, k=20, c=c, alpha=base_alpha, knob=f"C={c}"))
+    print("\n" + format_table(rows, title="Sweep C (K=20)"))
+
+    rows = []
+    for factor in (0.25, 1.0, 4.0):
+        rows.append(
+            _run(city, k=20, c=2.0, alpha=base_alpha * factor,
+                 knob=f"alpha x{factor}")
+        )
+    print("\n" + format_table(rows, title="Sweep alpha (K=20, C=2)"))
+    print(
+        "\nNote how larger alpha shifts the route toward existing stops "
+        "(higher connectivity, smaller walking-cost decrease)."
+    )
+
+
+def _run(city, *, k, c, alpha, knob):
+    instance = city.instance(alpha)
+    config = EBRRConfig(max_stops=k, max_adjacent_cost=c, alpha=alpha)
+    start = time.perf_counter()
+    result = plan_route(instance, config)
+    elapsed = time.perf_counter() - start
+    return {
+        "setting": knob,
+        "stops": result.metrics.num_stops,
+        "walk_decrease": result.metrics.walk_decrease,
+        "connectivity": result.metrics.connectivity,
+        "route_km": result.metrics.route_length,
+        "time_s": elapsed,
+    }
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: plan one new bus route with EBRR.
+
+Builds a small synthetic city (road network + existing transit +
+demand), runs the EBRR algorithm, and prints what it found:
+the route's stops, its utility breakdown, and how much closer the new
+route brings passengers to the transit network.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import EBRRConfig, plan_route
+from repro.datasets import load_city
+from repro.eval import mean_walk_to_nearest_stop
+from repro.eval.experiments import calibrated_alpha
+
+
+def main() -> None:
+    # A scaled-down Orlando-style city: sprawling road web, a modest
+    # existing bus network, and demand with under-served growth areas.
+    city = load_city("orlando", scale=0.1)
+    stats = city.statistics()
+    print(
+        f"City: {city.name}  |V|={stats['V']}  |E|={stats['E']}  "
+        f"existing stops={stats['S_existing']}  |Q|={stats['Q']}"
+    )
+
+    # alpha balances walking-cost savings against transfer connectivity;
+    # calibrated_alpha picks a value where both terms matter.
+    alpha = calibrated_alpha(city)
+    instance = city.instance(alpha)
+
+    config = EBRRConfig(
+        max_stops=12,          # K: at most 12 stops on the new route
+        max_adjacent_cost=2.0,  # C: adjacent stops at most 2 km apart
+        alpha=alpha,
+    )
+    result = plan_route(instance, config)
+
+    print(f"\nPlanned route ({result.metrics.num_stops} stops, "
+          f"{result.metrics.route_length:.1f} km):")
+    print("  stops:", " -> ".join(str(s) for s in result.route.stops))
+    print(f"\nUtility U(B) = {result.metrics.utility:,.1f}")
+    print(f"  walking-cost decrease: {result.metrics.walk_decrease:,.1f} km")
+    print(f"  connectivity (distinct routes reachable): "
+          f"{result.metrics.connectivity}")
+    print(f"  planned in {result.timings['total']:.3f}s "
+          f"(preprocess {result.timings['preprocess']:.3f}s, "
+          f"selection {result.timings['selection']:.3f}s)")
+
+    # How much closer is the average passenger to a stop now?
+    before = mean_walk_to_nearest_stop(city.queries, city.transit.existing_stops)
+    after = mean_walk_to_nearest_stop(
+        city.queries, city.transit.existing_stops + list(result.route.stops)
+    )
+    print(f"\nMean walk to nearest stop: {before:.3f} km -> {after:.3f} km "
+          f"({100 * (before - after) / before:.1f}% closer)")
+
+    if result.is_feasible:
+        print("Route satisfies both constraints (K and C).")
+    else:
+        print("Constraint violations:", result.constraint_violations)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — a reproduction of *Efficient Public Transport Planning on
+Roads* (Wang & Wong, ICDE 2023).
+
+The package implements the **Bus Routing on Roads (BRR)** problem and
+the **EBRR** approximation algorithm, every substrate they need (road
+networks, transit networks, demand models), the paper's two baselines
+(ETA-Pre, vk-TSP), and an experiment harness reproducing each table and
+figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import datasets, EBRRConfig, plan_route
+
+    city = datasets.load_city("orlando", scale=0.1)
+    instance = city.instance(alpha=50.0)
+    config = EBRRConfig(max_stops=10, max_adjacent_cost=2.0, alpha=50.0)
+    result = plan_route(instance, config)
+    print(result.summary())
+"""
+
+from . import baselines, core, datasets, demand, eval, network, transit
+from .core import (
+    BRRInstance,
+    EBRRConfig,
+    EBRRResult,
+    evaluate_route,
+    optimal_stop_set,
+    plan_route,
+)
+from .exceptions import (
+    ConfigurationError,
+    DataFormatError,
+    DemandError,
+    GraphError,
+    InfeasibleRouteError,
+    ReproError,
+    TransitError,
+)
+from .network import RoadNetwork
+from .transit import BusRoute, BusStop, TransitNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BRRInstance",
+    "EBRRConfig",
+    "EBRRResult",
+    "plan_route",
+    "evaluate_route",
+    "optimal_stop_set",
+    "RoadNetwork",
+    "BusStop",
+    "BusRoute",
+    "TransitNetwork",
+    "ReproError",
+    "GraphError",
+    "DataFormatError",
+    "TransitError",
+    "DemandError",
+    "ConfigurationError",
+    "InfeasibleRouteError",
+    "network",
+    "transit",
+    "demand",
+    "core",
+    "baselines",
+    "datasets",
+    "eval",
+    "__version__",
+]

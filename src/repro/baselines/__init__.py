@@ -1,0 +1,28 @@
+"""State-of-the-art baselines the paper compares against: ETA-Pre
+(SIGMOD 2021) and vk-TSP (VLDB 2019), plus their shared substrates
+(trajectory synthesis, natural connectivity)."""
+
+from .base import BaselinePlan, RoutePlanner
+from .eta_pre import ETAPre
+from .kmeans_route import KMeansRoute
+from .natural_connectivity import (
+    connectivity_gain,
+    natural_connectivity,
+    stop_graph_adjacency,
+)
+from .trajectories import edge_frequencies, node_frequencies, synthesize_trajectories
+from .vk_tsp import VkTSP
+
+__all__ = [
+    "RoutePlanner",
+    "BaselinePlan",
+    "ETAPre",
+    "KMeansRoute",
+    "VkTSP",
+    "synthesize_trajectories",
+    "edge_frequencies",
+    "node_frequencies",
+    "natural_connectivity",
+    "stop_graph_adjacency",
+    "connectivity_gain",
+]

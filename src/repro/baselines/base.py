@@ -1,0 +1,51 @@
+"""Common interface for route planners (EBRR and the baselines).
+
+The experiment harness treats every planner uniformly: give it a
+:class:`~repro.core.utility.BRRInstance` and an
+:class:`~repro.core.config.EBRRConfig` (the baselines only read ``K``
+from it — the paper notes they do not support the ``C`` constraint),
+get back a route with exact metrics and timings.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..core.config import EBRRConfig
+from ..core.result import RouteMetrics
+from ..core.utility import BRRInstance
+from ..transit.route import BusRoute
+
+
+@dataclass
+class BaselinePlan:
+    """A planned route with the common evaluation attachments.
+
+    Attributes:
+        route: the produced bus route.
+        metrics: exact quality metrics on the shared yardstick.
+        timings: seconds per phase; always includes ``total``, and
+            ``preprocess`` when the planner has an offline phase (the
+            paper excludes baseline preprocessing from the reported
+            query times, and so does the harness — it reports both).
+    """
+
+    route: BusRoute
+    metrics: RouteMetrics
+    timings: Dict[str, float] = field(default_factory=dict)
+
+
+class RoutePlanner(abc.ABC):
+    """A bus route planner."""
+
+    #: short display name used in experiment tables
+    name: str = "planner"
+
+    @abc.abstractmethod
+    def plan(self, instance: BRRInstance, config: EBRRConfig) -> BaselinePlan:
+        """Plan one new route on ``instance`` under ``config``."""
+
+    def invalidate_cache(self) -> None:
+        """Drop any per-instance preprocessing cache (default: no-op)."""

@@ -1,0 +1,85 @@
+"""Trajectory synthesis for the trajectory-driven baselines.
+
+ETA-Pre and vk-TSP learn from historical *trajectories* (GPS traces /
+past trips), not from the bare query multiset EBRR uses.  The paper
+feeds them the same underlying demand; we reproduce that by pairing
+query nodes from the multiset ``Q`` into origin/destination trips and
+materializing each trip's road shortest path as its trajectory.
+
+The derived edge-frequency map — how many trajectories traverse each
+road edge — is the shared "demand corridor" signal both baselines
+build their routes from.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..demand.query import QuerySet
+from ..exceptions import DemandError
+from ..network.dijkstra import shortest_path
+from ..network.graph import RoadNetwork
+
+Trajectory = List[int]
+EdgeKey = Tuple[int, int]
+
+
+def synthesize_trajectories(
+    queries: QuerySet,
+    num_trajectories: int,
+    *,
+    seed: int = 0,
+) -> List[Trajectory]:
+    """Sample OD trips from the query multiset and trace their paths.
+
+    Args:
+        queries: the demand multiset ``Q``; endpoints are drawn from it
+            with multiplicity (popular nodes appear in more trips).
+        num_trajectories: how many trajectories to produce.
+        seed: RNG seed.
+
+    Raises:
+        DemandError: if fewer than two distinct nodes exist in ``Q``.
+    """
+    if num_trajectories < 1:
+        raise DemandError(f"num_trajectories must be >= 1, got {num_trajectories}")
+    nodes = queries.nodes
+    if len(set(nodes)) < 2:
+        raise DemandError("trajectory synthesis needs >= 2 distinct query nodes")
+    rng = np.random.default_rng(seed)
+    network = queries.network
+    trajectories: List[Trajectory] = []
+    guard = 0
+    while len(trajectories) < num_trajectories and guard < num_trajectories * 20:
+        guard += 1
+        origin = nodes[int(rng.integers(0, len(nodes)))]
+        destination = nodes[int(rng.integers(0, len(nodes)))]
+        if origin == destination:
+            continue
+        path, _ = shortest_path(network, origin, destination)
+        trajectories.append(path)
+    if not trajectories:
+        raise DemandError("failed to synthesize any trajectory")
+    return trajectories
+
+
+def edge_frequencies(trajectories: Sequence[Trajectory]) -> Dict[EdgeKey, int]:
+    """How many trajectories traverse each undirected edge."""
+    counts: Counter = Counter()
+    for path in trajectories:
+        for a, b in zip(path, path[1:]):
+            counts[(a, b) if a < b else (b, a)] += 1
+    return dict(counts)
+
+
+def node_frequencies(trajectories: Sequence[Trajectory]) -> Dict[int, int]:
+    """How many trajectories pass through each node (each trajectory
+    counts a node once)."""
+    counts: Counter = Counter()
+    for path in trajectories:
+        for node in set(path):
+            counts[node] += 1
+    return dict(counts)

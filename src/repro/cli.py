@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the practitioner loop the paper's introduction
+describes (adjust the input, re-plan, inspect):
+
+* ``stats``   — print Table II-style statistics of a synthetic city;
+* ``plan``    — plan one route with EBRR on a synthetic city and print
+  the stops, metrics, and timings;
+* ``sweep``   — run the effect-of-K experiment (EBRR + both baselines)
+  and print the Fig. 7/8/13-style series, optionally exporting CSV;
+* ``case-study`` — plan one route on ridership-style demand and write
+  the Figs. 1/12-style artefacts (SVG map + GeoJSON route).
+
+Real-data workflows go through the library API (see README); the CLI
+exists for instant, zero-code reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core.config import EBRRConfig
+from .core.ebrr import plan_route
+from .datasets.registry import available_cities, load_city
+from .eval.experiments import calibrated_alpha, dataset_statistics, effect_of_k
+from .eval.export import rows_to_csv
+from .eval.reporting import format_series, format_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bus Routing on Roads (BRR/EBRR) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_city_args(p):
+        p.add_argument(
+            "--city", choices=available_cities(), default="chicago",
+            help="synthetic city dataset",
+        )
+        p.add_argument(
+            "--scale", type=float, default=0.1,
+            help="linear scale versus the paper's city sizes",
+        )
+
+    stats = sub.add_parser("stats", help="print dataset statistics (Table II)")
+    add_city_args(stats)
+
+    plan = sub.add_parser("plan", help="plan one route with EBRR")
+    add_city_args(plan)
+    plan.add_argument("-k", "--max-stops", type=int, default=20,
+                      help="K: maximum number of stops")
+    plan.add_argument("-c", "--max-adjacent-cost", type=float, default=2.0,
+                      help="C: maximum cost between adjacent stops (km)")
+    plan.add_argument("--alpha", type=float, default=None,
+                      help="utility trade-off (default: calibrated)")
+    plan.add_argument("--explain", action="store_true",
+                      help="print the full run diagnostics report")
+
+    sweep = sub.add_parser("sweep", help="effect-of-K experiment (Figs. 7/8/13)")
+    add_city_args(sweep)
+    sweep.add_argument("--ks", type=str, default="10,20,30",
+                       help="comma-separated K values")
+    sweep.add_argument("-c", "--max-adjacent-cost", type=float, default=2.0)
+    sweep.add_argument("--csv", type=str, default=None,
+                       help="also export the rows to this CSV file")
+
+    case = sub.add_parser(
+        "case-study", help="plan a route and write SVG + GeoJSON artefacts"
+    )
+    add_city_args(case)
+    case.add_argument("-k", "--max-stops", type=int, default=15)
+    case.add_argument("-c", "--max-adjacent-cost", type=float, default=2.0)
+    case.add_argument("--svg", type=str, default="case_study.svg",
+                      help="output SVG map path")
+    case.add_argument("--geojson", type=str, default=None,
+                      help="optional output GeoJSON path")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "case-study":
+        return _cmd_case_study(args)
+    return 2  # unreachable: argparse enforces the choices
+
+
+def _cmd_stats(args) -> int:
+    dataset = load_city(args.city, scale=args.scale)
+    rows = dataset_statistics([dataset])
+    print(format_table(rows, title="Dataset statistics (Table II layout)"))
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    dataset = load_city(args.city, scale=args.scale)
+    alpha = args.alpha if args.alpha is not None else calibrated_alpha(dataset)
+    instance = dataset.instance(alpha)
+    config = EBRRConfig(
+        max_stops=args.max_stops,
+        max_adjacent_cost=args.max_adjacent_cost,
+        alpha=alpha,
+    )
+    result = plan_route(instance, config)
+    print(f"{dataset.name} (scale {args.scale}), alpha={alpha:.2f}")
+    print(result.summary())
+    print("stops:", " -> ".join(str(s) for s in result.route.stops))
+    if args.explain:
+        from .core.diagnostics import explain_result
+
+        print()
+        print(explain_result(instance, result))
+    if not result.is_feasible:
+        print("violations:", "; ".join(result.constraint_violations))
+        return 1
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    try:
+        ks = [int(k) for k in args.ks.split(",") if k]
+    except ValueError:
+        print(f"error: --ks must be comma-separated integers, got {args.ks!r}",
+              file=sys.stderr)
+        return 2
+    if not ks:
+        print("error: --ks is empty", file=sys.stderr)
+        return 2
+    dataset = load_city(args.city, scale=args.scale)
+    alpha = calibrated_alpha(dataset)
+    rows = effect_of_k(
+        dataset, ks, alpha=alpha, max_adjacent_cost=args.max_adjacent_cost
+    )
+    for value, title in (
+        ("walk_cost", "Walking cost vs K"),
+        ("connectivity", "Connectivity vs K"),
+        ("time_s", "Execution time (s) vs K"),
+    ):
+        print(format_series(rows, x="K", series="algorithm", value=value,
+                            title=title))
+        print()
+    if args.csv:
+        rows_to_csv(rows, args.csv)
+        print(f"rows exported to {args.csv}")
+    return 0
+
+
+def _cmd_case_study(args) -> int:
+    from .demand.ridership import ridership_demand
+    from .core.utility import BRRInstance
+    from .eval.visualize import render_case_study
+
+    dataset = load_city(args.city, scale=args.scale)
+    alpha = calibrated_alpha(dataset)
+    queries = ridership_demand(
+        dataset.transit, max(1000, len(dataset.queries) // 4), seed=5
+    )
+    alpha = max(alpha * len(queries) / len(dataset.queries), 1e-9)
+    instance = BRRInstance(dataset.transit, queries, alpha=alpha)
+    config = EBRRConfig(
+        max_stops=args.max_stops,
+        max_adjacent_cost=args.max_adjacent_cost,
+        alpha=alpha,
+    )
+    result = plan_route(instance, config)
+    print(result.summary())
+    render_case_study(
+        dataset.network,
+        queries,
+        dataset.transit.existing_stops,
+        result.route,
+        args.svg,
+        title=f"{dataset.name} case study (K={args.max_stops})",
+    )
+    print(f"map written to {args.svg}")
+    if args.geojson:
+        from .eval.geojson import route_to_geojson
+
+        route_to_geojson(
+            dataset.network, result.route, args.geojson,
+            utility=result.metrics.utility,
+        )
+        print(f"route written to {args.geojson}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

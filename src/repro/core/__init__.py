@@ -1,0 +1,75 @@
+"""The paper's core contribution: the BRR problem and the EBRR solver.
+
+Public entry points:
+
+* :class:`BRRInstance` — a problem instance (Definition 10);
+* :class:`EBRRConfig` — parameters ``K``, ``C``, ``α`` plus ablation
+  switches;
+* :func:`plan_route` — run EBRR (Algorithm 1) end to end;
+* :func:`evaluate_route` — exact metrics for any route (baselines too);
+* :func:`optimal_stop_set` — the exhaustive OPT for small instances.
+"""
+
+from .bounds import (
+    ApproximationBound,
+    approximation_bound,
+    audit_stop_budget,
+    diameter_upper_bound,
+    double_sweep_diameter,
+    network_diameter,
+)
+from .christofides import christofides_order, tour_price
+from .config import EBRRConfig
+from .diagnostics import explain_result, selection_table
+from .ebrr import evaluate_route, plan_route
+from .multi_route import MultiRouteResult, plan_routes
+from .update import UpdateStats, update_preprocess
+from .exact import optimal_stop_set
+from .postprocess import PostprocessResult, postprocess_route
+from .preprocess import PreprocessResult, preprocess_queries
+from .price import (
+    LowerBoundPrice,
+    intermediate_stop_count,
+    price_from_distance,
+    virtual_edge_price,
+)
+from .refinement import refine_path
+from .result import EBRRResult, RouteMetrics
+from .selection import SelectionState, SelectionTrace, run_selection
+from .utility import BRRInstance
+
+__all__ = [
+    "BRRInstance",
+    "EBRRConfig",
+    "plan_route",
+    "plan_routes",
+    "MultiRouteResult",
+    "update_preprocess",
+    "UpdateStats",
+    "evaluate_route",
+    "explain_result",
+    "selection_table",
+    "optimal_stop_set",
+    "preprocess_queries",
+    "PreprocessResult",
+    "run_selection",
+    "SelectionState",
+    "SelectionTrace",
+    "price_from_distance",
+    "virtual_edge_price",
+    "intermediate_stop_count",
+    "LowerBoundPrice",
+    "christofides_order",
+    "tour_price",
+    "refine_path",
+    "postprocess_route",
+    "PostprocessResult",
+    "approximation_bound",
+    "ApproximationBound",
+    "audit_stop_budget",
+    "network_diameter",
+    "double_sweep_diameter",
+    "diameter_upper_bound",
+    "EBRRResult",
+    "RouteMetrics",
+]

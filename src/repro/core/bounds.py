@@ -1,0 +1,139 @@
+"""Theoretical guarantees of EBRR (Theorems 3 and 4).
+
+Theorem 4 gives the instance-dependent approximation ratio
+
+    1 − exp( −2C / (3 · max_{i,j} dist(v_i, v_j)) )
+
+with the instance-independent envelope ``1 − exp(−2/3) ≈ 0.49`` (upper
+bound of the guarantee) and, for the paper's default experiment
+settings, a lower bound near 0.02.  This module computes those values
+for a concrete instance so the empirical ratios of Fig. 11a can be put
+next to the theory, and audits a finished run against Theorem 3's stop
+budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from ..network.dijkstra import shortest_path_costs
+from ..network.graph import RoadNetwork
+from .config import EBRRConfig
+from .result import EBRRResult
+
+#: The instance-independent envelope 1 - e^{-2/3} of Theorem 4.
+GUARANTEE_UPPER_BOUND = 1.0 - math.exp(-2.0 / 3.0)
+
+
+@dataclass(frozen=True)
+class ApproximationBound:
+    """Theorem 4's guarantee for one instance.
+
+    Attributes:
+        ratio: the guaranteed fraction of the optimal utility,
+            ``1 − exp(−2C / (3·diameter))``.
+        diameter: ``max_{i,j} dist(v_i, v_j)`` used in the bound (over
+            the sampled nodes; exact when ``sample`` covers ``V``).
+        max_adjacent_cost: the ``C`` the bound was computed for.
+    """
+
+    ratio: float
+    diameter: float
+    max_adjacent_cost: float
+
+    @property
+    def upper_envelope(self) -> float:
+        """The instance-independent ``1 − e^{−2/3} ≈ 0.49``."""
+        return GUARANTEE_UPPER_BOUND
+
+
+def network_diameter(
+    network: RoadNetwork, *, sample: Optional[Sequence[int]] = None
+) -> float:
+    """``max_{i,j} dist(v_i, v_j)`` over all nodes (exact, one Dijkstra
+    per node) or over a ``sample`` of source nodes.
+
+    Exact mode is O(|V|² log |V|) — fine up to a few thousand nodes.
+    With a sample the result is a *lower* bound of the true diameter;
+    a guarantee computed from it overstates the true guarantee, so for
+    safe guarantees on big networks prefer :func:`double_sweep_diameter`
+    and treat its output the same way.
+    """
+    nodes = list(sample) if sample is not None else list(network.nodes())
+    if not nodes:
+        raise ConfigurationError("diameter needs at least one node")
+    best = 0.0
+    for source in nodes:
+        costs = shortest_path_costs(network, source)
+        local = max(c for c in costs if math.isfinite(c))
+        best = max(best, local)
+    return best
+
+
+def double_sweep_diameter(network: RoadNetwork, *, start: int = 0) -> float:
+    """A classic 2-BFS (here 2-Dijkstra) diameter lower bound: sweep to
+    the farthest node from ``start``, then sweep again from there.
+    Exact on trees, a good estimate on road networks, O(2 |E| log |V|).
+    """
+    costs = shortest_path_costs(network, start)
+    far = max(network.nodes(), key=lambda v: costs[v] if math.isfinite(costs[v]) else -1.0)
+    second = shortest_path_costs(network, far)
+    return max(c for c in second if math.isfinite(c))
+
+
+def diameter_upper_bound(network: RoadNetwork, *, start: int = 0) -> float:
+    """``2 · ecc(start)`` — an upper bound of the diameter by the
+    triangle inequality, O(|E| log |V|).  A guarantee computed from an
+    upper bound of the diameter is *safe* (it understates Theorem 4's
+    true ratio), which is the right direction for reporting."""
+    costs = shortest_path_costs(network, start)
+    return 2.0 * max(c for c in costs if math.isfinite(c))
+
+
+def approximation_bound(
+    network: RoadNetwork,
+    max_adjacent_cost: float,
+    *,
+    diameter: Optional[float] = None,
+) -> ApproximationBound:
+    """Theorem 4's instance-dependent guarantee.
+
+    Args:
+        network: the road network.
+        max_adjacent_cost: the constraint ``C``.
+        diameter: precomputed ``max dist``; when omitted the safe
+            :func:`diameter_upper_bound` is used, so the returned ratio
+            never overstates the true guarantee.
+    """
+    if max_adjacent_cost <= 0:
+        raise ConfigurationError("C must be positive")
+    if diameter is None:
+        diameter = diameter_upper_bound(network)
+    if diameter <= 0:
+        raise ConfigurationError("diameter must be positive")
+    ratio = 1.0 - math.exp(-2.0 * max_adjacent_cost / (3.0 * diameter))
+    return ApproximationBound(
+        ratio=min(ratio, GUARANTEE_UPPER_BOUND),
+        diameter=diameter,
+        max_adjacent_cost=max_adjacent_cost,
+    )
+
+
+def audit_stop_budget(result: EBRRResult) -> bool:
+    """Theorem 3's mechanism check on a finished run: the selection
+    stopped within one price step of the ``2K/3`` budget and the final
+    route respects ``K``.
+
+    Returns True when both hold; raises nothing (a reporting helper).
+    """
+    config: EBRRConfig = result.config
+    budget = config.price_budget
+    trace = result.trace
+    within_budget = True
+    if trace.prices:
+        overshoot = trace.total_price - budget
+        within_budget = overshoot < max(trace.prices) + 1e-9
+    return within_budget and result.metrics.num_stops <= config.max_stops

@@ -1,0 +1,243 @@
+"""Christofides' algorithm on the virtual-edge price metric.
+
+Line 8 of Algorithm 1 orders the selected profitable stops with
+Christofides' heuristic so that the resulting *virtual path* has total
+price at most 3/2 of the minimum-spanning-tree price (which the 2K/3
+selection budget bounds) — Theorem 3's argument.
+
+Implemented from scratch:
+
+1. Prim's MST over the complete virtual-edge graph;
+2. greedy minimum-weight perfect matching on the odd-degree vertices,
+   followed by a pairwise-improvement pass (swap two matched pairs when
+   rematching lowers the weight), a standard practical surrogate for
+   exact blossom matching that preserves the heuristic's behaviour;
+3. Hierholzer's algorithm for an Euler circuit of MST + matching;
+4. shortcutting repeated visits to a Hamiltonian cycle.
+
+The cycle is opened by dropping its heaviest edge ("discard the longest
+part which uses the maximum number of intermediate stops" — Section
+IV-D), with the underlying network distance as tie-break.
+
+Virtual edge weights are the integer prices ``max(1, ceil(dist/C))``
+(Definition 12); ties are broken by raw distance so the tour prefers
+geometrically short legs among equal-price options.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from .price import virtual_edge_price
+
+#: weight of a virtual edge: (price, raw distance) compared lexicographically
+_Weight = Tuple[int, float]
+
+
+def _weights(
+    distances: Sequence[Sequence[float]], max_adjacent_cost: float
+) -> List[List[_Weight]]:
+    m = len(distances)
+    weights: List[List[_Weight]] = [[(0, 0.0)] * m for _ in range(m)]
+    for i in range(m):
+        for j in range(m):
+            if i != j:
+                d = distances[i][j]
+                if not math.isfinite(d):
+                    raise ConfigurationError(
+                        "christofides_order needs finite pairwise distances"
+                    )
+                weights[i][j] = (virtual_edge_price(d, max_adjacent_cost), d)
+    return weights
+
+
+def christofides_order(
+    stops: Sequence[int],
+    distances: Sequence[Sequence[float]],
+    max_adjacent_cost: float,
+) -> List[int]:
+    """Order ``stops`` as an open path of low total virtual-edge price.
+
+    Args:
+        stops: the selected profitable stops ``B(i)``.
+        distances: pairwise *network* distances, ``distances[i][j]``
+            between ``stops[i]`` and ``stops[j]``.
+        max_adjacent_cost: the constraint ``C`` defining edge prices.
+
+    Returns:
+        The stops in visiting order (each exactly once).  For fewer
+        than three stops the input order is returned unchanged.
+    """
+    m = len(stops)
+    if m != len(distances):
+        raise ConfigurationError("distance matrix size must match stops")
+    if m <= 2:
+        return list(stops)
+    weights = _weights(distances, max_adjacent_cost)
+
+    mst = _prim_mst(m, weights)
+    odd = _odd_degree_vertices(m, mst)
+    matching = _greedy_matching_with_improvement(odd, weights)
+    multigraph_edges = mst + matching
+    circuit = _euler_circuit(m, multigraph_edges)
+    cycle = _shortcut(circuit)
+    path = _open_cycle(cycle, weights)
+    return [stops[i] for i in path]
+
+
+def tour_price(
+    order: Sequence[int],
+    distance_of: Callable[[int, int], float],
+    max_adjacent_cost: float,
+    *,
+    closed: bool = False,
+) -> int:
+    """Total virtual-edge price of consecutive legs of ``order``.
+
+    Args:
+        order: visiting order of stops (actual stop ids).
+        distance_of: callable giving the network distance of a leg.
+        max_adjacent_cost: the constraint ``C``.
+        closed: include the wrap-around leg.
+    """
+    legs = list(zip(order, order[1:]))
+    if closed and len(order) > 1:
+        legs.append((order[-1], order[0]))
+    return sum(
+        virtual_edge_price(distance_of(a, b), max_adjacent_cost) for a, b in legs
+    )
+
+
+# ----------------------------------------------------------------------
+# Steps
+# ----------------------------------------------------------------------
+
+
+def _prim_mst(m: int, weights: List[List[_Weight]]) -> List[Tuple[int, int]]:
+    """Prim's algorithm on a complete graph; O(m^2), exact."""
+    in_tree = [False] * m
+    best: List[_Weight] = [(1 << 30, math.inf)] * m
+    parent = [-1] * m
+    best[0] = (0, 0.0)
+    edges: List[Tuple[int, int]] = []
+    for _ in range(m):
+        u = -1
+        for v in range(m):
+            if not in_tree[v] and (u < 0 or best[v] < best[u]):
+                u = v
+        in_tree[u] = True
+        if parent[u] >= 0:
+            edges.append((parent[u], u))
+        for v in range(m):
+            if not in_tree[v] and weights[u][v] < best[v]:
+                best[v] = weights[u][v]
+                parent[v] = u
+    return edges
+
+
+def _odd_degree_vertices(m: int, edges: List[Tuple[int, int]]) -> List[int]:
+    degree = [0] * m
+    for u, v in edges:
+        degree[u] += 1
+        degree[v] += 1
+    return [v for v in range(m) if degree[v] % 2 == 1]
+
+
+def _greedy_matching_with_improvement(
+    odd: List[int], weights: List[List[_Weight]]
+) -> List[Tuple[int, int]]:
+    """Perfect matching on the (even-sized) odd-degree vertex set:
+    greedy shortest-edge-first, then 2-swap improvement to local
+    optimality."""
+    remaining = set(odd)
+    pairs: List[Tuple[int, int]] = []
+    candidate_edges = sorted(
+        ((weights[u][v], u, v) for i, u in enumerate(odd) for v in odd[i + 1:]),
+        key=lambda item: item[0],
+    )
+    for _, u, v in candidate_edges:
+        if u in remaining and v in remaining:
+            remaining.discard(u)
+            remaining.discard(v)
+            pairs.append((u, v))
+    # Improvement: try rematching every pair of pairs both ways.
+    improved = True
+    while improved:
+        improved = False
+        for i in range(len(pairs)):
+            for j in range(i + 1, len(pairs)):
+                a, b = pairs[i]
+                c, d = pairs[j]
+                current = _add(weights[a][b], weights[c][d])
+                alt1 = _add(weights[a][c], weights[b][d])
+                alt2 = _add(weights[a][d], weights[b][c])
+                if alt1 < current and alt1 <= alt2:
+                    pairs[i], pairs[j] = (a, c), (b, d)
+                    improved = True
+                elif alt2 < current:
+                    pairs[i], pairs[j] = (a, d), (b, c)
+                    improved = True
+    return pairs
+
+
+def _add(w1: _Weight, w2: _Weight) -> _Weight:
+    return (w1[0] + w2[0], w1[1] + w2[1])
+
+
+def _euler_circuit(m: int, edges: List[Tuple[int, int]]) -> List[int]:
+    """Hierholzer's algorithm on the MST+matching multigraph (every
+    vertex has even degree by construction)."""
+    adjacency: Dict[int, List[List[object]]] = {v: [] for v in range(m)}
+    edge_used = [False] * len(edges)
+    for idx, (u, v) in enumerate(edges):
+        adjacency[u].append([v, idx])
+        adjacency[v].append([u, idx])
+    start = edges[0][0] if edges else 0
+    stack = [start]
+    circuit: List[int] = []
+    cursor = {v: 0 for v in range(m)}
+    while stack:
+        v = stack[-1]
+        advanced = False
+        while cursor[v] < len(adjacency[v]):
+            to, idx = adjacency[v][cursor[v]]
+            cursor[v] += 1
+            if not edge_used[idx]:  # type: ignore[index]
+                edge_used[idx] = True  # type: ignore[index]
+                stack.append(to)  # type: ignore[arg-type]
+                advanced = True
+                break
+        if not advanced:
+            circuit.append(stack.pop())
+    circuit.reverse()
+    return circuit
+
+
+def _shortcut(circuit: List[int]) -> List[int]:
+    """Skip repeated visits, producing a Hamiltonian cycle order."""
+    seen = set()
+    cycle: List[int] = []
+    for v in circuit:
+        if v not in seen:
+            seen.add(v)
+            cycle.append(v)
+    return cycle
+
+
+def _open_cycle(cycle: List[int], weights: List[List[_Weight]]) -> List[int]:
+    """Drop the heaviest edge of the cycle, returning an open path."""
+    m = len(cycle)
+    if m <= 2:
+        return cycle
+    heaviest = 0
+    heaviest_weight = weights[cycle[-1]][cycle[0]]
+    for i in range(m - 1):
+        w = weights[cycle[i]][cycle[i + 1]]
+        if w > heaviest_weight:
+            heaviest_weight = w
+            heaviest = i + 1
+    if heaviest == 0:
+        return cycle  # wrap-around edge is heaviest: cycle is already open
+    return cycle[heaviest:] + cycle[:heaviest]

@@ -1,0 +1,109 @@
+"""Run diagnostics: explain one EBRR result as a text report.
+
+Planners tune ``K``, ``C``, and ``α`` iteratively (the paper's whole
+efficiency pitch); a readable account of *what the algorithm did* makes
+each iteration informative.  :func:`explain_result` renders a full
+report: the selection trace (stop, kind, gain, price, ratio), the phase
+timings, the constraint audit, and the theoretical-guarantee context of
+Theorems 3/4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..network.graph import RoadNetwork
+from .bounds import approximation_bound, audit_stop_budget
+from .result import EBRRResult
+from .utility import BRRInstance
+
+
+def selection_table(instance: BRRInstance, result: EBRRResult) -> List[dict]:
+    """One row per selected stop: kind, marginal gain, price, ratio."""
+    rows: List[dict] = []
+    trace = result.trace
+    for index, stop in enumerate(trace.selected):
+        gain = trace.gains[index] if index < len(trace.gains) else float("nan")
+        price: Optional[int] = (
+            trace.prices[index - 1] if 1 <= index <= len(trace.prices) else None
+        )
+        rows.append(
+            {
+                "iter": index,
+                "stop": stop,
+                "kind": "existing" if instance.is_existing[stop] else "new",
+                "gain": gain,
+                "price": price if price is not None else "-",
+                "ratio": (gain / price) if price else "-",
+            }
+        )
+    return rows
+
+
+def explain_result(instance: BRRInstance, result: EBRRResult) -> str:
+    """A multi-section plain-text explanation of one run."""
+    from ..eval.reporting import format_table
+
+    config = result.config
+    metrics = result.metrics
+    lines: List[str] = []
+
+    lines.append("=== EBRR run report ===")
+    lines.append(
+        f"instance: |V|={instance.network.num_nodes}, "
+        f"|S_existing|={len(instance.existing_stops)}, "
+        f"|S_new|={len(instance.candidates)}, |Q|={len(instance.queries)}"
+    )
+    lines.append(
+        f"config: K={config.max_stops}, C={config.max_adjacent_cost}, "
+        f"alpha={config.alpha:g}, budget=2K/3={config.price_budget:.2f}"
+    )
+    lines.append("")
+
+    lines.append(
+        format_table(
+            selection_table(instance, result),
+            ["iter", "stop", "kind", "gain", "price", "ratio"],
+            title=f"selection trace (total price {result.trace.total_price}, "
+            f"{result.trace.evaluations} evaluations)",
+            float_digits=2,
+        )
+    )
+    lines.append("")
+
+    share = {
+        phase: result.timings.get(phase, 0.0)
+        for phase in ("preprocess", "selection", "ordering", "refinement")
+    }
+    total = max(result.timings.get("total", 0.0), 1e-12)
+    lines.append("phase timings:")
+    for phase, seconds in share.items():
+        lines.append(
+            f"  {phase:<11} {seconds:8.4f}s  ({100 * seconds / total:5.1f}%)"
+        )
+    lines.append(f"  {'total':<11} {total:8.4f}s")
+    lines.append("")
+
+    lines.append(
+        f"route: {metrics.num_stops} stops, {metrics.route_length:.2f} km, "
+        f"utility {metrics.utility:,.2f} "
+        f"(walk decrease {metrics.walk_decrease:,.2f} + "
+        f"{config.alpha:g} x {metrics.connectivity} connectivity)"
+    )
+    if result.is_feasible:
+        lines.append("constraints: satisfied (K and C)")
+    else:
+        lines.append("constraints: VIOLATED")
+        for violation in result.constraint_violations:
+            lines.append(f"  - {violation}")
+    lines.append(
+        "Theorem 3 budget audit: "
+        + ("ok" if audit_stop_budget(result) else "VIOLATED")
+    )
+    bound = approximation_bound(instance.network, config.max_adjacent_cost)
+    lines.append(
+        f"Theorem 4 guarantee for this instance: >= {bound.ratio:.4f} of "
+        f"optimal (diameter bound {bound.diameter:.1f} km; the empirical "
+        "ratio is typically near 1 — see Fig. 11a)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""The EBRR driver — Algorithm 1 of the paper.
+
+Pipeline::
+
+    preprocess (Alg. 2)  →  greedy selection (Alg. 3 + 4)
+        →  Christofides ordering  →  path refinement (Alg. 5)
+
+:func:`plan_route` wires the phases together, times each one, assembles
+the final :class:`~repro.transit.route.BusRoute`, evaluates its exact
+metrics, and records any Definition 8 constraint violation (possible
+only when refinement is disabled for the ablation).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import InfeasibleRouteError
+from ..network.dijkstra import shortest_path, shortest_path_costs
+from ..transit.route import BusRoute
+from .christofides import christofides_order
+from .config import EBRRConfig
+from .preprocess import PreprocessResult, preprocess_queries
+from .refinement import refine_path
+from .result import EBRRResult, RouteMetrics
+from .selection import SelectionState, SelectionTrace, run_selection
+from .utility import BRRInstance
+
+
+def plan_route(
+    instance: BRRInstance,
+    config: EBRRConfig,
+    *,
+    preprocess: Optional[PreprocessResult] = None,
+    route_id: str = "ebrr",
+) -> EBRRResult:
+    """Plan a new bus route with EBRR.
+
+    Args:
+        instance: the BRR problem instance.  Its ``alpha`` must match
+            ``config.alpha`` (the config value wins; a mismatch raises).
+        config: problem parameters and algorithm switches.
+        preprocess: a precomputed Algorithm 2 result to reuse across
+            runs that share the instance (e.g. a K sweep); computed on
+            the fly when omitted.
+        route_id: identifier for the returned route.
+
+    Returns:
+        The :class:`EBRRResult` with the route, exact metrics, selection
+        trace, and per-phase timings.
+    """
+    if abs(instance.alpha - config.alpha) > 1e-12:
+        raise InfeasibleRouteError(
+            f"instance.alpha={instance.alpha} disagrees with "
+            f"config.alpha={config.alpha}; build the instance with the "
+            "same alpha"
+        )
+    timings: Dict[str, float] = {}
+    total_start = time.perf_counter()
+
+    # Line 1: preprocessing.
+    start = time.perf_counter()
+    if preprocess is None:
+        preprocess = preprocess_queries(instance)
+    timings["preprocess"] = time.perf_counter() - start
+
+    # Lines 2-7: greedy selection. (run_selection builds its own state;
+    # we rebuild an identical one afterwards for refinement bookkeeping.)
+    start = time.perf_counter()
+    trace, state = _run_selection_with_state(instance, preprocess, config)
+    timings["selection"] = time.perf_counter() - start
+
+    # Line 8: Christofides visiting order.
+    start = time.perf_counter()
+    order = _order_stops(instance, trace.selected, config)
+    timings["ordering"] = time.perf_counter() - start
+
+    # Line 9: path refinement (or the bare order for the ablation).
+    start = time.perf_counter()
+    if config.refine_path:
+        stops, path = refine_path(state, order, config)
+    else:
+        stops, path = _bare_route(instance, order)
+    timings["refinement"] = time.perf_counter() - start
+
+    route = BusRoute(route_id, stops, path)
+    timings["total"] = time.perf_counter() - total_start
+    metrics = evaluate_route(instance, route)
+    violations = _constraint_violations(instance, route, config)
+    return EBRRResult(
+        route=route,
+        metrics=metrics,
+        trace=trace,
+        timings=timings,
+        config=config,
+        constraint_violations=violations,
+    )
+
+
+def evaluate_route(instance: BRRInstance, route: BusRoute) -> RouteMetrics:
+    """Exact quality metrics of a route on ``instance`` (works for
+    baseline routes too — this is the common yardstick of Section VI)."""
+    stops = list(route.stops)
+    walk_decrease = instance.walk_decrease(s for s in stops if instance.is_candidate[s])
+    connectivity = instance.connectivity(stops)
+    utility = walk_decrease + instance.alpha * connectivity
+    walk_cost = instance.baseline_walk() - walk_decrease
+    length = route.length(instance.network) if len(route.path) > 1 else 0.0
+    return RouteMetrics(
+        utility=utility,
+        walk_cost=walk_cost,
+        walk_decrease=walk_decrease,
+        connectivity=connectivity,
+        num_stops=route.num_stops,
+        route_length=length,
+    )
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+
+
+def _run_selection_with_state(
+    instance: BRRInstance,
+    preprocess: PreprocessResult,
+    config: EBRRConfig,
+) -> Tuple[SelectionTrace, SelectionState]:
+    """Run the selection loop and keep its live state for refinement."""
+    trace = run_selection(instance, preprocess, config)
+    # Rebuild the state by replaying the trace: cheap relative to the
+    # selection itself and keeps run_selection's interface pure.
+    state = SelectionState(instance, preprocess, config)
+    for stop in trace.selected:
+        state.select(stop)
+    return trace, state
+
+
+def _order_stops(
+    instance: BRRInstance, selected: Sequence[int], config: EBRRConfig
+) -> List[int]:
+    """Pairwise network distances between selected stops, then the
+    Christofides open-path order."""
+    if len(selected) <= 2:
+        return list(selected)
+    matrix: List[List[float]] = []
+    for stop in selected:
+        costs = shortest_path_costs(instance.network, stop)
+        matrix.append([costs[other] for other in selected])
+    return christofides_order(list(selected), matrix, config.max_adjacent_cost)
+
+
+def _bare_route(
+    instance: BRRInstance, order: Sequence[int]
+) -> Tuple[List[int], List[int]]:
+    """The unrefined route: the visiting order itself, linked by road
+    shortest paths (no intermediate stops, no K padding)."""
+    stops = list(dict.fromkeys(order))
+    if not stops:
+        raise InfeasibleRouteError("empty visiting order")
+    path: List[int] = [stops[0]]
+    for a, b in zip(stops, stops[1:]):
+        leg, _ = shortest_path(instance.network, a, b)
+        path.extend(leg[1:])
+    # Drop stops the stitched path happens to miss the ordering of (a
+    # later leg may pass through an earlier stop; keep the valid ones).
+    return stops, path
+
+
+def _constraint_violations(
+    instance: BRRInstance, route: BusRoute, config: EBRRConfig
+) -> List[str]:
+    violations: List[str] = []
+    if route.num_stops > config.max_stops:
+        violations.append(
+            f"stop count {route.num_stops} exceeds K={config.max_stops}"
+        )
+    costs = route.adjacent_stop_costs(instance.network)
+    for i, cost in enumerate(costs):
+        if cost > config.max_adjacent_cost + 1e-9:
+            violations.append(
+                f"adjacent stops {route.stops[i]}->{route.stops[i + 1]} cost "
+                f"{cost:.3f} exceeds C={config.max_adjacent_cost}"
+            )
+    return violations

@@ -1,0 +1,169 @@
+"""Exhaustive optimal solver (the "OPT" of Fig. 11a).
+
+BRR is NP-hard (Theorem 2), so the optimum is only computable on small
+extracts — the paper uses a 110-node NYC subgraph with 7 candidate and
+7 existing stops.  This module enumerates all stop subsets of size at
+most ``K`` and returns the utility-maximal one.
+
+Following the paper's hardness construction (where ``C`` is set to the
+maximum pairwise cost, "making no restriction"), the default ignores
+the adjacent-cost constraint; ``require_c_connectable=True`` adds the
+natural relaxation that the chosen stops form a connected graph under
+the ``dist <= C`` adjacency, which every feasible route's stop set
+satisfies.
+
+The inner loop is made tractable by precomputing, per candidate stop,
+the distance to every query node once (one Dijkstra per stop), so each
+subset evaluation is a few array minima rather than a graph search.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from ..network.dijkstra import shortest_path_costs
+from .utility import BRRInstance
+
+
+def optimal_stop_set(
+    instance: BRRInstance,
+    max_stops: int,
+    *,
+    max_adjacent_cost: Optional[float] = None,
+    require_c_connectable: bool = False,
+) -> Tuple[List[int], float]:
+    """The utility-optimal stop set of size at most ``max_stops``.
+
+    Args:
+        instance: the (small!) BRR instance.
+        max_stops: the cardinality bound ``K``.
+        max_adjacent_cost: ``C``; only used when
+            ``require_c_connectable`` is set.
+        require_c_connectable: additionally require the stops to be
+            mutually reachable through legs of cost at most ``C``.
+
+    Returns:
+        ``(best_set, best_utility)``; the empty set (utility 0) if no
+        subset improves on it.
+
+    Raises:
+        ConfigurationError: if the instance is too large to enumerate
+            (> 24 total stops) or parameters are inconsistent.
+    """
+    if max_stops < 1:
+        raise ConfigurationError(f"max_stops must be >= 1, got {max_stops}")
+    if require_c_connectable and max_adjacent_cost is None:
+        raise ConfigurationError(
+            "require_c_connectable needs max_adjacent_cost"
+        )
+    universe = list(instance.candidates) + list(instance.existing_stops)
+    if len(universe) > 24:
+        raise ConfigurationError(
+            f"exhaustive search over {len(universe)} stops is intractable; "
+            "use a smaller extract (the paper used 7+7 stops)"
+        )
+
+    evaluator = _FastEvaluator(instance)
+    pair_dist = (
+        _pairwise_distances(instance, universe)
+        if require_c_connectable
+        else None
+    )
+
+    best_set: List[int] = []
+    best_utility = 0.0
+    for size in range(1, min(max_stops, len(universe)) + 1):
+        for subset in combinations(universe, size):
+            if pair_dist is not None and not _c_connectable(
+                subset, pair_dist, max_adjacent_cost or math.inf
+            ):
+                continue
+            utility = evaluator.utility(subset)
+            if utility > best_utility + 1e-12:
+                best_utility = utility
+                best_set = list(subset)
+    return best_set, best_utility
+
+
+class _FastEvaluator:
+    """Utility evaluation via precomputed stop-to-query distances."""
+
+    def __init__(self, instance: BRRInstance) -> None:
+        self._instance = instance
+        self._query_nodes = list(instance.query_counts)
+        self._counts = [instance.query_counts[q] for q in self._query_nodes]
+        # Nearest existing stop per query (the baseline).
+        baseline = _distances_to_queries(
+            instance, instance.existing_stops, self._query_nodes
+        )
+        self._baseline = baseline
+        self._walk_existing = sum(
+            c * d for c, d in zip(self._counts, baseline)
+        )
+        # Per-candidate distance rows.
+        self._rows: Dict[int, List[float]] = {}
+        for stop in instance.candidates:
+            costs = shortest_path_costs(instance.network, stop)
+            self._rows[stop] = [costs[q] for q in self._query_nodes]
+
+    def utility(self, stops: Sequence[int]) -> float:
+        instance = self._instance
+        candidate_rows = [
+            self._rows[s] for s in stops if instance.is_candidate[s]
+        ]
+        walk = 0.0
+        if candidate_rows:
+            for qi, count in enumerate(self._counts):
+                d = self._baseline[qi]
+                for row in candidate_rows:
+                    if row[qi] < d:
+                        d = row[qi]
+                walk += count * d
+        else:
+            walk = self._walk_existing
+        decrease = self._walk_existing - walk
+        connectivity = instance.connectivity(stops)
+        return decrease + instance.alpha * connectivity
+
+
+def _distances_to_queries(
+    instance: BRRInstance, sources: Sequence[int], query_nodes: Sequence[int]
+) -> List[float]:
+    from ..network.dijkstra import multi_source_costs
+
+    dist = multi_source_costs(instance.network, list(sources))
+    return [dist[q] for q in query_nodes]
+
+
+def _pairwise_distances(
+    instance: BRRInstance, universe: Sequence[int]
+) -> Dict[Tuple[int, int], float]:
+    result: Dict[Tuple[int, int], float] = {}
+    for stop in universe:
+        costs = shortest_path_costs(instance.network, stop)
+        for other in universe:
+            result[(stop, other)] = costs[other]
+    return result
+
+
+def _c_connectable(
+    stops: Sequence[int],
+    pair_dist: Dict[Tuple[int, int], float],
+    max_cost: float,
+) -> bool:
+    """Whether the ``dist <= C`` graph on ``stops`` is connected."""
+    if len(stops) <= 1:
+        return True
+    remaining = set(stops)
+    frontier = [stops[0]]
+    remaining.discard(stops[0])
+    while frontier:
+        u = frontier.pop()
+        reached = [v for v in remaining if pair_dist[(u, v)] <= max_cost + 1e-9]
+        for v in reached:
+            remaining.discard(v)
+            frontier.append(v)
+    return not remaining

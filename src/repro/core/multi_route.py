@@ -1,0 +1,138 @@
+"""Sequential multi-route planning.
+
+The paper plans one route; cities roll out service in programs of
+several.  Because the utility is monotone submodular in the *stop* set,
+the natural program-level strategy is the greedy one the paper's
+single-route algorithm already embodies: plan a route with EBRR,
+**incorporate it into the transit network**, rebuild the instance (the
+demand it satisfied no longer drives `Walk`, and its stops now offer
+transfers), and repeat.
+
+Each round therefore automatically chases the demand the previous
+rounds left uncovered — the behaviour planners expect of a phased
+network expansion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..demand.query import QuerySet
+from ..exceptions import ConfigurationError, InfeasibleRouteError
+from ..transit.network import TransitNetwork
+from ..transit.route import BusRoute
+from .config import EBRRConfig
+from .ebrr import plan_route
+from .result import EBRRResult
+from .utility import BRRInstance
+
+
+@dataclass
+class MultiRouteResult:
+    """A phased expansion program.
+
+    Attributes:
+        routes: the planned routes, in planning order.
+        per_route: the full :class:`EBRRResult` of each round.
+        final_transit: the transit network with every new route added.
+        total_walk_decrease: ``Walk(S_existing) − Walk(after all
+            routes)`` against the *original* network.
+        total_elapsed_s: wall-clock seconds over all rounds.
+    """
+
+    routes: List[BusRoute] = field(default_factory=list)
+    per_route: List[EBRRResult] = field(default_factory=list)
+    final_transit: Optional[TransitNetwork] = None
+    total_walk_decrease: float = 0.0
+    total_elapsed_s: float = 0.0
+
+    @property
+    def num_routes(self) -> int:
+        return len(self.routes)
+
+
+def plan_routes(
+    transit: TransitNetwork,
+    queries: QuerySet,
+    config: EBRRConfig,
+    num_routes: int,
+    *,
+    candidates: Optional[Sequence[int]] = None,
+    min_marginal_utility: float = 0.0,
+    route_id_prefix: str = "ebrr",
+) -> MultiRouteResult:
+    """Plan ``num_routes`` routes sequentially (see module docstring).
+
+    Args:
+        transit: the existing transit network.
+        queries: the demand multiset (shared by every round).
+        config: per-route parameters (same ``K``, ``C``, ``α`` each
+            round, like a uniform service standard).
+        num_routes: how many routes to plan.
+        candidates: explicit ``S_new`` for the *first* round; later
+            rounds drop the stops already used by new routes.  ``None``
+            uses all non-stop nodes each round.
+        min_marginal_utility: stop early when a round's route adds less
+            utility than this (0 keeps all rounds).
+        route_id_prefix: routes are named ``<prefix>_0``, ``<prefix>_1``...
+
+    Raises:
+        ConfigurationError: if ``num_routes < 1``.
+    """
+    if num_routes < 1:
+        raise ConfigurationError(f"num_routes must be >= 1, got {num_routes}")
+    start = time.perf_counter()
+    result = MultiRouteResult()
+    current_transit = transit
+    current_candidates = list(candidates) if candidates is not None else None
+    baseline_instance = BRRInstance(
+        transit, queries, candidates=candidates, alpha=config.alpha
+    )
+    original_walk = baseline_instance.baseline_walk()
+
+    for round_index in range(num_routes):
+        instance = BRRInstance(
+            current_transit,
+            queries,
+            candidates=current_candidates,
+            alpha=config.alpha,
+        )
+        try:
+            round_result = plan_route(
+                instance, config, route_id=f"{route_id_prefix}_{round_index}"
+            )
+        except InfeasibleRouteError:
+            break
+        if (
+            round_index > 0
+            and round_result.metrics.utility <= min_marginal_utility
+        ):
+            break
+        result.routes.append(round_result.route)
+        result.per_route.append(round_result)
+        current_transit = current_transit.with_route(round_result.route)
+        if current_candidates is not None:
+            used = set(round_result.route.stops)
+            current_candidates = [v for v in current_candidates if v not in used]
+            if not current_candidates:
+                break
+
+    result.final_transit = current_transit
+    if result.routes:
+        final_instance = BRRInstance(
+            transit,
+            queries,
+            candidates=candidates,
+            alpha=config.alpha,
+        )
+        new_stops = [
+            s
+            for route in result.routes
+            for s in route.stops
+            if final_instance.is_candidate[s]
+        ]
+        result.total_walk_decrease = final_instance.walk_decrease(set(new_stops))
+    result.total_elapsed_s = time.perf_counter() - start
+    return result

@@ -1,0 +1,244 @@
+"""Post-processing local search (the paper's future-work direction).
+
+The conclusion of the paper: *"one may study the post-processing
+solutions when considering our results as the first-stage output."*
+This module implements that second stage: a constraint-preserving local
+search that takes any feasible route (EBRR's, or a baseline's) and
+improves its utility with two move types, applied to a fixed point:
+
+* **substitution** — replace one stop with a nearby unused candidate or
+  existing stop when that raises the utility and both adjacent legs
+  stay within ``C``;
+* **terminal relocation** — drop the weaker terminal stop and regrow
+  the freed slot at whichever end offers the best marginal gain (the
+  classic "shake the ends" move for path-shaped solutions).
+
+Every accepted move strictly increases the exact utility, so the search
+terminates; ``max_rounds`` caps the work regardless.  The result is
+returned as a new route plus the full road path rebuilt leg by leg.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import ConfigurationError
+from ..network.dijkstra import distance_between, shortest_path
+from ..transit.route import BusRoute
+from .config import EBRRConfig
+from .ebrr import evaluate_route
+from .result import RouteMetrics
+from .utility import BRRInstance
+
+_EPSILON = 1e-9
+
+
+@dataclass
+class PostprocessResult:
+    """Outcome of the local search.
+
+    Attributes:
+        route: the improved (or original) route.
+        metrics: exact metrics of ``route``.
+        initial_utility: utility before the search.
+        moves_applied: accepted improving moves.
+        rounds: full passes performed.
+        elapsed_s: wall-clock seconds spent.
+    """
+
+    route: BusRoute
+    metrics: RouteMetrics
+    initial_utility: float
+    moves_applied: int
+    rounds: int
+    elapsed_s: float
+
+    @property
+    def improvement(self) -> float:
+        """Absolute utility gain over the first-stage route."""
+        return self.metrics.utility - self.initial_utility
+
+
+def postprocess_route(
+    instance: BRRInstance,
+    route: BusRoute,
+    config: EBRRConfig,
+    *,
+    max_rounds: int = 3,
+    neighborhood_cost: Optional[float] = None,
+) -> PostprocessResult:
+    """Improve a route by constraint-preserving local search.
+
+    Args:
+        instance: the BRR instance the route is evaluated on.
+        route: the first-stage route (must be a valid road route; it
+            need not be feasible — an infeasible leg simply never gets
+            *worse*, substitutions are only accepted when both adjacent
+            legs end up within ``C``).
+        config: supplies ``K``, ``C``, and ``alpha``.
+        max_rounds: maximum full improvement passes.
+        neighborhood_cost: search radius for substitute stops; defaults
+            to ``C / 2``.
+
+    Returns:
+        A :class:`PostprocessResult`; ``route`` is the input object when
+        no move improved it.
+    """
+    if max_rounds < 1:
+        raise ConfigurationError("max_rounds must be >= 1")
+    radius = neighborhood_cost if neighborhood_cost is not None else config.max_adjacent_cost / 2.0
+    if radius <= 0:
+        raise ConfigurationError("neighborhood_cost must be positive")
+
+    start = time.perf_counter()
+    search = _LocalSearch(instance, config, radius)
+    stops = list(route.stops)
+    initial_utility = instance.utility(stops)
+
+    moves = 0
+    rounds = 0
+    for _ in range(max_rounds):
+        rounds += 1
+        improved = search.one_round(stops)
+        moves += improved
+        if improved == 0:
+            break
+
+    if moves == 0:
+        metrics = evaluate_route(instance, route)
+        return PostprocessResult(
+            route=route,
+            metrics=metrics,
+            initial_utility=initial_utility,
+            moves_applied=0,
+            rounds=rounds,
+            elapsed_s=time.perf_counter() - start,
+        )
+
+    new_route = _rebuild_route(instance, route.route_id + "+post", stops)
+    metrics = evaluate_route(instance, new_route)
+    return PostprocessResult(
+        route=new_route,
+        metrics=metrics,
+        initial_utility=initial_utility,
+        moves_applied=moves,
+        rounds=rounds,
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+class _LocalSearch:
+    """One-pass move applier over a mutable stop list."""
+
+    def __init__(
+        self, instance: BRRInstance, config: EBRRConfig, radius: float
+    ) -> None:
+        self._instance = instance
+        self._config = config
+        self._radius = radius
+        self._leg_cache: Dict[Tuple[int, int], float] = {}
+
+    # -- helpers ---------------------------------------------------------
+
+    def _leg(self, a: int, b: int) -> float:
+        key = (a, b) if a < b else (b, a)
+        if key not in self._leg_cache:
+            self._leg_cache[key] = distance_between(self._instance.network, a, b)
+        return self._leg_cache[key]
+
+    def _neighbors_of(self, stop: int) -> List[int]:
+        """Eligible stop locations within the search radius of ``stop``."""
+        instance = self._instance
+        dist: Dict[int, float] = {stop: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, stop)]
+        found: List[int] = []
+        settled: Set[int] = set()
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            if u != stop and (instance.is_candidate[u] or instance.is_existing[u]):
+                found.append(u)
+            for v, cost in instance.network.neighbors(u):
+                nd = d + cost
+                if nd <= self._radius + _EPSILON and nd < dist.get(v, math.inf):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return found
+
+    def _legs_ok(self, stops: Sequence[int], index: int, replacement: int) -> bool:
+        c = self._config.max_adjacent_cost
+        if index > 0 and self._leg(stops[index - 1], replacement) > c + _EPSILON:
+            return False
+        if (
+            index < len(stops) - 1
+            and self._leg(replacement, stops[index + 1]) > c + _EPSILON
+        ):
+            return False
+        return True
+
+    # -- moves -----------------------------------------------------------
+
+    def one_round(self, stops: List[int]) -> int:
+        """Apply first-improvement substitution at every position, then
+        one terminal relocation attempt.  Returns accepted move count."""
+        applied = 0
+        current_utility = self._instance.utility(stops)
+        for index in range(len(stops)):
+            best: Optional[Tuple[float, int]] = None
+            in_route = set(stops)
+            for candidate in self._neighbors_of(stops[index]):
+                if candidate in in_route:
+                    continue
+                if not self._legs_ok(stops, index, candidate):
+                    continue
+                trial = stops[:index] + [candidate] + stops[index + 1:]
+                utility = self._instance.utility(trial)
+                if utility > current_utility + _EPSILON and (
+                    best is None or utility > best[0]
+                ):
+                    best = (utility, candidate)
+            if best is not None:
+                stops[index] = best[1]
+                current_utility = best[0]
+                applied += 1
+        applied += self._relocate_terminal(stops, current_utility)
+        return applied
+
+    def _relocate_terminal(self, stops: List[int], current_utility: float) -> int:
+        """Try dropping each terminal and regrowing at the other end."""
+        if len(stops) < 3:
+            return 0
+        c = self._config.max_adjacent_cost
+        for drop_head in (True, False):
+            trimmed = stops[1:] if drop_head else stops[:-1]
+            grow_end = trimmed[-1] if drop_head else trimmed[0]
+            in_route = set(trimmed)
+            for candidate in self._neighbors_of(grow_end):
+                if candidate in in_route:
+                    continue
+                if self._leg(grow_end, candidate) > c + _EPSILON:
+                    continue
+                trial = (
+                    trimmed + [candidate] if drop_head else [candidate] + trimmed
+                )
+                if self._instance.utility(trial) > current_utility + _EPSILON:
+                    stops[:] = trial
+                    return 1
+        return 0
+
+
+def _rebuild_route(
+    instance: BRRInstance, route_id: str, stops: Sequence[int]
+) -> BusRoute:
+    """Stitch the full road path through the (possibly moved) stops."""
+    path: List[int] = [stops[0]]
+    for a, b in zip(stops, stops[1:]):
+        leg, _ = shortest_path(instance.network, a, b)
+        path.extend(leg[1:])
+    return BusRoute(route_id, list(stops), path)

@@ -1,0 +1,107 @@
+"""Query preprocessing — Algorithm 2 of the paper.
+
+One truncated Dijkstra per *distinct* query node: the search settles
+outward until it reaches the first existing stop ``nn(q)`` (the nearest
+one, by the Dijkstra property) and records every candidate stop settled
+on the way together with its distance.  Those candidates are exactly
+the stops whose selection would reduce this query's walking cost, i.e.
+the query belongs to their reverse-nearest-neighbour sets ``RNN(v)``.
+
+The output powers the whole selection phase:
+
+* initial utilities ``U(v)`` for all stops (line 1 of Algorithm 1);
+* exact marginal walking gains during selection —
+  ``ΔWalk_B(v) = Σ_{(q,d) ∈ RNN(v)} count(q) · max(d_cur(q) − d, 0)``
+  where ``d_cur(q)`` is the query's current nearest-stop distance.
+  A query outside ``RNN(v)`` satisfies ``dist(q, v) ≥ dist(q, nn(q)) ≥
+  d_cur(q)`` and can never gain, so the sum is exact, not a bound.
+
+Query multiplicities are honoured by weighting each distinct node with
+its count in the multiset ``Q``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..network.dijkstra import query_preprocessing_search
+from .utility import BRRInstance
+
+
+@dataclass
+class PreprocessResult:
+    """Output of Algorithm 2.
+
+    Attributes:
+        nn_distance: for each distinct query node, its distance to the
+            nearest *existing* stop ``dist(q, nn(q))``.
+        rnn: for each candidate stop ``v``, the list of
+            ``(query_node, dist(q, v))`` pairs with the query in
+            ``RNN(v)`` — settled before ``nn(q)`` in the search.
+        initial_utility: ``U({v})`` for every stop in
+            ``S_new ∪ S_existing`` (walking gain for candidates,
+            ``α · |routes(v)|`` for existing stops).
+        searches: number of Dijkstra searches performed (=
+            distinct query nodes), for the efficiency accounting.
+        settled_nodes: total nodes settled over all searches (the
+            ``|Q| · T1`` term of Theorem 5).
+    """
+
+    nn_distance: Dict[int, float] = field(default_factory=dict)
+    rnn: Dict[int, List[Tuple[int, float]]] = field(default_factory=dict)
+    initial_utility: Dict[int, float] = field(default_factory=dict)
+    searches: int = 0
+    settled_nodes: int = 0
+
+    def utility_order(self) -> List[Tuple[float, int]]:
+        """``(U(v), v)`` pairs in decreasing utility order — the queue
+        Algorithm 2 returns (ties broken by node id for determinism)."""
+        return sorted(
+            ((u, v) for v, u in self.initial_utility.items()),
+            key=lambda item: (-item[0], item[1]),
+        )
+
+
+def preprocess_queries(instance: BRRInstance) -> PreprocessResult:
+    """Run Algorithm 2 on ``instance``.
+
+    Returns:
+        A :class:`PreprocessResult`; see its attribute docs.
+
+    Raises:
+        GraphError: if some query node cannot reach any existing stop
+            (the instance is malformed — Definition 5 needs ``nn(q)``).
+    """
+    result = PreprocessResult()
+    network = instance.network
+    is_existing = instance.is_existing
+    is_candidate = instance.is_candidate
+    counts = instance.query_counts
+
+    # Lines 1-10: one early-terminated Dijkstra per distinct query node.
+    for query_node in counts:
+        nn_stop, nn_dist, visited = query_preprocessing_search(
+            network, query_node, is_existing, is_candidate
+        )
+        result.nn_distance[query_node] = nn_dist
+        result.searches += 1
+        result.settled_nodes += len(visited) + 1
+        for candidate, dist in visited:
+            result.rnn.setdefault(candidate, []).append((query_node, dist))
+
+    # Lines 11-14: initial utilities of candidate stops.
+    for candidate, entries in result.rnn.items():
+        gain = 0.0
+        for query_node, dist in entries:
+            gain += counts[query_node] * (result.nn_distance[query_node] - dist)
+        result.initial_utility[candidate] = gain
+    # Candidates never visited by any search have zero walking gain.
+    for candidate in instance.candidates:
+        result.initial_utility.setdefault(candidate, 0.0)
+
+    # Lines 15-16: initial utilities of existing stops.
+    for stop in instance.existing_stops:
+        result.initial_utility[stop] = instance.alpha * instance.transit.degree(stop)
+
+    return result

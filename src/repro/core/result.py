@@ -1,0 +1,72 @@
+"""Result records for BRR solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..transit.route import BusRoute
+from .config import EBRRConfig
+from .selection import SelectionTrace
+
+
+@dataclass
+class RouteMetrics:
+    """Exact quality metrics of a planned route (Definition 9 terms).
+
+    Attributes:
+        utility: ``U(B)`` of Equation 1.
+        walk_cost: ``Walk(S_existing ∪ B)`` — the paper's Figs. 7 and 9
+            report this (lower is better).
+        walk_decrease: ``Walk(S_existing) − Walk(S_existing ∪ B)``.
+        connectivity: ``Connect(B)`` (Figs. 8 and 10; higher is better).
+        num_stops: ``|B|``.
+        route_length: total road cost of the route path, in cost units.
+    """
+
+    utility: float
+    walk_cost: float
+    walk_decrease: float
+    connectivity: int
+    num_stops: int
+    route_length: float
+
+
+@dataclass
+class EBRRResult:
+    """Everything one EBRR run produced.
+
+    Attributes:
+        route: the new bus route ``r* = (B_r*, π_r*)``.
+        metrics: exact quality metrics of ``B_r*``.
+        trace: the greedy selection trace (profitable stops, prices,
+            evaluation counts).
+        timings: seconds per phase — keys ``preprocess``, ``selection``,
+            ``ordering``, ``refinement``, ``total``.
+        config: the configuration used.
+        constraint_violations: human-readable descriptions of any
+            violated Definition 8 constraint (empty when the route is
+            fully feasible; the no-refinement ablation may violate C).
+    """
+
+    route: BusRoute
+    metrics: RouteMetrics
+    trace: SelectionTrace
+    timings: Dict[str, float]
+    config: EBRRConfig
+    constraint_violations: List[str] = field(default_factory=list)
+
+    @property
+    def is_feasible(self) -> bool:
+        """Whether the route satisfies both Definition 8 constraints."""
+        return not self.constraint_violations
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"route with {self.metrics.num_stops} stops, "
+            f"utility={self.metrics.utility:.2f}, "
+            f"walk_cost={self.metrics.walk_cost:.2f}, "
+            f"connectivity={self.metrics.connectivity}, "
+            f"time={self.timings.get('total', 0.0):.3f}s"
+        )

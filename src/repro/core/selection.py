@@ -1,0 +1,295 @@
+"""Stop selection — Algorithm 3 (with Claims 1 and 2) of the paper.
+
+Each iteration finds the most *profitable* stop: the one maximizing
+``ΔU_B(v) / p(v, B)``.  Three acceleration layers, individually
+switchable for the ablation study:
+
+* **threshold pruning** (Claim 1): evaluate the true ratio of the
+  highest-initial-utility stop; every stop whose initial utility falls
+  below that ratio can never win and is never inserted in the queue;
+* **lazy selection** (Claim 2): the queue is ordered by the upper bound
+  ``U(v) / lbp(v)``; popping an already-evaluated (true-ratio) entry
+  proves it is the argmax because every remaining upper bound is below
+  it;
+* **lower-bound price** (Algorithm 4): the upper bound's denominator is
+  the amortized Euclidean bound instead of the true network price.
+
+Marginal gains come from the preprocessing RNN sets (exact — see
+:mod:`repro.core.preprocess`), marginal connectivity from the transit
+bitmasks, and the true price from the incrementally maintained
+nearest-distance-to-``B`` array; so a "function evaluation" here is
+cheap, but the *number* of evaluations is still the ablation metric and
+is counted in the trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError, InfeasibleRouteError
+from ..network.dijkstra import IncrementalNearestDistance
+from .config import EBRRConfig
+from .preprocess import PreprocessResult
+from .price import LowerBoundPrice, price_from_distance
+from .utility import BRRInstance
+
+
+@dataclass
+class SelectionTrace:
+    """Everything the selection loop decided, for analysis and tests.
+
+    Attributes:
+        selected: the profitable stops ``v(0), v(1), ...`` in selection
+            order (``B(i)`` as an ordered list).
+        prices: ``p(v(j), B(j-1))`` per iteration, aligned with
+            ``selected[1:]`` (``v(0)`` is free — the budget sum of
+            Algorithm 1 starts at ``j = 1``).
+        gains: the marginal utility ``ΔU`` of each selected stop,
+            aligned with ``selected`` (entry 0 is ``U(v(0))``).
+        evaluations: number of true function evaluations performed —
+            the quantity the filtered queue exists to minimize.
+        queue_inserts: total entries pushed into the RQueue.
+    """
+
+    selected: List[int] = field(default_factory=list)
+    prices: List[int] = field(default_factory=list)
+    gains: List[float] = field(default_factory=list)
+    evaluations: int = 0
+    queue_inserts: int = 0
+
+    @property
+    def total_price(self) -> int:
+        """``Σ_j p(v(j), B(j-1))`` — checked against ``2K/3``."""
+        return sum(self.prices)
+
+    @property
+    def total_gain(self) -> float:
+        """Sum of marginal gains = ``U(B(i))`` by telescoping."""
+        return sum(self.gains)
+
+
+class SelectionState:
+    """Mutable incremental state of the greedy selection.
+
+    Maintains, as stops join ``B``:
+
+    * ``current_nn[q]`` — each distinct query node's distance to its
+      nearest stop in ``S_existing ∪ B`` (starts at ``dist(q, nn(q))``);
+    * ``covered_mask`` — the union route bitmask of ``B`` for O(1)
+      marginal connectivity;
+    * ``dist_to_b`` — network distance from every node to ``B``
+      (incremental pruned Dijkstra), feeding the true price;
+    * the Algorithm 4 lower-bound price structure.
+    """
+
+    def __init__(
+        self,
+        instance: BRRInstance,
+        preprocess: PreprocessResult,
+        config: EBRRConfig,
+    ) -> None:
+        self.instance = instance
+        self.preprocess = preprocess
+        self.config = config
+        self.current_nn: Dict[int, float] = dict(preprocess.nn_distance)
+        self.covered_mask: int = 0
+        self.selected: List[int] = []
+        self.selected_set: set = set()
+        self.dist_to_b = IncrementalNearestDistance(instance.network)
+        self.lower_bound = LowerBoundPrice(
+            instance.network.coordinates(), config.max_adjacent_cost
+        )
+
+    # -- true function evaluations -------------------------------------
+
+    def marginal_gain(self, stop: int) -> float:
+        """``ΔU_B(stop)`` — exact, via RNN sets / route bitmasks."""
+        instance = self.instance
+        if instance.is_existing[stop]:
+            return instance.alpha * instance.transit.marginal_connectivity(
+                stop, self.covered_mask
+            )
+        gain = 0.0
+        counts = instance.query_counts
+        current = self.current_nn
+        for query_node, dist in self.preprocess.rnn.get(stop, ()):  # type: ignore[arg-type]
+            cur = current[query_node]
+            if cur > dist:
+                gain += counts[query_node] * (cur - dist)
+        return gain
+
+    def true_price(self, stop: int) -> int:
+        """``p(stop, B)`` from the maintained network distance to B."""
+        distance = self.dist_to_b.distance[stop]
+        if not math.isfinite(distance):
+            raise InfeasibleRouteError(
+                f"stop {stop} cannot reach the selected set — disconnected network"
+            )
+        return price_from_distance(distance, self.config.max_adjacent_cost)
+
+    # -- mutation --------------------------------------------------------
+
+    def select(self, stop: int) -> None:
+        """Commit ``stop`` to ``B`` and update all incremental state."""
+        if stop in self.selected_set:
+            raise ConfigurationError(f"stop {stop} already selected")
+        instance = self.instance
+        if instance.is_existing[stop]:
+            self.covered_mask |= instance.transit.route_mask(stop)
+        else:
+            counts_entries = self.preprocess.rnn.get(stop, ())
+            for query_node, dist in counts_entries:
+                if dist < self.current_nn[query_node]:
+                    self.current_nn[query_node] = dist
+        self.selected.append(stop)
+        self.selected_set.add(stop)
+        self.dist_to_b.add_source(stop)
+        self.lower_bound.add_selected(stop)
+
+
+def run_selection(
+    instance: BRRInstance,
+    preprocess: PreprocessResult,
+    config: EBRRConfig,
+) -> SelectionTrace:
+    """Lines 2-7 of Algorithm 1: iteratively select profitable stops
+    until the accumulated price reaches the ``2K/3`` budget.
+
+    Returns:
+        The full :class:`SelectionTrace`.
+
+    Raises:
+        InfeasibleRouteError: if no stop can be selected at all.
+    """
+    trace = SelectionTrace()
+    state = SelectionState(instance, preprocess, config)
+    utility_order = preprocess.utility_order()
+    if not utility_order:
+        raise InfeasibleRouteError("no candidate or existing stops to select from")
+
+    seed = config.seed_stop if config.seed_stop is not None else utility_order[0][1]
+    if not (instance.is_candidate[seed] or instance.is_existing[seed]):
+        raise ConfigurationError(f"seed stop {seed} is not a valid stop location")
+    trace.gains.append(state.marginal_gain(seed))
+    state.select(seed)
+    trace.selected.append(seed)
+
+    budget = config.price_budget
+    while trace.total_price < budget:
+        picked = _pick_most_profitable(state, utility_order, config, trace)
+        if picked is None:
+            break  # every remaining stop exhausted (tiny instances)
+        stop, gain, price = picked
+        trace.gains.append(gain)
+        trace.prices.append(price)
+        state.select(stop)
+        trace.selected.append(stop)
+    return trace
+
+
+def _pick_most_profitable(
+    state: SelectionState,
+    utility_order: Sequence[Tuple[float, int]],
+    config: EBRRConfig,
+    trace: SelectionTrace,
+) -> Optional[Tuple[int, float, int]]:
+    """One iteration of Algorithm 3: the stop maximizing ``ΔU/p``.
+
+    Returns ``(stop, ΔU, price)`` or ``None`` if nothing remains.
+    """
+    if config.use_lazy_selection:
+        return _pick_lazy(state, utility_order, config, trace)
+    return _pick_exhaustive(state, utility_order, config, trace)
+
+
+def _pick_exhaustive(
+    state: SelectionState,
+    utility_order: Sequence[Tuple[float, int]],
+    config: EBRRConfig,
+    trace: SelectionTrace,
+) -> Optional[Tuple[int, float, int]]:
+    """The "vanilla" variant: evaluate every remaining stop.
+
+    Threshold pruning (if enabled) still applies: stops whose initial
+    utility is below the first stop's true ratio are skipped.
+    """
+    best: Optional[Tuple[float, int, float, int]] = None
+    threshold = -math.inf
+    for initial_utility, stop in utility_order:
+        if stop in state.selected_set:
+            continue
+        if config.use_threshold_pruning and initial_utility < threshold:
+            break  # utility_order is descending: everything below prunes
+        gain = state.marginal_gain(stop)
+        price = state.true_price(stop)
+        trace.evaluations += 1
+        ratio = gain / price
+        if config.use_threshold_pruning and ratio > threshold:
+            threshold = ratio
+        if best is None or ratio > best[0] or (ratio == best[0] and stop < best[1]):
+            best = (ratio, stop, gain, price)
+    if best is None:
+        return None
+    return best[1], best[2], best[3]
+
+
+def _pick_lazy(
+    state: SelectionState,
+    utility_order: Sequence[Tuple[float, int]],
+    config: EBRRConfig,
+    trace: SelectionTrace,
+) -> Optional[Tuple[int, float, int]]:
+    """The filtered queue: threshold pruning + lazy upper bounds.
+
+    Heap entries are ``(-priority, tiebreak, stop, gain, price)`` where
+    ``gain/price`` is ``None`` for upper-bound entries and the true
+    evaluation for re-inserted ones.  Popping a true entry proves it is
+    the argmax (Claim 2): every remaining entry's priority — an upper
+    bound of its true ratio — is no larger.
+    """
+    # Line 1: the threshold from the first unselected stop's true ratio.
+    first = next(
+        (stop for _, stop in utility_order if stop not in state.selected_set), None
+    )
+    if first is None:
+        return None
+    first_gain = state.marginal_gain(first)
+    first_price = state.true_price(first)
+    trace.evaluations += 1
+    threshold = first_gain / first_price
+
+    counter = itertools.count()
+    heap: List[Tuple[float, int, int, Optional[float], Optional[int]]] = [
+        (-threshold, next(counter), first, first_gain, first_price)
+    ]
+    trace.queue_inserts += 1
+
+    # Lines 3-6: build the RQueue from the initial-utility order.
+    for initial_utility, stop in utility_order:
+        if stop == first or stop in state.selected_set:
+            continue
+        if config.use_threshold_pruning and initial_utility < threshold:
+            break
+        if config.use_lower_bound_price:
+            denominator: float = state.lower_bound.value(stop)
+        else:
+            denominator = float(state.true_price(stop))
+        priority = initial_utility / denominator if denominator > 0 else math.inf
+        heapq.heappush(heap, (-priority, next(counter), stop, None, None))
+        trace.queue_inserts += 1
+
+    # Lines 7-12: lazy evaluation.
+    while heap:
+        neg_priority, _, stop, gain, price = heapq.heappop(heap)
+        if gain is not None and price is not None:
+            return stop, gain, price
+        true_gain = state.marginal_gain(stop)
+        true_price = state.true_price(stop)
+        trace.evaluations += 1
+        ratio = true_gain / true_price
+        heapq.heappush(heap, (-ratio, next(counter), stop, true_gain, true_price))
+    return None

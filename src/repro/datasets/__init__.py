@@ -1,0 +1,19 @@
+"""Synthetic datasets standing in for the paper's Chicago / NYC /
+Orlando data, the small OPT-comparison extract, and a cached registry."""
+
+from .cities import PAPER_SIZES, CityDataset, chicago, nyc, orlando
+from .registry import available_cities, clear_cache, load_city
+from .small import SmallExtract, small_nyc_extract
+
+__all__ = [
+    "CityDataset",
+    "chicago",
+    "nyc",
+    "orlando",
+    "PAPER_SIZES",
+    "load_city",
+    "available_cities",
+    "clear_cache",
+    "SmallExtract",
+    "small_nyc_extract",
+]

@@ -1,0 +1,57 @@
+"""Dataset registry with caching.
+
+Experiments and benchmarks request datasets by name; identical
+``(name, scale, seed)`` requests return the *same object*, so the
+planners' per-instance caches (ETA-Pre's trajectory preprocessing,
+EBRR's query preprocessing reuse) stay effective across a sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+from .cities import CityDataset, chicago, nyc, orlando
+
+_BUILDERS: Dict[str, Callable[..., CityDataset]] = {
+    "chicago": chicago,
+    "nyc": nyc,
+    "orlando": orlando,
+}
+
+_CACHE: Dict[Tuple[str, float, Optional[int]], CityDataset] = {}
+
+
+def available_cities() -> Tuple[str, ...]:
+    """Names accepted by :func:`load_city`."""
+    return tuple(sorted(_BUILDERS))
+
+
+def load_city(
+    name: str, *, scale: float = 0.15, seed: Optional[int] = None
+) -> CityDataset:
+    """Load (and cache) a synthetic city dataset.
+
+    Args:
+        name: ``chicago`` / ``nyc`` / ``orlando`` (case-insensitive).
+        scale: linear scale versus the paper's sizes.
+        seed: override the city's default seed.
+
+    Raises:
+        ConfigurationError: for an unknown city name.
+    """
+    key_name = name.lower()
+    if key_name not in _BUILDERS:
+        raise ConfigurationError(
+            f"unknown city {name!r}; available: {', '.join(available_cities())}"
+        )
+    cache_key = (key_name, scale, seed)
+    if cache_key not in _CACHE:
+        builder = _BUILDERS[key_name]
+        _CACHE[cache_key] = builder(scale, seed=seed) if seed is not None else builder(scale)
+    return _CACHE[cache_key]
+
+
+def clear_cache() -> None:
+    """Drop all cached datasets (tests use this for isolation)."""
+    _CACHE.clear()

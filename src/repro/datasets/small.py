@@ -1,0 +1,143 @@
+"""The small NYC extract used for the OPT comparison (Fig. 11a).
+
+The paper: "From the NYC data, we extract a small graph with 110 nodes
+and 324 edges, 132 query nodes, 7 new and 7 existing stops."  This
+builder reproduces those exact counts on a synthetic borough-style
+patch.  ``S_new`` is an *explicit* 7-element candidate set here (unlike
+the full instances, where every non-stop node is a candidate), so the
+exhaustive OPT enumerates subsets of just 14 stops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.utility import BRRInstance
+from ..demand.query import QuerySet
+from ..exceptions import ConfigurationError
+from ..network.generators import grid_city
+from ..network.graph import RoadNetwork
+from ..transit.builder import build_transit_network, place_stops_along_path
+from ..transit.network import TransitNetwork
+from ..transit.route import BusRoute
+from ..network.dijkstra import shortest_path
+
+
+@dataclass
+class SmallExtract:
+    """The OPT-comparison instance bundle.
+
+    Attributes:
+        network: ~110-node road patch.
+        transit: routes giving exactly 7 existing stops.
+        queries: 132 query nodes.
+        candidates: the explicit 7-element ``S_new``.
+    """
+
+    network: RoadNetwork
+    transit: TransitNetwork
+    queries: QuerySet
+    candidates: List[int]
+
+    def instance(self, alpha: float = 1.0) -> BRRInstance:
+        """A BRR instance with the explicit candidate set."""
+        return BRRInstance(
+            self.transit, self.queries, candidates=self.candidates, alpha=alpha
+        )
+
+
+def small_nyc_extract(
+    *,
+    num_existing: int = 7,
+    num_candidates: int = 7,
+    num_query_nodes: int = 132,
+    seed: int = 3,
+) -> SmallExtract:
+    """Build the Fig. 11a extract (defaults match the paper's counts).
+
+    Raises:
+        ConfigurationError: if the parameters cannot be satisfied.
+    """
+    if num_existing < 2:
+        raise ConfigurationError("need at least 2 existing stops for routes")
+    rng = np.random.default_rng(seed)
+    network = grid_city(rows=11, cols=10, block_km=0.3, jitter=0.1,
+                        removal_fraction=0.0, diagonal_fraction=0.15, seed=seed)
+
+    transit = _transit_with_exact_stops(network, num_existing, rng)
+    existing = set(transit.existing_stops)
+
+    # Candidates: spread over non-stop nodes, biased away from stops so
+    # they carry real walking gains.
+    non_stops = [v for v in network.nodes() if v not in existing]
+    picks = rng.choice(len(non_stops), size=num_candidates, replace=False)
+    candidates = sorted(int(non_stops[int(i)]) for i in picks)
+
+    query_nodes = [
+        int(rng.integers(0, network.num_nodes)) for _ in range(num_query_nodes)
+    ]
+    queries = QuerySet(network, query_nodes, name="small-NYC")
+    return SmallExtract(network, transit, queries, candidates)
+
+
+def _transit_with_exact_stops(
+    network: RoadNetwork, num_existing: int, rng: np.random.Generator
+) -> TransitNetwork:
+    """Two or three routes whose union has exactly ``num_existing``
+    stops, with at least one shared stop (so connectivity is a real
+    coverage function, not a count)."""
+    for attempt in range(50):
+        hub = int(rng.integers(0, network.num_nodes))
+        ends = rng.choice(network.num_nodes, size=3, replace=False)
+        routes: List[BusRoute] = []
+        all_stops: List[int] = []
+        for i, end in enumerate(int(e) for e in ends):
+            if end == hub:
+                continue
+            path, cost = shortest_path(network, hub, end)
+            if len(path) < 3:
+                continue
+            stops = place_stops_along_path(network, path, spacing_km=1.0)
+            routes.append(BusRoute(f"small_{i}", stops, path))
+            all_stops.extend(stops)
+        distinct = sorted(set(all_stops))
+        if len(distinct) == num_existing and len(routes) >= 2:
+            return TransitNetwork(network, routes)
+        # Retry with a different geometry until the count is exact.
+    # Fallback: trim/pad one route's stops deterministically.
+    return _force_stop_count(network, num_existing, rng)
+
+
+def _force_stop_count(
+    network: RoadNetwork, num_existing: int, rng: np.random.Generator
+) -> TransitNetwork:
+    """Deterministic fallback: lay one long path and cut exactly
+    ``num_existing`` stops from it, split across two routes sharing the
+    middle stop."""
+    corner_a, corner_b = 0, network.num_nodes - 1
+    path, _ = shortest_path(network, corner_a, corner_b)
+    if len(path) < num_existing:
+        raise ConfigurationError("network too small for the requested stop count")
+    indices = np.linspace(0, len(path) - 1, num_existing)
+    stops = []
+    for i in indices:
+        node = path[int(round(float(i)))]
+        if node not in stops:
+            stops.append(node)
+    while len(stops) < num_existing:
+        extra = next(v for v in path if v not in stops)
+        stops.append(extra)
+        stops.sort(key=path.index)
+    mid = len(stops) // 2
+    route_a_stops = stops[: mid + 1]
+    route_b_stops = stops[mid:]
+    path_a = path[: path.index(route_a_stops[-1]) + 1]
+    path_b = path[path.index(route_b_stops[0]):]
+    routes = [
+        BusRoute("small_a", route_a_stops, path_a),
+        BusRoute("small_b", route_b_stops, path_b),
+    ]
+    return TransitNetwork(network, routes)

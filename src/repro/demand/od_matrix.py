@@ -1,0 +1,162 @@
+"""Zone-to-zone origin/destination matrices.
+
+The paper's Orlando demand comes from Uber Movement, which publishes
+*zone-level* OD data, not raw points.  This module closes that gap:
+
+* :class:`ZoneGrid` — a uniform zoning of the network's extent, mapping
+  every node to a zone and back;
+* :class:`ODMatrix` — trip counts between zones, buildable from raw
+  queries (aggregation) or loaded from the kind of zone-pair rows Uber
+  Movement ships; and sampleable back into node-level
+  :class:`~repro.demand.query.TransitQuery` lists / ``Q`` multisets so
+  every planner runs on it unchanged.
+
+Aggregate → sample is the standard way to synthesize privacy-safe
+demand that preserves the zone-level structure.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DemandError
+from ..network.geometry import bounding_box
+from ..network.graph import RoadNetwork
+from .query import QuerySet, TransitQuery
+
+ZonePair = Tuple[int, int]
+
+
+class ZoneGrid:
+    """A uniform rectangular zoning of a road network.
+
+    Args:
+        network: the network to zone.
+        zone_km: zone side length (kilometres).
+    """
+
+    def __init__(self, network: RoadNetwork, zone_km: float = 2.0) -> None:
+        if zone_km <= 0:
+            raise DemandError(f"zone_km must be positive, got {zone_km}")
+        self._network = network
+        self._zone_km = zone_km
+        min_x, min_y, max_x, max_y = bounding_box(network.coordinates())
+        self._min_x, self._min_y = min_x, min_y
+        self._cols = max(1, int(math.ceil((max_x - min_x) / zone_km)))
+        self._rows = max(1, int(math.ceil((max_y - min_y) / zone_km)))
+        self._zone_of: List[int] = [
+            self._zone_for_point(*network.coordinate(v))
+            for v in network.nodes()
+        ]
+        members: Dict[int, List[int]] = {}
+        for node, zone in enumerate(self._zone_of):
+            members.setdefault(zone, []).append(node)
+        self._members = members
+
+    def _zone_for_point(self, x: float, y: float) -> int:
+        col = min(self._cols - 1, max(0, int((x - self._min_x) / self._zone_km)))
+        row = min(self._rows - 1, max(0, int((y - self._min_y) / self._zone_km)))
+        return row * self._cols + col
+
+    @property
+    def num_zones(self) -> int:
+        """Total grid cells (including empty ones)."""
+        return self._rows * self._cols
+
+    def zone_of(self, node: int) -> int:
+        """The zone containing ``node``."""
+        return self._zone_of[node]
+
+    def nodes_in(self, zone: int) -> List[int]:
+        """Road nodes inside ``zone`` (empty list for empty zones)."""
+        return list(self._members.get(zone, ()))
+
+    def populated_zones(self) -> List[int]:
+        """Zones containing at least one node, sorted."""
+        return sorted(self._members)
+
+
+class ODMatrix:
+    """Trip counts between zones of a :class:`ZoneGrid`.
+
+    Args:
+        grid: the zoning.
+        counts: mapping ``(origin_zone, destination_zone) -> trips``.
+    """
+
+    def __init__(self, grid: ZoneGrid, counts: Dict[ZonePair, float]) -> None:
+        self._grid = grid
+        self._counts: Dict[ZonePair, float] = {}
+        for (o, d), trips in counts.items():
+            if trips < 0:
+                raise DemandError(f"negative trip count for zones ({o}, {d})")
+            if not (0 <= o < grid.num_zones and 0 <= d < grid.num_zones):
+                raise DemandError(f"zone pair ({o}, {d}) outside the grid")
+            if trips > 0:
+                if not grid.nodes_in(o) or not grid.nodes_in(d):
+                    raise DemandError(
+                        f"zone pair ({o}, {d}) references an empty zone"
+                    )
+                self._counts[(o, d)] = float(trips)
+        if not self._counts:
+            raise DemandError("OD matrix has no positive entries")
+
+    @classmethod
+    def from_queries(
+        cls,
+        grid: ZoneGrid,
+        queries: Sequence[TransitQuery],
+    ) -> "ODMatrix":
+        """Aggregate raw OD queries to zone level."""
+        counts: Counter = Counter()
+        for q in queries:
+            counts[(grid.zone_of(q.origin), grid.zone_of(q.destination))] += 1
+        return cls(grid, dict(counts))
+
+    @property
+    def total_trips(self) -> float:
+        return sum(self._counts.values())
+
+    def trips(self, origin_zone: int, destination_zone: int) -> float:
+        """Trip count for one zone pair (0 if absent)."""
+        return self._counts.get((origin_zone, destination_zone), 0.0)
+
+    def pairs(self) -> List[Tuple[ZonePair, float]]:
+        """All positive entries, sorted by zone pair."""
+        return sorted(self._counts.items())
+
+    # ------------------------------------------------------------------
+    # Disaggregation
+    # ------------------------------------------------------------------
+
+    def sample_queries(self, num_queries: int, *, seed: int = 0) -> List[TransitQuery]:
+        """Sample node-level OD queries proportional to zone-pair trips,
+        with uniform node placement inside each zone."""
+        if num_queries < 1:
+            raise DemandError(f"num_queries must be >= 1, got {num_queries}")
+        rng = np.random.default_rng(seed)
+        pairs = list(self._counts)
+        weights = np.asarray([self._counts[p] for p in pairs], dtype=float)
+        weights /= weights.sum()
+        picks = rng.choice(len(pairs), size=num_queries, p=weights)
+        queries: List[TransitQuery] = []
+        for pick in picks:
+            o_zone, d_zone = pairs[int(pick)]
+            o_nodes = self._grid.nodes_in(o_zone)
+            d_nodes = self._grid.nodes_in(d_zone)
+            origin = o_nodes[int(rng.integers(0, len(o_nodes)))]
+            destination = d_nodes[int(rng.integers(0, len(d_nodes)))]
+            queries.append(TransitQuery(origin, destination))
+        return queries
+
+    def sample_query_set(
+        self, network: RoadNetwork, num_queries: int, *, seed: int = 0,
+        name: str = "od-matrix",
+    ) -> QuerySet:
+        """Sample straight into the multiset ``Q`` (both endpoints)."""
+        queries = self.sample_queries(num_queries, seed=seed)
+        return QuerySet.from_queries(network, queries, name=name)

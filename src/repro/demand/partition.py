@@ -1,0 +1,78 @@
+"""Spatial partitioning of query multisets.
+
+The "Effect of Q" experiments (Figs. 9, 10, 14) split a city's demand
+into sub-multisets: Chicago into four equal-size bands along the
+vertical direction, NYC into its four boroughs.  Both splits are
+reproduced here:
+
+* :func:`vertical_bands` — equal-size quantile bands by the query
+  node's y coordinate (the paper's Chicago Dataset1-4);
+* :func:`by_regions` — assignment to named seed points (borough
+  centres) by nearest-centre rule, a Voronoi partition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..exceptions import DemandError
+from ..network.geometry import Point, euclidean
+from .query import QuerySet
+
+
+def vertical_bands(queries: QuerySet, num_bands: int = 4) -> List[QuerySet]:
+    """Split ``Q`` into ``num_bands`` parts of (nearly) equal size by
+    the y coordinate of each query node.
+
+    Returns query sets named ``Dataset1..DatasetN`` from south to north,
+    mirroring the paper's Chicago split.
+    """
+    if num_bands < 1:
+        raise DemandError(f"num_bands must be >= 1, got {num_bands}")
+    if num_bands > len(queries):
+        raise DemandError(
+            f"cannot split {len(queries)} query nodes into {num_bands} bands"
+        )
+    network = queries.network
+    ordered = sorted(queries.nodes, key=lambda v: network.coordinate(v)[1])
+    size = len(ordered) / num_bands
+    bands: List[QuerySet] = []
+    for b in range(num_bands):
+        lo = round(b * size)
+        hi = round((b + 1) * size) if b + 1 < num_bands else len(ordered)
+        members = ordered[lo:hi]
+        bands.append(queries.subset(members, name=f"Dataset{b + 1}"))
+    return bands
+
+
+def by_regions(
+    queries: QuerySet, regions: Sequence[Tuple[str, Point]]
+) -> List[QuerySet]:
+    """Split ``Q`` by nearest region centre (Voronoi assignment).
+
+    Args:
+        queries: the full multiset.
+        regions: ``(name, (x, y))`` pairs — e.g. the four NYC borough
+            centres.  Every query node is assigned to its nearest centre.
+
+    Returns:
+        One query set per region, in the given order.  Regions that
+        receive no query node are returned as empty markers via a
+        :class:`DemandError` — the caller should choose sensible centres.
+    """
+    if not regions:
+        raise DemandError("by_regions needs at least one region")
+    network = queries.network
+    buckets: Dict[str, List[int]] = {name: [] for name, _ in regions}
+    centers = [(name, center) for name, center in regions]
+    for v in queries.nodes:
+        point = network.coordinate(v)
+        best_name = min(centers, key=lambda item: euclidean(item[1], point))[0]
+        buckets[best_name].append(v)
+    result: List[QuerySet] = []
+    for name, _ in regions:
+        members = buckets[name]
+        if not members:
+            raise DemandError(f"region {name!r} received no query nodes")
+        result.append(queries.subset(members, name=name))
+    return result

@@ -1,0 +1,106 @@
+"""Transit routing queries and the query multiset ``Q``.
+
+Definition 4: a query is an (origin, destination) node pair.
+Definition 6: the objective only sees the *multiset* ``Q`` of all
+origins and destinations ("by the symmetry of the origin and
+destination, we could regard them as one type of nodes").
+
+:class:`QuerySet` is that multiset, with provenance: it can be built
+directly from node lists or from OD pairs, and it validates every node
+against the road network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import DemandError
+from ..network.graph import RoadNetwork
+
+
+@dataclass(frozen=True)
+class TransitQuery:
+    """One transit routing query ``q = (v_s, v_t)`` (Definition 4)."""
+
+    origin: int
+    destination: int
+
+    def nodes(self) -> Tuple[int, int]:
+        """The query's contribution to the multiset ``Q``."""
+        return (self.origin, self.destination)
+
+
+class QuerySet:
+    """The multiset ``Q`` of query origin/destination nodes.
+
+    Args:
+        network: the road network the nodes live on.
+        nodes: the multiset members (duplicates meaningful — a node that
+            appears in many queries weighs more in ``Walk``).
+        name: optional label used by experiment reports ("Brooklyn",
+            "Dataset1", ...).
+
+    Raises:
+        DemandError: if ``nodes`` is empty or contains an id outside the
+            network.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        nodes: Iterable[int],
+        *,
+        name: str = "Q",
+    ) -> None:
+        self._network = network
+        self._nodes: List[int] = [int(v) for v in nodes]
+        if not self._nodes:
+            raise DemandError("a query set must contain at least one node")
+        n = network.num_nodes
+        for v in self._nodes:
+            if not (0 <= v < n):
+                raise DemandError(f"query node {v} outside the network (|V|={n})")
+        self.name = name
+
+    @classmethod
+    def from_queries(
+        cls,
+        network: RoadNetwork,
+        queries: Sequence[TransitQuery],
+        *,
+        name: str = "Q",
+    ) -> "QuerySet":
+        """Build ``Q`` from OD queries: every origin and destination is
+        added (Definition 6)."""
+        nodes: List[int] = []
+        for q in queries:
+            nodes.extend(q.nodes())
+        return cls(network, nodes, name=name)
+
+    @property
+    def network(self) -> RoadNetwork:
+        """The road network the queries live on."""
+        return self._network
+
+    @property
+    def nodes(self) -> List[int]:
+        """The multiset members (the internal list; do not mutate)."""
+        return self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self):
+        return iter(self._nodes)
+
+    def distinct_nodes(self) -> List[int]:
+        """Distinct members, sorted."""
+        return sorted(set(self._nodes))
+
+    def subset(self, nodes: Iterable[int], *, name: Optional[str] = None) -> "QuerySet":
+        """A new query set over the given members (used by partitions)."""
+        return QuerySet(self._network, nodes, name=name or self.name)
+
+    def __repr__(self) -> str:
+        return f"QuerySet({self.name!r}, |Q|={len(self._nodes)})"

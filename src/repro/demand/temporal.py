@@ -1,0 +1,154 @@
+"""Time-sliced demand.
+
+The paper's related work distinguishes demand by time window (night
+routes [6], temporal supply/demand matching [8]); its own evaluation
+collapses time away.  This module keeps the time dimension available:
+a :class:`TemporalDemand` holds one query multiset per hour-of-day
+slice, supports peak extraction and window aggregation, and produces
+plain :class:`~repro.demand.query.QuerySet` objects so every planner in
+the package works per time window unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DemandError
+from ..network.graph import RoadNetwork
+from .query import QuerySet
+
+HOURS_PER_DAY = 24
+
+
+class TemporalDemand:
+    """Hourly demand slices over one road network.
+
+    Args:
+        network: the road network.
+        slices: mapping ``hour (0-23) -> query node list``.  Missing
+            hours are empty.
+    """
+
+    def __init__(
+        self, network: RoadNetwork, slices: Dict[int, Sequence[int]]
+    ) -> None:
+        self._network = network
+        self._slices: Dict[int, List[int]] = {}
+        for hour, nodes in slices.items():
+            if not (0 <= int(hour) < HOURS_PER_DAY):
+                raise DemandError(f"hour {hour} outside 0..23")
+            members = [int(v) for v in nodes]
+            for v in members:
+                if not (0 <= v < network.num_nodes):
+                    raise DemandError(f"query node {v} outside the network")
+            if members:
+                self._slices[int(hour)] = members
+
+    @property
+    def network(self) -> RoadNetwork:
+        return self._network
+
+    def hours(self) -> List[int]:
+        """Hours with any demand, sorted."""
+        return sorted(self._slices)
+
+    def volume(self, hour: int) -> int:
+        """Demand size at ``hour``."""
+        return len(self._slices.get(hour, []))
+
+    def total_volume(self) -> int:
+        return sum(len(v) for v in self._slices.values())
+
+    def slice(self, hour: int) -> QuerySet:
+        """The query multiset of one hour.
+
+        Raises:
+            DemandError: if the hour has no demand.
+        """
+        nodes = self._slices.get(hour)
+        if not nodes:
+            raise DemandError(f"no demand at hour {hour}")
+        return QuerySet(self._network, nodes, name=f"h{hour:02d}")
+
+    def window(self, start_hour: int, end_hour: int) -> QuerySet:
+        """Aggregate multiset over ``[start_hour, end_hour)``; wraps
+        past midnight when ``end_hour <= start_hour`` (night windows).
+        """
+        hours = _window_hours(start_hour, end_hour)
+        nodes: List[int] = []
+        for hour in hours:
+            nodes.extend(self._slices.get(hour, []))
+        if not nodes:
+            raise DemandError(
+                f"no demand in window [{start_hour}, {end_hour})"
+            )
+        return QuerySet(
+            self._network, nodes, name=f"h{start_hour:02d}-h{end_hour:02d}"
+        )
+
+    def peak_hour(self) -> int:
+        """The hour with the largest demand volume."""
+        if not self._slices:
+            raise DemandError("temporal demand is empty")
+        return max(self._slices, key=lambda h: (len(self._slices[h]), -h))
+
+    def daytime(self) -> QuerySet:
+        """06:00-22:00 aggregate (the service span most routes run)."""
+        return self.window(6, 22)
+
+    def night(self) -> QuerySet:
+        """22:00-06:00 aggregate — the night-route demand of [6]."""
+        return self.window(22, 6)
+
+
+def simulate_daily_profile(
+    base: QuerySet,
+    *,
+    peak_hours: Sequence[int] = (8, 17),
+    peak_share: float = 0.5,
+    night_share: float = 0.05,
+    seed: int = 0,
+) -> TemporalDemand:
+    """Spread a flat demand multiset over a plausible daily profile.
+
+    Args:
+        base: the all-day multiset to distribute.
+        peak_hours: commute peaks (each gets ``peak_share / len`` of
+            the demand, on top of the flat background).
+        peak_share: fraction of demand concentrated in peaks.
+        night_share: fraction spread over 22:00-06:00.
+        seed: RNG seed (assignment of individual nodes to hours).
+    """
+    if not (0.0 <= peak_share < 1.0) or not (0.0 <= night_share < 1.0):
+        raise DemandError("shares must be in [0, 1)")
+    if peak_share + night_share >= 1.0:
+        raise DemandError("peak_share + night_share must be < 1")
+    rng = np.random.default_rng(seed)
+    night_hours = _window_hours(22, 6)
+    day_hours = [h for h in range(HOURS_PER_DAY) if h not in set(night_hours)]
+
+    weights = np.zeros(HOURS_PER_DAY)
+    for hour in day_hours:
+        weights[hour] = (1.0 - peak_share - night_share) / len(day_hours)
+    for hour in peak_hours:
+        weights[hour % HOURS_PER_DAY] += peak_share / len(peak_hours)
+    for hour in night_hours:
+        weights[hour] += night_share / len(night_hours)
+    weights = weights / weights.sum()
+
+    assignment = rng.choice(HOURS_PER_DAY, size=len(base), p=weights)
+    slices: Dict[int, List[int]] = {}
+    for node, hour in zip(base.nodes, assignment):
+        slices.setdefault(int(hour), []).append(node)
+    return TemporalDemand(base.network, slices)
+
+
+def _window_hours(start_hour: int, end_hour: int) -> List[int]:
+    if not (0 <= start_hour < HOURS_PER_DAY and 0 <= end_hour <= HOURS_PER_DAY):
+        raise DemandError("window hours must be within 0..24")
+    if start_hour < end_hour:
+        return list(range(start_hour, end_hour))
+    return list(range(start_hour, HOURS_PER_DAY)) + list(range(0, end_hour))

@@ -1,0 +1,88 @@
+"""Machine-readable export of experiment rows (CSV and JSON).
+
+The text reporters in :mod:`repro.eval.reporting` render the paper's
+layout for humans; these helpers persist the same rows for downstream
+tooling (plotting, regression tracking across runs).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..exceptions import ConfigurationError
+
+Row = Dict[str, object]
+PathLike = Union[str, Path]
+
+
+def rows_to_csv(
+    rows: Sequence[Row],
+    path: PathLike,
+    *,
+    columns: Optional[Sequence[str]] = None,
+) -> None:
+    """Write rows as CSV (header from ``columns`` or the union of keys,
+    first-seen order).
+
+    Raises:
+        ConfigurationError: if ``rows`` is empty (an empty CSV is more
+            often a bug than a result).
+    """
+    if not rows:
+        raise ConfigurationError("refusing to write an empty CSV")
+    fieldnames = list(columns) if columns else _union_columns(rows)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k, "") for k in fieldnames})
+
+
+def rows_to_json(
+    rows: Sequence[Row],
+    path: PathLike,
+    *,
+    metadata: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write rows (plus optional run metadata) as a JSON document::
+
+        {"metadata": {...}, "rows": [...]}
+    """
+    document = {"metadata": metadata or {}, "rows": list(rows)}
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, default=_jsonify)
+        handle.write("\n")
+
+
+def load_rows_json(path: PathLike) -> List[Row]:
+    """Read back the rows written by :func:`rows_to_json`."""
+    with open(path) as handle:
+        document = json.load(handle)
+    rows = document.get("rows")
+    if not isinstance(rows, list):
+        raise ConfigurationError(f"{path}: not a rows document")
+    return rows
+
+
+def _union_columns(rows: Sequence[Row]) -> List[str]:
+    seen: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.append(key)
+    return seen
+
+
+def _jsonify(value):
+    """Fallback encoder for numpy scalars and similar."""
+    for attr in ("item",):
+        if hasattr(value, attr):
+            return value.item()
+    return str(value)

@@ -1,0 +1,121 @@
+"""GeoJSON export of networks, stops, and routes.
+
+Planning tools speak GeoJSON; this writer turns reproduction artefacts
+into a FeatureCollection (routes as ``LineString``, stops as ``Point``,
+demand as weighted points).  Planar kilometre coordinates are exported
+as-is by default or converted back to lon/lat with the same
+equirectangular convention the DIMACS loader uses.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..demand.query import QuerySet
+from ..exceptions import ConfigurationError
+from ..network.dimacs import KM_PER_DEGREE
+from ..network.graph import RoadNetwork
+from ..transit.route import BusRoute
+
+PathLike = Union[str, Path]
+
+
+class GeoJsonWriter:
+    """Accumulates features over one road network.
+
+    Args:
+        network: supplies node coordinates.
+        to_lonlat: convert planar km to degrees (equator-referenced,
+            matching :mod:`repro.network.dimacs`); off by default so
+            synthetic planar data round-trips exactly.
+    """
+
+    def __init__(self, network: RoadNetwork, *, to_lonlat: bool = False) -> None:
+        self._network = network
+        self._to_lonlat = to_lonlat
+        self._features: List[Dict] = []
+
+    def _coords(self, node: int) -> List[float]:
+        x, y = self._network.coordinate(node)
+        if self._to_lonlat:
+            return [round(x / KM_PER_DEGREE, 8), round(y / KM_PER_DEGREE, 8)]
+        return [round(x, 6), round(y, 6)]
+
+    def add_route(self, route: BusRoute, **properties) -> None:
+        """The route path as a LineString plus one Point per stop."""
+        self._features.append(
+            {
+                "type": "Feature",
+                "geometry": {
+                    "type": "LineString",
+                    "coordinates": [self._coords(v) for v in route.path],
+                },
+                "properties": {
+                    "kind": "route",
+                    "route_id": route.route_id,
+                    "num_stops": route.num_stops,
+                    **properties,
+                },
+            }
+        )
+        for order, stop in enumerate(route.stops):
+            self.add_stop(stop, route_id=route.route_id, stop_order=order)
+
+    def add_stop(self, node: int, **properties) -> None:
+        """One bus stop as a Point feature."""
+        self._features.append(
+            {
+                "type": "Feature",
+                "geometry": {"type": "Point", "coordinates": self._coords(node)},
+                "properties": {"kind": "stop", "node": node, **properties},
+            }
+        )
+
+    def add_demand(self, queries: QuerySet) -> None:
+        """Demand as Points weighted by multiplicity."""
+        for node, count in Counter(queries.nodes).items():
+            self._features.append(
+                {
+                    "type": "Feature",
+                    "geometry": {
+                        "type": "Point",
+                        "coordinates": self._coords(node),
+                    },
+                    "properties": {
+                        "kind": "demand",
+                        "node": node,
+                        "weight": count,
+                    },
+                }
+            )
+
+    def feature_collection(self) -> Dict:
+        """The GeoJSON FeatureCollection document."""
+        return {"type": "FeatureCollection", "features": list(self._features)}
+
+    def save(self, path: PathLike) -> None:
+        """Write the document (parent directories created)."""
+        if not self._features:
+            raise ConfigurationError("refusing to write an empty GeoJSON")
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(self.feature_collection(), handle, indent=2)
+            handle.write("\n")
+
+
+def route_to_geojson(
+    network: RoadNetwork,
+    route: BusRoute,
+    path: PathLike,
+    *,
+    to_lonlat: bool = False,
+    **properties,
+) -> None:
+    """One-call export of a single route."""
+    writer = GeoJsonWriter(network, to_lonlat=to_lonlat)
+    writer.add_route(route, **properties)
+    writer.save(path)

@@ -1,0 +1,136 @@
+"""Regression comparison of experiment results.
+
+Reproduction results drift when code changes.  This module diffs two
+result-row sets (e.g. the JSON written by
+:func:`repro.eval.export.rows_to_json` from two runs), keyed by their
+identifying columns, and reports per-metric relative changes above a
+tolerance — the piece needed to run the benchmark suite as a regression
+gate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+
+Row = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric change beyond tolerance.
+
+    Attributes:
+        key: the row's identifying values (e.g. ``("EBRR", 30)``).
+        metric: the changed column.
+        before / after: the two values.
+        relative_change: ``(after − before) / |before|`` (``inf`` when
+            before is 0 and after is not).
+    """
+
+    key: Tuple
+    metric: str
+    before: float
+    after: float
+    relative_change: float
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of :func:`compare_rows`."""
+
+    regressions: List[Regression]
+    missing_keys: List[Tuple]
+    new_keys: List[Tuple]
+    compared_cells: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """No regressions and the two runs cover the same rows."""
+        return not self.regressions and not self.missing_keys and not self.new_keys
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.regressions)} metric changes, "
+            f"{len(self.missing_keys)} rows missing, "
+            f"{len(self.new_keys)} rows new "
+            f"({self.compared_cells} cells compared)"
+        )
+
+
+def compare_rows(
+    before: Sequence[Row],
+    after: Sequence[Row],
+    *,
+    key_columns: Sequence[str],
+    metrics: Sequence[str],
+    tolerance: float = 0.05,
+) -> ComparisonReport:
+    """Diff two result-row sets.
+
+    Args:
+        before / after: the two runs' rows.
+        key_columns: columns identifying a row (e.g. ``["algorithm",
+            "K"]``); each combination must be unique within a run.
+        metrics: numeric columns to compare.
+        tolerance: relative change below this is noise, not regression.
+
+    Raises:
+        ConfigurationError: on duplicate keys or missing columns.
+    """
+    if tolerance < 0:
+        raise ConfigurationError("tolerance must be non-negative")
+    index_before = _index(before, key_columns)
+    index_after = _index(after, key_columns)
+
+    regressions: List[Regression] = []
+    compared = 0
+    for key, row_before in index_before.items():
+        row_after = index_after.get(key)
+        if row_after is None:
+            continue
+        for metric in metrics:
+            if metric not in row_before or metric not in row_after:
+                continue
+            value_before = float(row_before[metric])  # type: ignore[arg-type]
+            value_after = float(row_after[metric])  # type: ignore[arg-type]
+            compared += 1
+            change = _relative_change(value_before, value_after)
+            if abs(change) > tolerance:
+                regressions.append(
+                    Regression(key, metric, value_before, value_after, change)
+                )
+    missing = sorted(k for k in index_before if k not in index_after)
+    new = sorted(k for k in index_after if k not in index_before)
+    return ComparisonReport(
+        regressions=regressions,
+        missing_keys=missing,
+        new_keys=new,
+        compared_cells=compared,
+    )
+
+
+def _index(rows: Sequence[Row], key_columns: Sequence[str]) -> Dict[Tuple, Row]:
+    index: Dict[Tuple, Row] = {}
+    for row in rows:
+        try:
+            key = tuple(row[c] for c in key_columns)
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"row missing key column {exc.args[0]!r}"
+            ) from exc
+        if key in index:
+            raise ConfigurationError(f"duplicate row key {key}")
+        index[key] = row
+    return index
+
+
+def _relative_change(before: float, after: float) -> float:
+    if before == after:
+        return 0.0
+    if before == 0.0:
+        return math.inf if after > 0 else -math.inf
+    return (after - before) / abs(before)

@@ -1,0 +1,121 @@
+"""Plain-text rendering of experiment rows.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers render them as aligned text tables and as
+"series" blocks (one line per curve, mirroring a figure's legend).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+Row = Dict[str, object]
+PathLike = Union[str, Path]
+
+
+def format_value(value: object, *, float_digits: int = 3) -> str:
+    """Human-readable cell: floats rounded, everything else ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        return f"{value:.{float_digits}f}"
+    if isinstance(value, int) and abs(value) >= 10000:
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Row],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    title: str = "",
+    float_digits: int = 3,
+) -> str:
+    """Render rows as an aligned text table.
+
+    Args:
+        rows: the experiment rows.
+        columns: column order; defaults to the first row's key order.
+        title: optional heading line.
+        float_digits: precision for float cells.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    header = [str(c) for c in cols]
+    body = [
+        [format_value(row.get(c, ""), float_digits=float_digits) for c in cols]
+        for row in rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(cols))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    rows: Sequence[Row],
+    *,
+    x: str,
+    series: str,
+    value: str,
+    title: str = "",
+    float_digits: int = 3,
+) -> str:
+    """Render rows as figure-style series: one line per curve.
+
+    Example output (Fig. 7 layout)::
+
+        K         10       20       30
+        EBRR      123.4    101.2    88.0
+        ETA-Pre   180.1    178.9    177.2
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    xs: List[object] = []
+    names: List[str] = []
+    table: Dict[str, Dict[object, object]] = {}
+    for row in rows:
+        x_val = row[x]
+        name = str(row[series])
+        if x_val not in xs:
+            xs.append(x_val)
+        if name not in table:
+            table[name] = {}
+            names.append(name)
+        table[name][x_val] = row[value]
+    out_rows: List[Row] = []
+    for name in names:
+        entry: Row = {series: name}
+        for x_val in xs:
+            entry[str(x_val)] = table[name].get(x_val, "")
+        out_rows.append(entry)
+    columns = [series] + [str(x_val) for x_val in xs]
+    heading = title or f"{value} vs {x}"
+    return format_table(out_rows, columns, title=heading, float_digits=float_digits)
+
+
+def save_report(text: str, path: PathLike) -> None:
+    """Write a rendered report, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n")
+
+
+def print_and_save(text: str, path: Optional[PathLike] = None) -> None:
+    """Print a report and optionally persist it."""
+    print(text)
+    if path is not None:
+        save_report(text, path)

@@ -1,0 +1,88 @@
+"""Seed-robustness analysis.
+
+The paper reports point estimates on fixed datasets; a reproduction on
+*synthetic* data must additionally show its conclusions do not hinge on
+one lucky seed.  :func:`seed_robustness` reruns the headline comparison
+(walking cost / connectivity / time, EBRR vs baselines) over several
+dataset seeds and aggregates per-algorithm means, standard deviations,
+and — the number that matters — how often EBRR wins each metric.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import EBRRConfig
+from ..datasets.registry import load_city
+from ..exceptions import ConfigurationError
+from .experiments import calibrated_alpha
+from .runner import default_planners, run_planners
+
+Row = Dict[str, object]
+
+#: metric -> whether smaller is better
+_METRICS = {"walk_cost": True, "connectivity": False, "time_s": True}
+
+
+def seed_robustness(
+    city_name: str,
+    seeds: Sequence[int],
+    *,
+    scale: float = 0.1,
+    max_stops: int = 20,
+    max_adjacent_cost: float = 2.0,
+) -> List[Row]:
+    """Per-algorithm aggregates over dataset seeds.
+
+    Returns one row per algorithm with the mean and standard deviation
+    of each headline metric plus the per-metric win counts (ties within
+    1% count as wins for everyone involved).
+    """
+    if len(seeds) < 2:
+        raise ConfigurationError("seed_robustness needs at least two seeds")
+    samples: Dict[str, Dict[str, List[float]]] = {}
+    wins: Dict[str, Dict[str, int]] = {}
+
+    for seed in seeds:
+        dataset = load_city(city_name, scale=scale, seed=seed)
+        alpha = calibrated_alpha(dataset)
+        instance = dataset.instance(alpha)
+        config = EBRRConfig(
+            max_stops=max_stops, max_adjacent_cost=max_adjacent_cost, alpha=alpha
+        )
+        plans = run_planners(instance, config, default_planners(seed=seed))
+        for name, plan in plans.items():
+            store = samples.setdefault(
+                name, {metric: [] for metric in _METRICS}
+            )
+            store["walk_cost"].append(plan.metrics.walk_cost)
+            store["connectivity"].append(float(plan.metrics.connectivity))
+            store["time_s"].append(plan.timings.get("total", 0.0))
+        for metric, smaller_better in _METRICS.items():
+            values = {
+                name: samples[name][metric][-1] for name in plans
+            }
+            best = min(values.values()) if smaller_better else max(values.values())
+            for name, value in values.items():
+                tally = wins.setdefault(
+                    name, {m: 0 for m in _METRICS}
+                )
+                if smaller_better:
+                    if value <= best * 1.01:
+                        tally[metric] += 1
+                elif value >= best * 0.99:
+                    tally[metric] += 1
+
+    rows: List[Row] = []
+    for name, store in samples.items():
+        row: Row = {"algorithm": name, "seeds": len(seeds)}
+        for metric in _METRICS:
+            values = store[metric]
+            mean = sum(values) / len(values)
+            variance = sum((v - mean) ** 2 for v in values) / len(values)
+            row[f"{metric}_mean"] = mean
+            row[f"{metric}_std"] = math.sqrt(variance)
+            row[f"{metric}_wins"] = wins[name][metric]
+        rows.append(row)
+    return rows

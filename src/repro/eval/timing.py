@@ -1,0 +1,26 @@
+"""Tiny timing utilities for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@contextmanager
+def stopwatch(sink: Dict[str, float], key: str) -> Iterator[None]:
+    """Context manager that records elapsed seconds into ``sink[key]``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink[key] = time.perf_counter() - start
+
+
+def timed(func: Callable[[], T]) -> Tuple[T, float]:
+    """Run ``func`` once; return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func()
+    return result, time.perf_counter() - start

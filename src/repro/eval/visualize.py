@@ -1,0 +1,203 @@
+"""Dependency-free SVG rendering of networks, demand, and routes.
+
+The paper communicates its case studies as maps (Figs. 1, 6, 12): road
+edges, existing stops, demand hot-spots, and the planned route.  This
+module draws the same picture as a standalone SVG file so reproduction
+runs can be inspected visually without any plotting dependency.
+
+Typical use::
+
+    from repro.eval.visualize import MapRenderer
+
+    renderer = MapRenderer(network)
+    renderer.draw_network()
+    renderer.draw_demand(queries)
+    renderer.draw_existing_stops(transit.existing_stops)
+    renderer.draw_route(result.route)
+    renderer.save("case_study.svg")
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..demand.query import QuerySet
+from ..exceptions import ConfigurationError
+from ..network.geometry import bounding_box
+from ..network.graph import RoadNetwork
+from ..transit.route import BusRoute
+
+PathLike = Union[str, Path]
+
+#: default colour scheme, mirroring the paper's figures
+ROAD_COLOR = "#cc4444"
+STOP_COLOR = "#3366cc"
+DEMAND_COLOR = "#dd2222"
+ROUTE_COLOR = "#00bbbb"
+NEW_STOP_COLOR = "#22aa22"
+
+
+class MapRenderer:
+    """Accumulates SVG layers over one road network.
+
+    Args:
+        network: the road network defining the coordinate frame.
+        width_px: output width; height follows the aspect ratio.
+        margin_px: whitespace around the drawing.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        *,
+        width_px: int = 800,
+        margin_px: int = 20,
+    ) -> None:
+        if width_px < 100:
+            raise ConfigurationError("width_px must be at least 100")
+        self._network = network
+        self._margin = margin_px
+        min_x, min_y, max_x, max_y = bounding_box(network.coordinates())
+        span_x = max(max_x - min_x, 1e-9)
+        span_y = max(max_y - min_y, 1e-9)
+        self._scale = (width_px - 2 * margin_px) / span_x
+        self._min_x, self._min_y = min_x, min_y
+        self._max_y = max_y
+        self._width = width_px
+        self._height = int(span_y * self._scale) + 2 * margin_px
+        self._layers: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Coordinate mapping (y flipped: SVG grows downward)
+    # ------------------------------------------------------------------
+
+    def _px(self, node_or_point) -> Tuple[float, float]:
+        if isinstance(node_or_point, int):
+            x, y = self._network.coordinate(node_or_point)
+        else:
+            x, y = node_or_point
+        px = self._margin + (x - self._min_x) * self._scale
+        py = self._margin + (self._max_y - y) * self._scale
+        return (round(px, 2), round(py, 2))
+
+    # ------------------------------------------------------------------
+    # Layers
+    # ------------------------------------------------------------------
+
+    def draw_network(
+        self, *, color: str = ROAD_COLOR, stroke_width: float = 0.6
+    ) -> None:
+        """All road edges as thin segments."""
+        parts = [f'<g stroke="{color}" stroke-width="{stroke_width}" opacity="0.6">']
+        for u, v, _ in self._network.edges():
+            (x1, y1), (x2, y2) = self._px(u), self._px(v)
+            parts.append(f'<line x1="{x1}" y1="{y1}" x2="{x2}" y2="{y2}"/>')
+        parts.append("</g>")
+        self._layers.append("\n".join(parts))
+
+    def draw_demand(
+        self,
+        queries: QuerySet,
+        *,
+        color: str = DEMAND_COLOR,
+        max_radius: float = 6.0,
+    ) -> None:
+        """Demand as translucent dots, radius scaling with multiplicity
+        (the paper's red heat areas)."""
+        counts = Counter(queries.nodes)
+        top = max(counts.values())
+        parts = [f'<g fill="{color}" opacity="0.25">']
+        for node, count in counts.items():
+            x, y = self._px(node)
+            radius = 1.5 + (max_radius - 1.5) * (count / top)
+            parts.append(f'<circle cx="{x}" cy="{y}" r="{round(radius, 2)}"/>')
+        parts.append("</g>")
+        self._layers.append("\n".join(parts))
+
+    def draw_existing_stops(
+        self, stops: Iterable[int], *, color: str = STOP_COLOR, radius: float = 2.0
+    ) -> None:
+        """Existing bus stops (the paper's blue icons)."""
+        parts = [f'<g fill="{color}">']
+        for stop in stops:
+            x, y = self._px(stop)
+            parts.append(f'<circle cx="{x}" cy="{y}" r="{radius}"/>')
+        parts.append("</g>")
+        self._layers.append("\n".join(parts))
+
+    def draw_route(
+        self,
+        route: BusRoute,
+        *,
+        color: str = ROUTE_COLOR,
+        stop_color: str = NEW_STOP_COLOR,
+        stroke_width: float = 2.5,
+    ) -> None:
+        """A route's road path as a bold polyline plus its stops."""
+        points = " ".join(
+            f"{x},{y}" for x, y in (self._px(node) for node in route.path)
+        )
+        self._layers.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="{stroke_width}" stroke-linejoin="round"/>'
+        )
+        parts = [f'<g fill="{stop_color}" stroke="white" stroke-width="0.8">']
+        for stop in route.stops:
+            x, y = self._px(stop)
+            parts.append(f'<circle cx="{x}" cy="{y}" r="3.2"/>')
+        parts.append("</g>")
+        self._layers.append("\n".join(parts))
+
+    def draw_title(self, text: str) -> None:
+        """A caption in the top-left corner."""
+        safe = (
+            text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        )
+        self._layers.append(
+            f'<text x="{self._margin}" y="{self._margin - 5}" '
+            f'font-family="sans-serif" font-size="13">{safe}</text>'
+        )
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def to_svg(self) -> str:
+        """The complete SVG document."""
+        body = "\n".join(self._layers)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self._width}" height="{self._height}" '
+            f'viewBox="0 0 {self._width} {self._height}">\n'
+            f'<rect width="100%" height="100%" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path: PathLike) -> None:
+        """Write the SVG, creating parent directories."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_svg())
+
+
+def render_case_study(
+    network: RoadNetwork,
+    queries: QuerySet,
+    existing_stops: Sequence[int],
+    route: Optional[BusRoute],
+    path: PathLike,
+    *,
+    title: str = "",
+) -> None:
+    """One-call rendering of the paper's case-study picture."""
+    renderer = MapRenderer(network)
+    renderer.draw_network()
+    renderer.draw_demand(queries)
+    renderer.draw_existing_stops(existing_stops)
+    if route is not None:
+        renderer.draw_route(route)
+    if title:
+        renderer.draw_title(title)
+    renderer.save(path)

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the BRR/EBRR reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class.  The subclasses distinguish the
+major failure modes: malformed input graphs and transit data, infeasible
+problem instances, and misconfigured algorithm parameters.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """A road network is structurally invalid (bad node ids, negative
+    costs, disconnected when connectivity is required, ...)."""
+
+
+class DataFormatError(ReproError):
+    """An external file (DIMACS, GTFS-like CSV) could not be parsed."""
+
+
+class TransitError(ReproError):
+    """Transit data is inconsistent with the road network (e.g. a route
+    references a stop that is not a network node)."""
+
+
+class DemandError(ReproError):
+    """Query/demand data is invalid (empty multiset, out-of-range node)."""
+
+
+class ConfigurationError(ReproError):
+    """An algorithm parameter is out of its valid range (``K < 2``,
+    ``C <= 0``, ``alpha < 0``, ...)."""
+
+
+class InfeasibleRouteError(ReproError):
+    """No feasible bus route exists for the given constraints, e.g. the
+    seed stop cannot reach any other candidate within cost ``C``."""

@@ -1,0 +1,202 @@
+"""Goal-directed point-to-point search: A* and ALT landmarks.
+
+The paper's core efficiency complaint about prior work is the cost of
+repeated point-to-point distance computations on road networks.  Two
+standard accelerations are provided as substrate:
+
+* :func:`astar_path` / :func:`astar_distance` — A* with the Euclidean
+  heuristic.  Admissible on every network in this package because edge
+  costs are at least the Euclidean gap between their endpoints (the
+  generators and the DIMACS loader guarantee it), and consistent
+  because the Euclidean metric satisfies the triangle inequality.
+* :class:`LandmarkIndex` — ALT (A*, Landmarks, Triangle inequality)
+  lower bounds: precompute distances from a few far-apart landmarks;
+  ``max_l |d_l(u) − d_l(v)|`` lower-bounds ``dist(u, v)`` and usually
+  dominates the Euclidean heuristic, shrinking the search further.
+
+Both return exactly the Dijkstra answers (the test suite cross-checks
+them); only the explored region differs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError, GraphError
+from .dijkstra import shortest_path_costs
+from .geometry import euclidean
+from .graph import RoadNetwork
+
+Heuristic = Callable[[int], float]
+
+
+def _euclidean_heuristic(network: RoadNetwork, target: int) -> Heuristic:
+    tx, ty = network.coordinate(target)
+
+    def h(node: int) -> float:
+        x, y = network.coordinate(node)
+        return math.hypot(x - tx, y - ty)
+
+    return h
+
+
+def astar_path(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    *,
+    heuristic: Optional[Heuristic] = None,
+) -> Tuple[List[int], float]:
+    """The cheapest ``source -> target`` path via A*.
+
+    Args:
+        network: the road network.
+        source / target: endpoint nodes.
+        heuristic: admissible lower bound of the remaining distance to
+            ``target``; defaults to the Euclidean heuristic.
+
+    Returns:
+        ``(path, cost)`` — identical to
+        :func:`repro.network.dijkstra.shortest_path`.
+
+    Raises:
+        GraphError: if ``target`` is unreachable.
+    """
+    if heuristic is None:
+        heuristic = _euclidean_heuristic(network, target)
+    g: Dict[int, float] = {source: 0.0}
+    parent: Dict[int, int] = {}
+    heap: List[Tuple[float, int]] = [(heuristic(source), source)]
+    settled: set = set()
+    adj = network.neighbors
+    while heap:
+        _, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        if u == target:
+            path = [target]
+            while path[-1] != source:
+                path.append(parent[path[-1]])
+            path.reverse()
+            return path, g[target]
+        gu = g[u]
+        for v, cost in adj(u):
+            ng = gu + cost
+            if ng < g.get(v, math.inf):
+                g[v] = ng
+                parent[v] = u
+                heapq.heappush(heap, (ng + heuristic(v), v))
+    raise GraphError(f"node {target} unreachable from {source}")
+
+
+def astar_distance(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    *,
+    heuristic: Optional[Heuristic] = None,
+) -> float:
+    """``dist(source, target)`` via A* (see :func:`astar_path`)."""
+    if source == target:
+        return 0.0
+    _, cost = astar_path(network, source, target, heuristic=heuristic)
+    return cost
+
+
+class LandmarkIndex:
+    """ALT lower bounds from far-apart landmarks.
+
+    Args:
+        network: the road network.
+        num_landmarks: how many landmarks to place (4-16 is typical).
+        seed_node: the farthest-point selection starts from here.
+
+    Landmark selection is the standard farthest-point heuristic: start
+    anywhere, repeatedly add the node maximizing the distance to the
+    nearest already-chosen landmark.  Preprocessing runs one Dijkstra
+    per landmark (O(L · |E| log |V|)).
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        num_landmarks: int = 8,
+        *,
+        seed_node: int = 0,
+    ) -> None:
+        if num_landmarks < 1:
+            raise ConfigurationError("need at least one landmark")
+        if not (0 <= seed_node < network.num_nodes):
+            raise ConfigurationError(f"seed node {seed_node} outside network")
+        self._network = network
+        self.landmarks: List[int] = []
+        self._tables: List[List[float]] = []
+
+        # Farthest-point placement (the seed's sweep is only used to
+        # pick the first real landmark — the far end of the network).
+        sweep = shortest_path_costs(network, seed_node)
+        first = max(
+            network.nodes(),
+            key=lambda v: sweep[v] if math.isfinite(sweep[v]) else -1.0,
+        )
+        self._add_landmark(first)
+        while len(self.landmarks) < min(num_landmarks, network.num_nodes):
+            nearest = [
+                min(table[v] for table in self._tables)
+                for v in network.nodes()
+            ]
+            farthest = max(
+                network.nodes(),
+                key=lambda v: nearest[v] if math.isfinite(nearest[v]) else -1.0,
+            )
+            if farthest in self.landmarks:
+                break
+            self._add_landmark(farthest)
+
+    def _add_landmark(self, node: int) -> None:
+        self.landmarks.append(node)
+        self._tables.append(shortest_path_costs(self._network, node))
+
+    def lower_bound(self, u: int, v: int) -> float:
+        """``max_l |d_l(u) − d_l(v)|`` — a valid lower bound of
+        ``dist(u, v)`` by the triangle inequality."""
+        best = 0.0
+        for table in self._tables:
+            du, dv = table[u], table[v]
+            if math.isfinite(du) and math.isfinite(dv):
+                gap = abs(du - dv)
+                if gap > best:
+                    best = gap
+        return best
+
+    def heuristic_to(self, target: int) -> Heuristic:
+        """An A* heuristic toward ``target``: the ALT bound, floored by
+        the Euclidean gap (both admissible; the max still is)."""
+        tx, ty = self._network.coordinate(target)
+        tables = self._tables
+        target_values = [table[target] for table in tables]
+        coords = self._network.coordinate
+
+        def h(node: int) -> float:
+            x, y = coords(node)
+            best = math.hypot(x - tx, y - ty)
+            for table, dt in zip(tables, target_values):
+                dn = table[node]
+                if math.isfinite(dn) and math.isfinite(dt):
+                    gap = abs(dn - dt)
+                    if gap > best:
+                        best = gap
+            return best
+
+        return h
+
+    def distance(self, source: int, target: int) -> float:
+        """Exact ``dist(source, target)`` via ALT-guided A*."""
+        if source == target:
+            return 0.0
+        return astar_distance(
+            self._network, source, target, heuristic=self.heuristic_to(target)
+        )

@@ -1,0 +1,211 @@
+"""Contraction Hierarchies (CH) for exact point-to-point distances.
+
+The efficiency story of the paper is about avoiding repeated network
+searches.  Contraction Hierarchies [Geisberger et al., 2008] are the
+canonical road-network preprocessing for that job: contract nodes in
+importance order, insert shortcuts that preserve shortest-path
+distances among the remaining nodes, then answer queries with a
+bidirectional search that only ever relaxes edges toward *more
+important* nodes.  Queries settle a tiny fraction of the graph while
+returning exactly the Dijkstra distance (the test suite cross-checks).
+
+This implementation favours clarity over peak constants:
+
+* node order: lazy-heap by ``edge_difference + contracted_neighbors``
+  (the standard heuristic mix), recomputed on pop;
+* witness search: a Dijkstra limited to the shortcut cost and a hop
+  budget — conservative (may insert a redundant shortcut, never drops a
+  needed one);
+* query: bidirectional upward Dijkstra with the usual best-meet
+  pruning.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError, GraphError
+from .graph import RoadNetwork
+
+INF = math.inf
+
+
+class ContractionHierarchy:
+    """A CH index over one road network.
+
+    Args:
+        network: the network to preprocess.
+        hop_limit: witness-search hop budget (larger = fewer redundant
+            shortcuts, slower preprocessing).
+
+    Preprocessing is O(n log n)-ish on road-like graphs; queries are
+    exact and typically orders of magnitude smaller than Dijkstra.
+    """
+
+    def __init__(self, network: RoadNetwork, *, hop_limit: int = 16) -> None:
+        if hop_limit < 1:
+            raise ConfigurationError("hop_limit must be >= 1")
+        self._network = network
+        self._hop_limit = hop_limit
+        n = network.num_nodes
+        #: rank[v] = contraction order (higher = more important)
+        self.rank: List[int] = [0] * n
+        # Working adjacency (mutated during contraction):
+        # node -> {neighbor: cost}
+        self._work: List[Dict[int, float]] = [
+            {v: c for v, c in network.neighbors(u)} for u in range(n)
+        ]
+        # Final upward graphs: u -> list of (v, cost) with rank[v] > rank[u]
+        self._up: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+        self.num_shortcuts = 0
+        self._contract_all()
+        del self._work
+
+    # ------------------------------------------------------------------
+    # Preprocessing
+    # ------------------------------------------------------------------
+
+    def _edge_difference(self, node: int) -> int:
+        """Shortcuts needed minus edges removed if ``node`` contracted."""
+        shortcuts = len(self._find_shortcuts(node))
+        return shortcuts - len(self._work[node])
+
+    def _find_shortcuts(self, node: int) -> List[Tuple[int, int, float]]:
+        """Shortcuts (u, w, cost) required to preserve distances among
+        the uncontracted neighbors of ``node``."""
+        neighbors = list(self._work[node].items())
+        shortcuts: List[Tuple[int, int, float]] = []
+        for i, (u, cost_u) in enumerate(neighbors):
+            for w, cost_w in neighbors[i + 1:]:
+                through = cost_u + cost_w
+                if not self._witness_exists(u, w, node, through):
+                    shortcuts.append((u, w, through))
+        return shortcuts
+
+    def _witness_exists(
+        self, source: int, target: int, excluded: int, limit: float
+    ) -> bool:
+        """Is there a path source->target avoiding ``excluded`` with
+        cost <= limit (within the hop budget)?"""
+        dist: Dict[int, float] = {source: 0.0}
+        hops: Dict[int, int] = {source: 0}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, INF):
+                continue
+            if u == target:
+                return True
+            if d > limit + 1e-12 or hops[u] >= self._hop_limit:
+                continue
+            for v, cost in self._work[u].items():
+                if v == excluded:
+                    continue
+                nd = d + cost
+                if nd <= limit + 1e-12 and nd < dist.get(v, INF):
+                    dist[v] = nd
+                    hops[v] = hops[u] + 1
+                    heapq.heappush(heap, (nd, v))
+        return False
+
+    def _contract_all(self) -> None:
+        n = self._network.num_nodes
+        contracted_neighbors = [0] * n
+        heap: List[Tuple[float, int]] = [
+            (self._edge_difference(v), v) for v in range(n)
+        ]
+        heapq.heapify(heap)
+        next_rank = 0
+        done = [False] * n
+        while heap:
+            priority, node = heapq.heappop(heap)
+            if done[node]:
+                continue
+            # Lazy update: re-evaluate, re-push if no longer minimal.
+            current = self._edge_difference(node) + contracted_neighbors[node]
+            if heap and current > heap[0][0] + 1e-12:
+                heapq.heappush(heap, (current, node))
+                continue
+            # Contract.
+            done[node] = True
+            self.rank[node] = next_rank
+            next_rank += 1
+            for u, w, cost in self._find_shortcuts(node):
+                prev = self._work[u].get(w)
+                if prev is None or cost < prev:
+                    self._work[u][w] = cost
+                    self._work[w][u] = cost
+                    self.num_shortcuts += 1
+            for neighbor, cost in list(self._work[node].items()):
+                self._up[node].append((neighbor, cost))
+                del self._work[neighbor][node]
+                contracted_neighbors[neighbor] += 1
+            self._work[node].clear()
+        # Keep only truly-upward edges (neighbors contracted later have
+        # higher rank by construction of the deletion above, so _up is
+        # already upward; assert-level check happens in tests).
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def distance(self, source: int, target: int) -> float:
+        """Exact ``dist(source, target)``; ``inf`` if disconnected."""
+        n = self._network.num_nodes
+        if not (0 <= source < n and 0 <= target < n):
+            raise GraphError(f"query nodes must be in 0..{n - 1}")
+        if source == target:
+            return 0.0
+        forward = self._upward_costs(source)
+        backward = self._upward_costs(target)
+        best = INF
+        for node, d_forward in forward.items():
+            d_backward = backward.get(node)
+            if d_backward is not None and d_forward + d_backward < best:
+                best = d_forward + d_backward
+        return best
+
+    def _upward_costs(self, source: int) -> Dict[int, float]:
+        """Costs of upward-only paths from ``source`` (the CH search
+        space), pruned at settled nodes."""
+        dist: Dict[int, float] = {source: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        settled: Dict[int, float] = {}
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, INF):
+                continue
+            settled[u] = d
+            for v, cost in self._up[u]:
+                nd = d + cost
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return settled
+
+    def search_space_size(self, node: int) -> int:
+        """Settled-node count of one upward search (diagnostics)."""
+        return len(self._upward_costs(node))
+
+    def distances_from(
+        self, source: int, targets: Sequence[int]
+    ) -> List[float]:
+        """Batched one-to-many: one forward search, one backward search
+        per target (still far below |targets| Dijkstras on road
+        graphs)."""
+        forward = self._upward_costs(source)
+        result = []
+        for target in targets:
+            if target == source:
+                result.append(0.0)
+                continue
+            backward = self._upward_costs(target)
+            best = INF
+            for node, d_b in backward.items():
+                d_f = forward.get(node)
+                if d_f is not None and d_f + d_b < best:
+                    best = d_f + d_b
+            result.append(best)
+        return result

@@ -1,0 +1,333 @@
+"""The Dijkstra search family used throughout EBRR.
+
+The paper leans on three properties of Dijkstra's algorithm:
+
+* settle order is by non-decreasing cost, so a search from a query node
+  can stop at the *first* existing stop it settles (Algorithm 2);
+* searches can be truncated at an upper bound cost (the ``T2`` searches
+  of the complexity analysis, Theorem 5);
+* nearest-stop distances to a growing set ``B`` can be maintained
+  incrementally by running one pruned search per newly added stop
+  instead of re-running all-pairs searches.
+
+All functions operate on :class:`~repro.network.graph.RoadNetwork` and
+use dense lists indexed by node id for speed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import GraphError
+from .graph import RoadNetwork
+
+INF = math.inf
+
+
+def shortest_path_costs(
+    network: RoadNetwork,
+    source: int,
+    *,
+    max_cost: Optional[float] = None,
+) -> List[float]:
+    """Single-source shortest path costs from ``source``.
+
+    Args:
+        network: the road network.
+        source: start node.
+        max_cost: if given, nodes farther than this are left at ``inf``
+            (the search is truncated once the frontier exceeds it).
+
+    Returns:
+        A list ``dist`` with ``dist[v]`` the cost of the cheapest path
+        ``source -> v`` (``inf`` if unreached / beyond ``max_cost``).
+    """
+    n = network.num_nodes
+    dist = [INF] * n
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    adj = network.neighbors
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        if max_cost is not None and d > max_cost:
+            dist[u] = INF
+            continue
+        for v, cost in adj(u):
+            nd = d + cost
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    if max_cost is not None:
+        for v in range(n):
+            if dist[v] > max_cost:
+                dist[v] = INF
+    return dist
+
+
+def shortest_path(
+    network: RoadNetwork, source: int, target: int
+) -> Tuple[List[int], float]:
+    """The cheapest path between two nodes and its cost.
+
+    Returns:
+        ``(path, cost)`` where ``path`` starts at ``source`` and ends at
+        ``target``.
+
+    Raises:
+        GraphError: if ``target`` is unreachable (cannot happen on a
+            connected network but kept for subgraph callers).
+    """
+    n = network.num_nodes
+    dist = [INF] * n
+    parent = [-1] * n
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    adj = network.neighbors
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        if u == target:
+            break
+        for v, cost in adj(u):
+            nd = d + cost
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    if dist[target] is INF or dist[target] == INF:
+        raise GraphError(f"node {target} unreachable from {source}")
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path, dist[target]
+
+
+def distance_between(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    *,
+    upper_bound: Optional[float] = None,
+) -> float:
+    """Network distance between two nodes with target early stop.
+
+    Returns ``inf`` when ``upper_bound`` is given and the true distance
+    exceeds it.
+    """
+    if source == target:
+        return 0.0
+    n = network.num_nodes
+    dist: Dict[int, float] = {source: 0.0}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    adj = network.neighbors
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, INF):
+            continue
+        if u == target:
+            return d
+        if upper_bound is not None and d > upper_bound:
+            return INF
+        for v, cost in adj(u):
+            nd = d + cost
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return INF
+
+
+def search_to_nearest(
+    network: RoadNetwork,
+    source: int,
+    is_target: Callable[[int], bool],
+) -> Tuple[int, float]:
+    """Settle nodes outward from ``source`` until one satisfying
+    ``is_target`` is found (the first settled target is the nearest one
+    by the Dijkstra property).
+
+    Returns:
+        ``(target_node, distance)``.
+
+    Raises:
+        GraphError: if no target node is reachable.
+    """
+    n = network.num_nodes
+    dist: Dict[int, float] = {source: 0.0}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    adj = network.neighbors
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, INF):
+            continue
+        if is_target(u):
+            return u, d
+        for v, cost in adj(u):
+            nd = d + cost
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    raise GraphError(f"no target reachable from node {source}")
+
+
+def query_preprocessing_search(
+    network: RoadNetwork,
+    query_node: int,
+    is_existing_stop: Sequence[bool],
+    is_candidate_stop: Sequence[bool],
+) -> Tuple[int, float, List[Tuple[int, float]]]:
+    """The per-query search of Algorithm 2 (lines 2-10).
+
+    Runs Dijkstra from ``query_node`` and stops at the first settled
+    existing stop ``nn(q)``.  Every *candidate* stop settled before the
+    termination is collected together with its distance — those are
+    exactly the stops whose reverse-nearest-neighbour sets contain the
+    query (``dist(q, v) <= dist(q, nn(q))``).
+
+    Args:
+        network: the road network.
+        query_node: the origin/destination node of a transit query.
+        is_existing_stop: boolean mask over nodes, true for ``S_existing``.
+        is_candidate_stop: boolean mask over nodes, true for ``S_new``.
+
+    Returns:
+        ``(nn_stop, nn_distance, visited_candidates)`` where
+        ``visited_candidates`` is a list of ``(candidate_stop, distance)``
+        pairs settled strictly before the nearest existing stop.
+
+    Raises:
+        GraphError: if no existing stop is reachable from ``query_node``.
+    """
+    dist: Dict[int, float] = {query_node: 0.0}
+    heap: List[Tuple[float, int]] = [(0.0, query_node)]
+    visited_candidates: List[Tuple[int, float]] = []
+    settled: Set[int] = set()
+    adj = network.neighbors
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        if is_existing_stop[u]:
+            return u, d, visited_candidates
+        if is_candidate_stop[u]:
+            visited_candidates.append((u, d))
+        for v, cost in adj(u):
+            nd = d + cost
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    raise GraphError(
+        f"no existing bus stop reachable from query node {query_node}"
+    )
+
+
+def multi_source_costs(
+    network: RoadNetwork,
+    sources: Sequence[int],
+    *,
+    max_cost: Optional[float] = None,
+) -> List[float]:
+    """Cost of the cheapest path from *any* source to each node.
+
+    Equivalent to Dijkstra from a virtual super-source connected to all
+    ``sources`` with zero-cost edges.
+    """
+    n = network.num_nodes
+    dist = [INF] * n
+    heap: List[Tuple[float, int]] = []
+    for s in sources:
+        if dist[s] > 0.0:
+            dist[s] = 0.0
+            heap.append((0.0, s))
+    heapq.heapify(heap)
+    adj = network.neighbors
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        if max_cost is not None and d > max_cost:
+            dist[u] = INF
+            continue
+        for v, cost in adj(u):
+            nd = d + cost
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    if max_cost is not None:
+        for v in range(n):
+            if dist[v] > max_cost:
+                dist[v] = INF
+    return dist
+
+
+class IncrementalNearestDistance:
+    """Nearest-distance-to-a-growing-set maintenance.
+
+    Maintains ``dist_to_set[v] = min over s in S of dist(v, s)`` for a
+    set ``S`` that only grows.  Adding a new source runs one Dijkstra
+    from it, pruned wherever the tentative cost is no better than the
+    already-known distance — so the total work over all additions is
+    bounded by the work of one multi-source search per "region" of the
+    network, not one full search per source.
+
+    EBRR uses this to keep the distance from every candidate stop to the
+    current solution set ``B`` (needed by the price function) without
+    re-running searches.
+    """
+
+    def __init__(self, network: RoadNetwork) -> None:
+        self._network = network
+        self.distance: List[float] = [INF] * network.num_nodes
+        self._sources: List[int] = []
+
+    @property
+    def sources(self) -> List[int]:
+        """The sources added so far, in insertion order (a copy)."""
+        return list(self._sources)
+
+    def add_source(self, source: int, *, max_cost: Optional[float] = None) -> List[int]:
+        """Add ``source`` to the set and relax distances.
+
+        Args:
+            source: the new set member.
+            max_cost: optional truncation radius for the relaxation.
+
+        Returns:
+            The list of nodes whose distance improved.
+        """
+        dist = self.distance
+        if dist[source] <= 0.0:
+            self._sources.append(source)
+            return []
+        improved: List[int] = []
+        local: Dict[int, float] = {source: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        adj = self._network.neighbors
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > local.get(u, INF):
+                continue
+            if max_cost is not None and d > max_cost:
+                continue
+            if d >= dist[u]:
+                # everything beyond u through this path is already
+                # dominated by an earlier source
+                continue
+            dist[u] = d
+            improved.append(u)
+            for v, cost in adj(u):
+                nd = d + cost
+                if nd < local.get(v, INF) and nd < dist[v]:
+                    local[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        self._sources.append(source)
+        return improved
+
+    def __getitem__(self, node: int) -> float:
+        return self.distance[node]

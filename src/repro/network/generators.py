@@ -1,0 +1,298 @@
+"""Synthetic road network generators.
+
+The paper evaluates on the DIMACS road networks of Chicago, New York
+City, and Orlando.  Those files are not redistributable here, so this
+module builds networks with the same *qualitative* structure at a
+configurable scale:
+
+* :func:`grid_city` — a perturbed lattice with diagonal shortcuts and an
+  optional half-plane "coastline" cut (Chicago: a dense grid bounded by
+  Lake Michigan on the east);
+* :func:`radial_city` — several dense clusters ("boroughs") joined by a
+  few bridge edges (New York City);
+* :func:`sprawl_city` — a low-density suburban web grown from arterial
+  roads (Orlando).
+
+All generators return a connected :class:`RoadNetwork` whose edge costs
+are Euclidean lengths (kilometres) times a small random detour factor
+``>= 1``, which preserves the "Euclidean distance lower-bounds network
+distance" invariant the lower-bound price of Algorithm 4 needs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import GraphError
+from .geometry import Point, euclidean, interpolate
+from .graph import Edge, RoadNetwork
+
+# Road-length multiplier bounds applied on top of the Euclidean gap.
+_MIN_DETOUR = 1.0
+_MAX_DETOUR = 1.3
+
+
+def _edge(u: int, v: int, coords: List[Point], rng: np.random.Generator) -> Edge:
+    base = euclidean(coords[u], coords[v])
+    detour = rng.uniform(_MIN_DETOUR, _MAX_DETOUR)
+    return (u, v, max(base * detour, 1e-6))
+
+
+#: Edges longer than this are subdivided.  Real road networks (DIMACS)
+#: consist of short segments; long synthetic edges (bridges, arterials)
+#: would otherwise have no nodes to host intermediate bus stops, making
+#: the adjacent-cost constraint C physically unsatisfiable across them.
+_MAX_SEGMENT_KM = 0.5
+
+
+def _subdivide_long_edges(
+    coords: List[Point], edges: List[Edge], max_segment: float = _MAX_SEGMENT_KM
+) -> List[Edge]:
+    """Split every edge longer than ``max_segment`` into equal pieces,
+    appending the intermediate nodes to ``coords`` (mutated in place)."""
+    result: List[Edge] = []
+    for u, v, cost in edges:
+        if cost <= max_segment:
+            result.append((u, v, cost))
+            continue
+        pieces = int(math.ceil(cost / max_segment))
+        prev = u
+        for i in range(1, pieces):
+            mid = interpolate(coords[u], coords[v], i / pieces)
+            coords.append(mid)
+            mid_id = len(coords) - 1
+            result.append((prev, mid_id, cost / pieces))
+            prev = mid_id
+        result.append((prev, v, cost / pieces))
+    return result
+
+
+def _largest_component_network(coords: List[Point], edges: List[Edge]) -> RoadNetwork:
+    """Build a network from possibly-disconnected parts, subdividing
+    over-long edges and keeping the largest connected component."""
+    coords = list(coords)
+    edges = _subdivide_long_edges(coords, edges)
+    candidate = RoadNetwork(coords, edges, validate_connected=False)
+    if candidate.is_connected():
+        return candidate
+    network, _ = candidate.subgraph(list(candidate.nodes()))
+    return network
+
+
+def grid_city(
+    rows: int,
+    cols: int,
+    *,
+    block_km: float = 0.25,
+    jitter: float = 0.15,
+    diagonal_fraction: float = 0.08,
+    removal_fraction: float = 0.05,
+    coastline: Optional[float] = None,
+    seed: int = 0,
+) -> RoadNetwork:
+    """A perturbed street grid (Chicago-style).
+
+    Args:
+        rows / cols: lattice dimensions before any coastline cut.
+        block_km: nominal block length in kilometres (~250 m downtown).
+        jitter: node position noise as a fraction of ``block_km``.
+        diagonal_fraction: fraction of cells that get a diagonal street.
+        removal_fraction: fraction of lattice edges removed to model
+            irregular street patterns (connectivity is restored by
+            keeping the largest component).
+        coastline: if given, nodes with ``x > coastline * cols * block_km``
+            are dropped — a straight shoreline on the east side.
+        seed: RNG seed; generation is fully deterministic per seed.
+    """
+    if rows < 2 or cols < 2:
+        raise GraphError("grid_city needs at least a 2x2 lattice")
+    rng = np.random.default_rng(seed)
+    width = cols * block_km
+    shoreline_x = coastline * width if coastline is not None else None
+
+    coords: List[Point] = []
+    index: dict = {}
+    for r in range(rows):
+        for c in range(cols):
+            x = c * block_km + rng.uniform(-jitter, jitter) * block_km
+            y = r * block_km + rng.uniform(-jitter, jitter) * block_km
+            if shoreline_x is not None and x > shoreline_x:
+                continue
+            index[(r, c)] = len(coords)
+            coords.append((x, y))
+
+    edges: List[Edge] = []
+    for (r, c), u in index.items():
+        for dr, dc in ((0, 1), (1, 0)):
+            v = index.get((r + dr, c + dc))
+            if v is not None and rng.random() >= removal_fraction:
+                edges.append(_edge(u, v, coords, rng))
+        if rng.random() < diagonal_fraction:
+            v = index.get((r + 1, c + 1))
+            if v is not None:
+                edges.append(_edge(u, v, coords, rng))
+    if not edges:
+        raise GraphError("grid_city produced no edges; check parameters")
+    return _largest_component_network(coords, edges)
+
+
+def radial_city(
+    num_boroughs: int = 4,
+    nodes_per_borough: int = 900,
+    *,
+    borough_radius_km: float = 4.0,
+    spacing_km: float = 9.0,
+    bridges_per_pair: int = 2,
+    seed: int = 0,
+) -> RoadNetwork:
+    """Several dense clusters joined by bridges (NYC-style).
+
+    Each borough is a random geometric graph: nodes scattered in a disk,
+    connected to their ~4 nearest neighbours.  Borough centers sit on a
+    circle of radius ``spacing_km``; adjacent boroughs are joined by
+    ``bridges_per_pair`` bridge edges between their closest node pairs.
+    """
+    if num_boroughs < 2:
+        raise GraphError("radial_city needs at least two boroughs")
+    rng = np.random.default_rng(seed)
+    coords: List[Point] = []
+    borough_nodes: List[List[int]] = []
+    edges: List[Edge] = []
+
+    for b in range(num_boroughs):
+        angle = 2 * math.pi * b / num_boroughs
+        cx = spacing_km * math.cos(angle)
+        cy = spacing_km * math.sin(angle)
+        start = len(coords)
+        pts = []
+        for _ in range(nodes_per_borough):
+            radius = borough_radius_km * math.sqrt(rng.random())
+            theta = rng.uniform(0, 2 * math.pi)
+            pts.append((cx + radius * math.cos(theta), cy + radius * math.sin(theta)))
+        coords.extend(pts)
+        ids = list(range(start, start + nodes_per_borough))
+        borough_nodes.append(ids)
+        edges.extend(_knn_edges(pts, ids, k=4, rng=rng, coords=coords))
+
+    # Bridges between adjacent boroughs (ring topology plus one chord).
+    pairs = [(b, (b + 1) % num_boroughs) for b in range(num_boroughs)]
+    if num_boroughs > 3:
+        pairs.append((0, num_boroughs // 2))
+    for a, b in pairs:
+        edges.extend(
+            _bridge_edges(borough_nodes[a], borough_nodes[b], coords, bridges_per_pair, rng)
+        )
+    return _largest_component_network(coords, edges)
+
+
+def sprawl_city(
+    num_nodes: int = 2000,
+    *,
+    extent_km: float = 18.0,
+    arterial_count: int = 6,
+    seed: int = 0,
+) -> RoadNetwork:
+    """A low-density suburban road web (Orlando-style).
+
+    Nodes are scattered with density decaying away from a handful of
+    arterial corridors; each node connects to its 3 nearest neighbours,
+    and arterial nodes form long chains, giving the long blocks and
+    loose connectivity typical of sunbelt sprawl.
+    """
+    if num_nodes < 10:
+        raise GraphError("sprawl_city needs at least 10 nodes")
+    rng = np.random.default_rng(seed)
+    coords: List[Point] = []
+
+    # Arterial corridors: straight lines across the extent.
+    arterial_ids: List[List[int]] = []
+    nodes_per_arterial = max(10, num_nodes // (arterial_count * 4))
+    for _ in range(arterial_count):
+        x0, y0 = rng.uniform(0, extent_km, size=2)
+        angle = rng.uniform(0, math.pi)
+        dx, dy = math.cos(angle), math.sin(angle)
+        chain = []
+        for i in range(nodes_per_arterial):
+            t = (i - nodes_per_arterial / 2) * (extent_km / nodes_per_arterial)
+            x = min(max(x0 + t * dx, 0.0), extent_km)
+            y = min(max(y0 + t * dy, 0.0), extent_km)
+            chain.append(len(coords))
+            coords.append((x, y))
+        arterial_ids.append(chain)
+
+    # Suburban fill clustered near arterials.
+    remaining = num_nodes - len(coords)
+    anchor_pts = [coords[i] for chain in arterial_ids for i in chain]
+    for _ in range(max(0, remaining)):
+        ax, ay = anchor_pts[rng.integers(0, len(anchor_pts))]
+        x = min(max(ax + rng.normal(0, extent_km / 10), 0.0), extent_km)
+        y = min(max(ay + rng.normal(0, extent_km / 10), 0.0), extent_km)
+        coords.append((x, y))
+
+    edges: List[Edge] = []
+    for chain in arterial_ids:
+        for i in range(len(chain) - 1):
+            if coords[chain[i]] != coords[chain[i + 1]]:
+                edges.append(_edge(chain[i], chain[i + 1], coords, rng))
+    all_ids = list(range(len(coords)))
+    edges.extend(_knn_edges(coords, all_ids, k=3, rng=rng, coords=coords))
+    return _largest_component_network(coords, edges)
+
+
+# ----------------------------------------------------------------------
+# Internal helpers
+# ----------------------------------------------------------------------
+
+
+def _knn_edges(
+    points: List[Point],
+    ids: List[int],
+    *,
+    k: int,
+    rng: np.random.Generator,
+    coords: List[Point],
+) -> List[Edge]:
+    """Connect each point to its k nearest neighbours within ``ids``."""
+    arr = np.asarray([coords[i] for i in ids], dtype=float)
+    edges: List[Edge] = []
+    n = len(ids)
+    if n <= 1:
+        return edges
+    # Chunked pairwise distances to bound memory on larger boroughs.
+    chunk = 512
+    for lo in range(0, n, chunk):
+        hi = min(lo + chunk, n)
+        diff = arr[lo:hi, None, :] - arr[None, :, :]
+        d2 = np.einsum("ijk,ijk->ij", diff, diff)
+        for row in range(hi - lo):
+            d2[row, lo + row] = np.inf
+            neighbor_count = min(k, n - 1)
+            nearest = np.argpartition(d2[row], neighbor_count)[:neighbor_count]
+            for j in nearest:
+                u, v = ids[lo + row], ids[int(j)]
+                if u != v and coords[u] != coords[v]:
+                    edges.append(_edge(u, v, coords, rng))
+    return edges
+
+
+def _bridge_edges(
+    ids_a: List[int],
+    ids_b: List[int],
+    coords: List[Point],
+    count: int,
+    rng: np.random.Generator,
+) -> List[Edge]:
+    """The ``count`` cheapest cross edges between two node groups."""
+    arr_a = np.asarray([coords[i] for i in ids_a], dtype=float)
+    arr_b = np.asarray([coords[i] for i in ids_b], dtype=float)
+    diff = arr_a[:, None, :] - arr_b[None, :, :]
+    d2 = np.einsum("ijk,ijk->ij", diff, diff)
+    flat = np.argsort(d2, axis=None)[: max(1, count)]
+    edges: List[Edge] = []
+    for f in flat:
+        i, j = divmod(int(f), len(ids_b))
+        edges.append(_edge(ids_a[i], ids_b[j], coords, rng))
+    return edges

@@ -1,0 +1,172 @@
+"""Planar geometry helpers shared by the network package.
+
+Coordinates throughout the repository are planar ``(x, y)`` pairs in
+kilometres.  The paper's datasets use projected road networks where edge
+costs are distances in kilometres; keeping a single unit everywhere lets
+the Euclidean metric act as a valid lower bound of the network metric,
+which Algorithm 4 (the lower-bound price) relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Straight-line distance between two points, in the same unit as
+    the coordinates (kilometres by convention)."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """The midpoint of segment ``ab``."""
+    return ((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)
+
+
+def bounding_box(points: Iterable[Point]) -> Tuple[float, float, float, float]:
+    """Return ``(min_x, min_y, max_x, max_y)`` over ``points``.
+
+    Raises:
+        ValueError: if ``points`` is empty.
+    """
+    iterator = iter(points)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise ValueError("bounding_box() requires at least one point")
+    min_x = max_x = first[0]
+    min_y = max_y = first[1]
+    for x, y in iterator:
+        min_x = min(min_x, x)
+        max_x = max(max_x, x)
+        min_y = min(min_y, y)
+        max_y = max(max_y, y)
+    return (min_x, min_y, max_x, max_y)
+
+
+def interpolate(a: Point, b: Point, fraction: float) -> Point:
+    """The point a ``fraction`` of the way from ``a`` to ``b``.
+
+    ``fraction`` is clamped to ``[0, 1]`` so callers can pass ratios
+    computed from path costs without worrying about rounding overshoot.
+    """
+    t = min(1.0, max(0.0, fraction))
+    return (a[0] + (b[0] - a[0]) * t, a[1] + (b[1] - a[1]) * t)
+
+
+def polyline_length(points: Sequence[Point]) -> float:
+    """Total Euclidean length of the polyline through ``points``."""
+    return sum(euclidean(points[i], points[i + 1]) for i in range(len(points) - 1))
+
+
+def points_within_radius(
+    points: Sequence[Point], center: Point, radius: float
+) -> List[int]:
+    """Indices of ``points`` whose Euclidean distance to ``center`` is at
+    most ``radius``.  A simple linear scan; used only on small sets.
+    """
+    cx, cy = center
+    r2 = radius * radius
+    result = []
+    for i, (x, y) in enumerate(points):
+        dx = x - cx
+        dy = y - cy
+        if dx * dx + dy * dy <= r2:
+            result.append(i)
+    return result
+
+
+class GridIndex:
+    """A uniform spatial hash over planar points.
+
+    Supports nearest-point and radius queries in roughly O(1) for
+    uniformly scattered data.  Used by the demand generators to snap
+    sampled locations to network nodes, and by the case-study coverage
+    metric; the core EBRR algorithm itself never needs it (it always
+    measures network, not Euclidean, costs).
+    """
+
+    def __init__(self, points: Sequence[Point], cell_size: float = 0.5) -> None:
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        self._points = list(points)
+        self._cell = cell_size
+        self._buckets: dict = {}
+        for idx, (x, y) in enumerate(self._points):
+            self._buckets.setdefault(self._key(x, y), []).append(idx)
+
+    def _key(self, x: float, y: float) -> Tuple[int, int]:
+        return (int(math.floor(x / self._cell)), int(math.floor(y / self._cell)))
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def nearest(self, point: Point) -> int:
+        """Index of the point nearest to ``point``.
+
+        Expands the ring of visited cells until a candidate is found and
+        then one further ring to guarantee correctness near cell borders.
+
+        Raises:
+            ValueError: if the index is empty.
+        """
+        if not self._points:
+            raise ValueError("nearest() on an empty GridIndex")
+        cx, cy = self._key(point[0], point[1])
+        best_idx = -1
+        best_d2 = math.inf
+        ring = 0
+        max_ring = self._max_ring()
+        while ring <= max_ring:
+            found_any = False
+            for key in self._ring_keys(cx, cy, ring):
+                for idx in self._buckets.get(key, ()):
+                    found_any = True
+                    px, py = self._points[idx]
+                    d2 = (px - point[0]) ** 2 + (py - point[1]) ** 2
+                    if d2 < best_d2:
+                        best_d2 = d2
+                        best_idx = idx
+            if best_idx >= 0 and not found_any and ring * self._cell > math.sqrt(best_d2) + self._cell:
+                break
+            if best_idx >= 0 and (ring - 1) * self._cell > math.sqrt(best_d2):
+                break
+            ring += 1
+        return best_idx
+
+    def within(self, point: Point, radius: float) -> List[int]:
+        """Indices of all points within ``radius`` of ``point``."""
+        result = []
+        r2 = radius * radius
+        cx_lo, cy_lo = self._key(point[0] - radius, point[1] - radius)
+        cx_hi, cy_hi = self._key(point[0] + radius, point[1] + radius)
+        for kx in range(cx_lo, cx_hi + 1):
+            for ky in range(cy_lo, cy_hi + 1):
+                for idx in self._buckets.get((kx, ky), ()):
+                    px, py = self._points[idx]
+                    if (px - point[0]) ** 2 + (py - point[1]) ** 2 <= r2:
+                        result.append(idx)
+        return result
+
+    def _max_ring(self) -> int:
+        keys = self._buckets.keys()
+        if not keys:
+            return 0
+        xs = [k[0] for k in keys]
+        ys = [k[1] for k in keys]
+        return (max(xs) - min(xs)) + (max(ys) - min(ys)) + 2
+
+    @staticmethod
+    def _ring_keys(cx: int, cy: int, ring: int):
+        if ring == 0:
+            yield (cx, cy)
+            return
+        for dx in range(-ring, ring + 1):
+            yield (cx + dx, cy - ring)
+            yield (cx + dx, cy + ring)
+        for dy in range(-ring + 1, ring):
+            yield (cx - ring, cy + dy)
+            yield (cx + ring, cy + dy)

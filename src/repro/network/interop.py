@@ -1,0 +1,85 @@
+"""networkx interoperability.
+
+The ecosystem's graph tooling (osmnx extracts, centrality analysis,
+drawing) lives on networkx.  These converters bridge both ways:
+``to_networkx`` for analysis/visualization of a :class:`RoadNetwork`,
+``from_networkx`` for importing graphs built elsewhere (e.g. an osmnx
+street network converted to an undirected weighted graph).
+
+networkx is an optional dependency: the import happens inside the
+functions so the core library stays numpy-only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..exceptions import GraphError
+from .graph import RoadNetwork
+
+
+def to_networkx(network: RoadNetwork):
+    """Convert to an undirected ``networkx.Graph``.
+
+    Nodes carry ``x``/``y`` attributes; edges carry ``weight`` (the
+    cost).  Requires networkx to be installed.
+    """
+    import networkx as nx
+
+    graph = nx.Graph()
+    for node in network.nodes():
+        x, y = network.coordinate(node)
+        graph.add_node(node, x=x, y=y)
+    for u, v, cost in network.edges():
+        graph.add_edge(u, v, weight=cost)
+    return graph
+
+
+def from_networkx(
+    graph,
+    *,
+    weight: str = "weight",
+    x_attr: str = "x",
+    y_attr: str = "y",
+    validate_connected: bool = True,
+) -> Tuple[RoadNetwork, Dict[object, int]]:
+    """Convert a networkx graph to a :class:`RoadNetwork`.
+
+    Args:
+        graph: an undirected networkx graph whose nodes have planar
+            coordinate attributes and whose edges have a cost attribute.
+        weight: edge attribute holding the cost (must be positive).
+        x_attr / y_attr: node coordinate attributes.
+        validate_connected: enforce Definition 1's connectivity.
+
+    Returns:
+        ``(network, node_map)`` with ``node_map[original] = dense id``.
+
+    Raises:
+        GraphError: on missing attributes or invalid costs.
+    """
+    nodes = list(graph.nodes())
+    if not nodes:
+        raise GraphError("cannot convert an empty graph")
+    node_map = {node: i for i, node in enumerate(nodes)}
+    coords = []
+    for node in nodes:
+        data = graph.nodes[node]
+        try:
+            coords.append((float(data[x_attr]), float(data[y_attr])))
+        except KeyError as exc:
+            raise GraphError(
+                f"node {node!r} missing coordinate attribute {exc.args[0]!r}"
+            ) from exc
+    edges = []
+    for u, v, data in graph.edges(data=True):
+        try:
+            cost = float(data[weight])
+        except KeyError as exc:
+            raise GraphError(
+                f"edge ({u!r}, {v!r}) missing weight attribute "
+                f"{exc.args[0]!r}"
+            ) from exc
+        edges.append((node_map[u], node_map[v], cost))
+    network = RoadNetwork(coords, edges, validate_connected=validate_connected)
+    return network, node_map

@@ -1,0 +1,119 @@
+"""Yen's algorithm for K loopless shortest paths.
+
+Candidate-route generators (ETA-Pre's pool, alternative-route analysis)
+want not just *the* shortest path between two nodes but a diverse set
+of near-shortest ones.  Yen's algorithm [Yen, 1971] delivers the K
+cheapest simple paths exactly: each next path is the best "spur" that
+deviates from an already-found path at some node while banning the
+edges that would recreate earlier results.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import ConfigurationError, GraphError
+from .graph import RoadNetwork
+
+INF = math.inf
+
+
+def k_shortest_paths(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    k: int,
+) -> List[Tuple[List[int], float]]:
+    """The ``k`` cheapest loopless paths ``source -> target``.
+
+    Returns:
+        Up to ``k`` ``(path, cost)`` pairs in non-decreasing cost order
+        (fewer if the graph has fewer simple paths).
+
+    Raises:
+        ConfigurationError: if ``k < 1`` or ``source == target``.
+        GraphError: if ``target`` is unreachable.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if source == target:
+        raise ConfigurationError("source and target must differ")
+
+    first = _restricted_shortest_path(network, source, target, set(), set())
+    if first is None:
+        raise GraphError(f"node {target} unreachable from {source}")
+    found: List[Tuple[List[int], float]] = [first]
+    candidates: List[Tuple[float, int, List[int]]] = []
+    tiebreak = 0
+
+    while len(found) < k:
+        previous_path = found[-1][0]
+        for spur_index in range(len(previous_path) - 1):
+            spur_node = previous_path[spur_index]
+            root = previous_path[: spur_index + 1]
+            root_cost = network.path_cost(root)
+
+            banned_edges: Set[Tuple[int, int]] = set()
+            for path, _ in found:
+                if path[: spur_index + 1] == root and len(path) > spur_index + 1:
+                    a, b = path[spur_index], path[spur_index + 1]
+                    banned_edges.add((a, b) if a < b else (b, a))
+            banned_nodes = set(root[:-1])
+
+            spur = _restricted_shortest_path(
+                network, spur_node, target, banned_nodes, banned_edges
+            )
+            if spur is None:
+                continue
+            spur_path, spur_cost = spur
+            total = root[:-1] + spur_path
+            cost = root_cost + spur_cost
+            if not any(total == p for p, _ in found) and not any(
+                total == p for _, _, p in candidates
+            ):
+                heapq.heappush(candidates, (cost, tiebreak, total))
+                tiebreak += 1
+        if not candidates:
+            break
+        cost, _, path = heapq.heappop(candidates)
+        found.append((path, cost))
+    return found
+
+
+def _restricted_shortest_path(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    banned_nodes: Set[int],
+    banned_edges: Set[Tuple[int, int]],
+) -> Optional[Tuple[List[int], float]]:
+    """Dijkstra avoiding banned nodes/edges; None if no path."""
+    if source in banned_nodes or target in banned_nodes:
+        return None
+    dist: Dict[int, float] = {source: 0.0}
+    parent: Dict[int, int] = {}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, INF):
+            continue
+        if u == target:
+            path = [target]
+            while path[-1] != source:
+                path.append(parent[path[-1]])
+            path.reverse()
+            return path, d
+        for v, cost in network.neighbors(u):
+            if v in banned_nodes:
+                continue
+            key = (u, v) if u < v else (v, u)
+            if key in banned_edges:
+                continue
+            nd = d + cost
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    return None

@@ -1,0 +1,135 @@
+"""Descriptive analytics of a transit network.
+
+The measures transit papers (including this one) summarize networks
+with: stop spacing, route overlap, transfer-degree distribution, and
+spatial coverage of the population/demand.  Used by the examples and
+handy for sanity-checking real feeds after import.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..demand.query import QuerySet
+from ..exceptions import ConfigurationError
+from ..network.dijkstra import multi_source_costs
+from .network import TransitNetwork
+
+
+@dataclass(frozen=True)
+class TransitSummary:
+    """Aggregate statistics of a transit network.
+
+    Attributes:
+        num_routes / num_stops: sizes.
+        total_route_km: summed route path lengths.
+        mean_stop_spacing_km: average adjacent-stop cost over all routes.
+        max_stop_spacing_km: worst adjacent-stop cost.
+        mean_stops_per_route: average ``|B_r|``.
+        transfer_stops: stops served by at least two routes.
+        max_transfer_degree: the busiest stop's ``|routes(v)|``.
+        node_coverage: fraction of road nodes within the coverage
+            radius of some stop.
+    """
+
+    num_routes: int
+    num_stops: int
+    total_route_km: float
+    mean_stop_spacing_km: float
+    max_stop_spacing_km: float
+    mean_stops_per_route: float
+    transfer_stops: int
+    max_transfer_degree: int
+    node_coverage: float
+
+
+def summarize_transit(
+    transit: TransitNetwork, *, coverage_radius_km: float = 0.4
+) -> TransitSummary:
+    """Compute a :class:`TransitSummary` (see its attribute docs).
+
+    Args:
+        transit: the network to summarize.
+        coverage_radius_km: walk-access radius for the coverage figure
+            (400 m is the common planning standard).
+    """
+    if coverage_radius_km <= 0:
+        raise ConfigurationError("coverage_radius_km must be positive")
+    network = transit.road_network
+    spacings: List[float] = []
+    total_km = 0.0
+    stops_per_route: List[int] = []
+    for route in transit.routes():
+        total_km += route.length(network)
+        stops_per_route.append(route.num_stops)
+        spacings.extend(route.adjacent_stop_costs(network))
+    degrees = [transit.degree(s) for s in transit.existing_stops]
+    covered = multi_source_costs(
+        network, transit.existing_stops, max_cost=coverage_radius_km
+    )
+    coverage = sum(1 for d in covered if math.isfinite(d)) / network.num_nodes
+    return TransitSummary(
+        num_routes=transit.num_routes,
+        num_stops=len(transit.existing_stops),
+        total_route_km=total_km,
+        mean_stop_spacing_km=(sum(spacings) / len(spacings)) if spacings else 0.0,
+        max_stop_spacing_km=max(spacings) if spacings else 0.0,
+        mean_stops_per_route=(
+            sum(stops_per_route) / len(stops_per_route) if stops_per_route else 0.0
+        ),
+        transfer_stops=sum(1 for d in degrees if d >= 2),
+        max_transfer_degree=max(degrees) if degrees else 0,
+        node_coverage=coverage,
+    )
+
+
+def transfer_degree_histogram(transit: TransitNetwork) -> Dict[int, int]:
+    """``{|routes(v)|: count of stops}`` — the transfer structure."""
+    histogram: Dict[int, int] = {}
+    for stop in transit.existing_stops:
+        degree = transit.degree(stop)
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def route_overlap_matrix(transit: TransitNetwork) -> List[List[int]]:
+    """``overlap[i][j]`` = number of stops shared by routes i and j
+    (the diagonal is each route's own stop count)."""
+    routes = transit.routes()
+    stop_sets = [r.stop_set for r in routes]
+    n = len(routes)
+    matrix = [[0] * n for _ in range(n)]
+    for i in range(n):
+        matrix[i][i] = len(stop_sets[i])
+        for j in range(i + 1, n):
+            shared = len(stop_sets[i] & stop_sets[j])
+            matrix[i][j] = shared
+            matrix[j][i] = shared
+    return matrix
+
+
+def demand_coverage(
+    transit: TransitNetwork,
+    queries: QuerySet,
+    *,
+    radii_km: Sequence[float] = (0.2, 0.4, 0.8),
+) -> Dict[float, float]:
+    """Fraction of the demand multiset within each walk radius of a
+    stop — the access profile planners quote ("x% within 400 m")."""
+    if not radii_km:
+        raise ConfigurationError("radii_km must be non-empty")
+    ordered = sorted(radii_km)
+    dist = multi_source_costs(
+        queries.network, transit.existing_stops, max_cost=ordered[-1]
+    )
+    total = len(queries)
+    result: Dict[float, float] = {}
+    for radius in ordered:
+        covered = sum(
+            1 for v in queries.nodes
+            if math.isfinite(dist[v]) and dist[v] <= radius + 1e-9
+        )
+        result[radius] = covered / total
+    return result

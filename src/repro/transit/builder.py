@@ -1,0 +1,147 @@
+"""Synthetic transit network construction.
+
+Stands in for the CTA / MTA / Lynx feeds of the paper.  Routes are laid
+out the way real bus networks grow: pick pairs of high-activity hubs,
+run each route along the road shortest path between them, and place
+stops every ~400 m along the way.  Hubs are drawn from a spatially
+biased distribution so that several routes share stops downtown — which
+is what gives ``Connect`` its coverage structure (stops served by many
+routes are valuable transfer points).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import TransitError
+from ..network.dijkstra import shortest_path
+from ..network.geometry import bounding_box, euclidean
+from ..network.graph import RoadNetwork
+from .network import TransitNetwork
+from .route import BusRoute
+
+
+def build_transit_network(
+    network: RoadNetwork,
+    num_routes: int,
+    *,
+    stop_spacing_km: float = 0.4,
+    num_hubs: Optional[int] = None,
+    hub_concentration: float = 2.0,
+    seed: int = 0,
+) -> TransitNetwork:
+    """Generate a synthetic existing transit network.
+
+    Args:
+        network: the road network to route over.
+        num_routes: how many bus routes to create.
+        stop_spacing_km: target cost between consecutive stops.
+        num_hubs: number of hub nodes routes start/end at; defaults to
+            ``max(4, num_routes // 2)``.
+        hub_concentration: >1 biases hubs toward the city centre, which
+            makes downtown stops shared by many routes (realistic
+            transfer structure).  1.0 places hubs uniformly.
+        seed: RNG seed.
+
+    Raises:
+        TransitError: if ``num_routes < 1`` or the network is too small.
+    """
+    if num_routes < 1:
+        raise TransitError(f"num_routes must be >= 1, got {num_routes}")
+    if network.num_nodes < 4:
+        raise TransitError("network too small to host a transit system")
+    rng = np.random.default_rng(seed)
+    hubs = _pick_hubs(
+        network,
+        num_hubs if num_hubs is not None else max(4, num_routes // 2),
+        hub_concentration,
+        rng,
+    )
+
+    routes: List[BusRoute] = []
+    attempts = 0
+    while len(routes) < num_routes and attempts < num_routes * 20:
+        attempts += 1
+        a, b = rng.choice(len(hubs), size=2, replace=False)
+        start, end = hubs[int(a)], hubs[int(b)]
+        if start == end:
+            continue
+        try:
+            path, cost = shortest_path(network, start, end)
+        except Exception:  # unreachable pair on exotic subgraphs
+            continue
+        if len(path) < 2:
+            continue
+        stops = place_stops_along_path(network, path, stop_spacing_km)
+        if len(stops) < 2:
+            continue
+        routes.append(BusRoute(f"route_{len(routes)}", stops, path))
+    if len(routes) < num_routes:
+        raise TransitError(
+            f"could only construct {len(routes)}/{num_routes} routes; "
+            "network may be too small or too disconnected"
+        )
+    return TransitNetwork(network, routes)
+
+
+def place_stops_along_path(
+    network: RoadNetwork, path: Sequence[int], spacing_km: float
+) -> List[int]:
+    """Greedy stop placement along a path: the first node, then the
+    farthest subsequent node whose along-path cost since the previous
+    stop stays at most ``spacing_km`` — falling back to the immediate
+    next node for edges longer than the spacing — and always the last
+    node.  Consecutive-stop costs therefore never exceed
+    ``max(spacing_km, longest edge on the path)``.
+    """
+    if spacing_km <= 0:
+        raise TransitError(f"spacing must be positive, got {spacing_km}")
+    if len(path) == 0:
+        return []
+    stops = [path[0]]
+    accumulated = 0.0
+    for i in range(1, len(path)):
+        step = network.edge_cost(path[i - 1], path[i])
+        if accumulated + step > spacing_km and accumulated > 0.0:
+            stops.append(path[i - 1])
+            accumulated = step
+        else:
+            accumulated += step
+    if path[-1] != stops[-1]:
+        stops.append(path[-1])
+    # Deduplicate while preserving order (paths may revisit a node).
+    seen = set()
+    unique = []
+    for s in stops:
+        if s not in seen:
+            seen.add(s)
+            unique.append(s)
+    return unique
+
+
+def _pick_hubs(
+    network: RoadNetwork,
+    num_hubs: int,
+    concentration: float,
+    rng: np.random.Generator,
+) -> List[int]:
+    """Sample hub nodes biased toward the city centre.
+
+    Weight of node v is ``(1 - normalized distance to centroid) **
+    concentration`` plus a small floor so outskirts still get routes.
+    """
+    coords = network.coordinates()
+    min_x, min_y, max_x, max_y = bounding_box(coords)
+    cx, cy = (min_x + max_x) / 2.0, (min_y + max_y) / 2.0
+    half_diag = max(euclidean((min_x, min_y), (max_x, max_y)) / 2.0, 1e-9)
+    weights = np.empty(network.num_nodes, dtype=float)
+    for v, (x, y) in enumerate(coords):
+        closeness = 1.0 - min(1.0, euclidean((x, y), (cx, cy)) / half_diag)
+        weights[v] = 0.05 + closeness ** max(concentration, 0.0)
+    weights /= weights.sum()
+    count = min(num_hubs, network.num_nodes)
+    chosen = rng.choice(network.num_nodes, size=count, replace=False, p=weights)
+    return [int(v) for v in chosen]

@@ -1,0 +1,160 @@
+"""Frequency (headway) setting for a planned route.
+
+Route *design* is the paper's problem; real deployments then set the
+route's **frequency** (the related work it cites couples both, e.g.
+Szeto & Wu's simultaneous design-and-frequency-setting).  This module
+implements the standard peak-load frequency rule as a second stage:
+
+1. assign each demand query node to the route if the route offers its
+   nearest stop (the same nearest-stop logic as ``Walk``);
+2. estimate the boarding profile along the route (each assigned query
+   boards at its nearest route stop and rides toward the route's
+   midpoint — a symmetric approximation of unknown destinations);
+3. the peak load over all legs, divided by the vehicle capacity and the
+   design load factor, gives the required buses per hour, clamped to a
+   policy headway range.
+
+The result feeds straight back into the journey planner: the boarding
+penalty of a route is half its headway.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..demand.query import QuerySet
+from ..exceptions import ConfigurationError, TransitError
+from ..network.dijkstra import multi_source_costs
+from .network import TransitNetwork
+from .route import BusRoute
+
+
+@dataclass(frozen=True)
+class FrequencyPlan:
+    """The frequency decision for one route.
+
+    Attributes:
+        route_id: the route.
+        headway_min: minutes between consecutive buses.
+        buses_per_hour: ``60 / headway_min``.
+        peak_load: estimated passengers on the busiest leg per hour.
+        boardings: estimated boardings per stop, aligned with the
+            route's stop order.
+    """
+
+    route_id: str
+    headway_min: float
+    buses_per_hour: float
+    peak_load: float
+    boardings: Tuple[float, ...]
+
+    @property
+    def boarding_penalty_min(self) -> float:
+        """Expected wait: half the headway (random arrivals)."""
+        return self.headway_min / 2.0
+
+
+def estimate_boardings(
+    transit: TransitNetwork,
+    route: BusRoute,
+    queries: QuerySet,
+    *,
+    demand_per_query_node: float = 1.0,
+) -> List[float]:
+    """Boardings per stop of ``route``: each query node whose nearest
+    stop (over the whole network including the new route) lies on the
+    route boards there, weighted by multiplicity.
+    """
+    network = queries.network
+    all_stops = set(transit.existing_stops) | set(route.stops)
+    dist = multi_source_costs(network, sorted(all_stops))
+    # For each query node, find the route stop achieving the global
+    # nearest-stop distance (if any route stop does).
+    per_stop = []
+    for stop in route.stops:
+        per_stop.append(multi_source_costs(network, [stop]))
+    boardings = [0.0] * route.num_stops
+    for node in queries.nodes:
+        best = dist[node]
+        if not math.isfinite(best):
+            continue
+        for i, stop_dist in enumerate(per_stop):
+            if stop_dist[node] <= best + 1e-9:
+                boardings[i] += demand_per_query_node
+                break
+    return boardings
+
+
+def set_frequency(
+    transit: TransitNetwork,
+    route: BusRoute,
+    queries: QuerySet,
+    *,
+    vehicle_capacity: int = 60,
+    load_factor: float = 0.8,
+    min_headway_min: float = 4.0,
+    max_headway_min: float = 30.0,
+    demand_per_query_node: float = 1.0,
+) -> FrequencyPlan:
+    """Peak-load frequency setting (see module docstring).
+
+    Args:
+        transit: the existing network (competition for the demand).
+        route: the newly planned route.
+        queries: the demand multiset, interpreted as hourly trips.
+        vehicle_capacity: seats+standees per bus.
+        load_factor: design utilization of the capacity (0-1].
+        min_headway_min / max_headway_min: policy clamp.
+        demand_per_query_node: trips per query node per hour.
+
+    Raises:
+        ConfigurationError: on invalid parameters.
+    """
+    if vehicle_capacity < 1:
+        raise ConfigurationError("vehicle_capacity must be >= 1")
+    if not (0.0 < load_factor <= 1.0):
+        raise ConfigurationError("load_factor must be in (0, 1]")
+    if not (0.0 < min_headway_min <= max_headway_min):
+        raise ConfigurationError("headway clamp must satisfy 0 < min <= max")
+
+    boardings = estimate_boardings(
+        transit, route, queries, demand_per_query_node=demand_per_query_node
+    )
+    peak = _peak_leg_load(boardings)
+    effective_capacity = vehicle_capacity * load_factor
+    required_per_hour = peak / effective_capacity if effective_capacity else 0.0
+    if required_per_hour <= 0.0:
+        headway = max_headway_min
+    else:
+        headway = 60.0 / required_per_hour
+    headway = min(max(headway, min_headway_min), max_headway_min)
+    return FrequencyPlan(
+        route_id=route.route_id,
+        headway_min=headway,
+        buses_per_hour=60.0 / headway,
+        peak_load=peak,
+        boardings=tuple(boardings),
+    )
+
+
+def _peak_leg_load(boardings: Sequence[float]) -> float:
+    """Peak on-board load with boardings riding toward the route's
+    midpoint: the first half rides forward, the second half backward;
+    the load on each leg accumulates the boardings destined past it."""
+    n = len(boardings)
+    if n < 2:
+        return 0.0
+    mid = n / 2.0
+    load = [0.0] * (n - 1)  # load[i] = passengers on leg i -> i+1
+    for i, count in enumerate(boardings):
+        if count <= 0:
+            continue
+        if i < mid:
+            for leg in range(i, min(n - 1, int(math.ceil(mid)))):
+                load[leg] += count
+        else:
+            for leg in range(max(0, int(math.floor(mid)) - 1), i):
+                load[leg] += count
+    return max(load)

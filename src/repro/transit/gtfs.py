@@ -1,0 +1,87 @@
+"""GTFS-like CSV persistence for transit networks.
+
+Real feeds (CTA, MTA, Lynx) distribute stops and route shapes as CSV.
+This module writes/reads a minimal two-file flavour of that format so
+synthetic datasets can be saved, inspected, and reloaded:
+
+* ``stops.csv``   — ``stop_node,x,y`` (one row per distinct stop);
+* ``routes.csv``  — ``route_id,stop_nodes,path_nodes`` with the node
+  sequences encoded as ``|``-separated integers.
+
+Node coordinates are written for human inspection only; on load the
+node ids are authoritative and are validated against the road network.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Union
+
+from ..exceptions import DataFormatError
+from ..network.graph import RoadNetwork
+from .network import TransitNetwork
+from .route import BusRoute
+
+PathLike = Union[str, Path]
+
+_STOPS_FILE = "stops.csv"
+_ROUTES_FILE = "routes.csv"
+
+
+def save_transit(transit: TransitNetwork, directory: PathLike) -> None:
+    """Write a transit network to ``directory`` (created if missing)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    network = transit.road_network
+    with open(directory / _STOPS_FILE, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["stop_node", "x", "y"])
+        for stop in transit.existing_stops:
+            x, y = network.coordinate(stop)
+            writer.writerow([stop, f"{x:.6f}", f"{y:.6f}"])
+    with open(directory / _ROUTES_FILE, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["route_id", "stop_nodes", "path_nodes"])
+        for route in transit.routes():
+            writer.writerow(
+                [
+                    route.route_id,
+                    "|".join(str(s) for s in route.stops),
+                    "|".join(str(p) for p in route.path),
+                ]
+            )
+
+
+def load_transit(network: RoadNetwork, directory: PathLike) -> TransitNetwork:
+    """Load a transit network previously written by :func:`save_transit`.
+
+    Raises:
+        DataFormatError: on missing files or malformed rows.
+    """
+    directory = Path(directory)
+    routes_path = directory / _ROUTES_FILE
+    if not routes_path.exists():
+        raise DataFormatError(f"missing {routes_path}")
+    routes: List[BusRoute] = []
+    with open(routes_path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"route_id", "stop_nodes", "path_nodes"}
+        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
+            raise DataFormatError(
+                f"{routes_path}: header must contain {sorted(required)}"
+            )
+        for row_no, row in enumerate(reader, start=2):
+            try:
+                stops = _parse_nodes(row["stop_nodes"])
+                path = _parse_nodes(row["path_nodes"])
+            except ValueError as exc:
+                raise DataFormatError(f"{routes_path}:{row_no}: {exc}") from exc
+            routes.append(BusRoute(row["route_id"], stops, path))
+    return TransitNetwork(network, routes)
+
+
+def _parse_nodes(field: str) -> List[int]:
+    if not field:
+        raise ValueError("empty node sequence")
+    return [int(token) for token in field.split("|")]

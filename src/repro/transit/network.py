@@ -1,0 +1,172 @@
+"""The transit network: all existing routes and stops (Definition 3),
+``routes(v)``, and the connectivity function (Definition 7).
+
+Connectivity is a coverage function over routes.  Following the paper's
+Section IV-C remark, route memberships are packed into *bitmasks* (one
+bit per route, stored in arbitrary-precision ints): the marginal gain
+``ΔConnect_B(v)`` is then a popcount of ``mask(v) & ~covered``, which
+is what makes existing-stop evaluations O(1)-ish instead of set unions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import TransitError
+from ..network.graph import RoadNetwork
+from .route import BusRoute
+from .stop import BusStop
+
+
+class TransitNetwork:
+    """All existing bus routes of a city over a road network.
+
+    Args:
+        network: the underlying road network.
+        routes: the existing routes ``R_existing``.  Every node they
+            reference must exist on ``network``.
+        validate_paths: also verify each route's path is a real road
+            path (slower; on by default).
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        routes: Sequence[BusRoute],
+        *,
+        validate_paths: bool = True,
+    ) -> None:
+        self._network = network
+        self._routes: List[BusRoute] = list(routes)
+        route_ids = [r.route_id for r in self._routes]
+        if len(set(route_ids)) != len(route_ids):
+            raise TransitError("duplicate route ids in transit network")
+        self._routes_of_stop: Dict[int, List[int]] = {}
+        for idx, route in enumerate(self._routes):
+            if validate_paths:
+                route.validate_on(network)
+            else:
+                for node in route.stops:
+                    if not (0 <= node < network.num_nodes):
+                        raise TransitError(
+                            f"route {route.route_id!r} stop {node} outside network"
+                        )
+            for stop in route.stops:
+                self._routes_of_stop.setdefault(stop, []).append(idx)
+        self._stops: List[int] = sorted(self._routes_of_stop)
+        self._masks: Dict[int, int] = {
+            stop: _mask_of(indices) for stop, indices in self._routes_of_stop.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def road_network(self) -> RoadNetwork:
+        """The underlying road network."""
+        return self._network
+
+    @property
+    def num_routes(self) -> int:
+        """Number of existing routes ``|R_existing|``."""
+        return len(self._routes)
+
+    @property
+    def existing_stops(self) -> List[int]:
+        """``S_existing``: all nodes served by at least one route
+        (sorted; a fresh copy each call)."""
+        return list(self._stops)
+
+    def existing_stop_mask(self) -> List[bool]:
+        """Boolean mask over road nodes, true on existing stops."""
+        mask = [False] * self._network.num_nodes
+        for stop in self._stops:
+            mask[stop] = True
+        return mask
+
+    def routes(self) -> List[BusRoute]:
+        """All existing routes (a copy of the list)."""
+        return list(self._routes)
+
+    def route(self, index: int) -> BusRoute:
+        """The route at position ``index``."""
+        return self._routes[index]
+
+    def is_stop(self, node: int) -> bool:
+        """Whether ``node`` is an existing stop."""
+        return node in self._routes_of_stop
+
+    def routes_through(self, node: int) -> List[BusRoute]:
+        """``routes(v)``: the existing routes passing through ``node``
+        (Definition 7).  Empty for non-stops."""
+        return [self._routes[i] for i in self._routes_of_stop.get(node, ())]
+
+    def route_mask(self, node: int) -> int:
+        """Bitmask of route indices through ``node`` (0 for non-stops)."""
+        return self._masks.get(node, 0)
+
+    def degree(self, node: int) -> int:
+        """``|routes(v)|``: how many routes serve the stop."""
+        return len(self._routes_of_stop.get(node, ()))
+
+    # ------------------------------------------------------------------
+    # Connectivity (Definition 7)
+    # ------------------------------------------------------------------
+
+    def connectivity(self, stops: Iterable[int]) -> int:
+        """``Connect(B)``: number of distinct existing routes passing
+        through the existing stops in ``B``.
+
+        Non-stop members of ``B`` (i.e. new stops) contribute nothing,
+        matching ``Connect(B) = Connect(B \\ S_new)``.
+        """
+        mask = 0
+        for stop in stops:
+            mask |= self._masks.get(stop, 0)
+        return _popcount(mask)
+
+    def connectivity_mask(self, stops: Iterable[int]) -> int:
+        """The union bitmask for ``B`` (popcount = ``Connect(B)``)."""
+        mask = 0
+        for stop in stops:
+            mask |= self._masks.get(stop, 0)
+        return mask
+
+    def marginal_connectivity(self, node: int, covered_mask: int) -> int:
+        """``Connect(B ∪ {v}) − Connect(B)`` given ``B``'s union mask."""
+        return _popcount(self._masks.get(node, 0) & ~covered_mask)
+
+    # ------------------------------------------------------------------
+    # Mutation (returns new objects; TransitNetwork itself is immutable)
+    # ------------------------------------------------------------------
+
+    def with_route(self, route: BusRoute) -> "TransitNetwork":
+        """A new transit network with ``route`` added (used to measure
+        the system *after* the planned route is incorporated)."""
+        return TransitNetwork(self._network, self._routes + [route])
+
+    def stops_as_objects(self) -> List[BusStop]:
+        """Existing stops as :class:`BusStop` records."""
+        return [BusStop(node=v) for v in self._stops]
+
+    def __repr__(self) -> str:
+        return (
+            f"TransitNetwork(routes={self.num_routes}, "
+            f"stops={len(self._stops)})"
+        )
+
+
+def _mask_of(indices: Iterable[int]) -> int:
+    mask = 0
+    for i in indices:
+        mask |= 1 << i
+    return mask
+
+
+try:
+    _popcount = int.bit_count  # Python >= 3.10
+except AttributeError:  # pragma: no cover - exercised only on 3.9
+
+    def _popcount(x: int) -> int:
+        return bin(x).count("1")

@@ -1,0 +1,121 @@
+"""Bus routes (Definition 3 and Definition 8).
+
+A route ``r = (B_r, π_r)`` is a set of stops together with the road
+path that links them.  :class:`BusRoute` stores the stops in visiting
+order (the order is what the adjacent-cost constraint of Definition 8
+is checked against) and the full node path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import TransitError
+from ..network.graph import RoadNetwork
+
+
+@dataclass(frozen=True)
+class BusRoute:
+    """A bus route: ordered stops plus the road path through them.
+
+    Attributes:
+        route_id: feed-level identifier.
+        stops: the ordered stop nodes ``B_r`` (visiting order).
+        path: the node path ``π_r`` connecting all stops; must contain
+            every stop, in the same relative order.
+    """
+
+    route_id: str
+    stops: Tuple[int, ...]
+    path: Tuple[int, ...]
+
+    def __init__(
+        self,
+        route_id: str,
+        stops: Sequence[int],
+        path: Optional[Sequence[int]] = None,
+    ) -> None:
+        object.__setattr__(self, "route_id", str(route_id))
+        object.__setattr__(self, "stops", tuple(stops))
+        object.__setattr__(self, "path", tuple(path) if path is not None else tuple(stops))
+        if len(self.stops) == 0:
+            raise TransitError(f"route {route_id!r} has no stops")
+        if len(set(self.stops)) != len(self.stops):
+            raise TransitError(f"route {route_id!r} visits a stop twice")
+        if not _is_subsequence(self.stops, self.path):
+            raise TransitError(
+                f"route {route_id!r}: stops must appear in order along the path"
+            )
+
+    @property
+    def num_stops(self) -> int:
+        """Number of stops ``|B_r|``."""
+        return len(self.stops)
+
+    @property
+    def stop_set(self) -> frozenset:
+        """The stop set ``B_r`` (unordered)."""
+        return frozenset(self.stops)
+
+    def validate_on(self, network: RoadNetwork) -> None:
+        """Check the path is a valid road path on ``network``.
+
+        Raises:
+            TransitError: if any node is out of range or two consecutive
+                path nodes are not adjacent.
+        """
+        n = network.num_nodes
+        for node in self.path:
+            if not (0 <= node < n):
+                raise TransitError(
+                    f"route {self.route_id!r} references node {node} outside the network"
+                )
+        if len(self.path) > 1 and not network.is_path(self.path):
+            raise TransitError(f"route {self.route_id!r} path is not a road path")
+
+    def length(self, network: RoadNetwork) -> float:
+        """Cost of the route path on ``network`` (Definition 2)."""
+        return network.path_cost(self.path) if len(self.path) > 1 else 0.0
+
+    def adjacent_stop_costs(self, network: RoadNetwork) -> List[float]:
+        """Path cost between each pair of consecutive stops, following
+        the route path (used to check the constraint of ``C``)."""
+        costs: List[float] = []
+        positions = _stop_positions(self.stops, self.path)
+        for i in range(len(self.stops) - 1):
+            lo, hi = positions[i], positions[i + 1]
+            segment = self.path[lo : hi + 1]
+            costs.append(network.path_cost(segment) if len(segment) > 1 else 0.0)
+        return costs
+
+    def satisfies_constraints(
+        self, network: RoadNetwork, max_stops: int, max_adjacent_cost: float
+    ) -> bool:
+        """Whether the route satisfies Definition 8 for ``K`` and ``C``
+        (up to a 1e-9 tolerance on the cost)."""
+        if self.num_stops > max_stops:
+            return False
+        return all(
+            c <= max_adjacent_cost + 1e-9 for c in self.adjacent_stop_costs(network)
+        )
+
+
+def _is_subsequence(needle: Sequence[int], haystack: Sequence[int]) -> bool:
+    it = iter(haystack)
+    return all(any(x == h for h in it) for x in needle)
+
+
+def _stop_positions(stops: Sequence[int], path: Sequence[int]) -> List[int]:
+    """Index in ``path`` of each stop, scanning left to right."""
+    positions: List[int] = []
+    cursor = 0
+    for stop in stops:
+        # cannot run off the end: the constructor checked the stops form
+        # a subsequence of the path
+        while path[cursor] != stop:
+            cursor += 1
+        positions.append(cursor)
+        if cursor + 1 < len(path):
+            cursor += 1
+    return positions

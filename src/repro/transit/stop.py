@@ -1,0 +1,31 @@
+"""Bus stops (Definition 3).
+
+A bus stop is a node of the road network.  :class:`BusStop` attaches
+the human-facing metadata a transit feed carries (an id and a name) to
+that node; the algorithms themselves only ever use the node id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BusStop:
+    """An existing bus stop pinned to a road network node.
+
+    Attributes:
+        node: the road network node the stop occupies.
+        stop_id: feed-level identifier (defaults to ``stop_<node>``).
+        name: display name, if any.
+    """
+
+    node: int
+    stop_id: str = ""
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"stop node must be non-negative, got {self.node}")
+        if not self.stop_id:
+            object.__setattr__(self, "stop_id", f"stop_{self.node}")

@@ -1,0 +1,158 @@
+"""Transit feed validation.
+
+Real feeds arrive with problems — stops off the network, absurd stop
+spacing, routes whose paths teleport.  :func:`validate_feed` audits a
+:class:`~repro.transit.network.TransitNetwork` (which already enforces
+hard structural rules at construction) for the *soft* quality issues a
+planner should review before trusting results, and returns a structured
+report instead of raising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from .network import TransitNetwork
+
+#: severity levels, ordered
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation finding.
+
+    Attributes:
+        severity: ``info`` / ``warning`` / ``error``.
+        code: stable machine-readable identifier.
+        message: human-readable description.
+        route_id: the offending route, when applicable.
+    """
+
+    severity: str
+    code: str
+    message: str
+    route_id: Optional[str] = None
+
+
+@dataclass
+class ValidationReport:
+    """All findings for one feed."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(
+        self,
+        severity: str,
+        code: str,
+        message: str,
+        route_id: Optional[str] = None,
+    ) -> None:
+        if severity not in SEVERITIES:
+            raise ConfigurationError(f"unknown severity {severity!r}")
+        self.findings.append(Finding(severity, code, message, route_id))
+
+    @property
+    def ok(self) -> bool:
+        """True when no warnings or errors were found."""
+        return all(f.severity == "info" for f in self.findings)
+
+    def by_severity(self, severity: str) -> List[Finding]:
+        return [f for f in self.findings if f.severity == severity]
+
+    def summary(self) -> str:
+        counts = {s: len(self.by_severity(s)) for s in SEVERITIES}
+        return (
+            f"{counts['error']} errors, {counts['warning']} warnings, "
+            f"{counts['info']} notes"
+        )
+
+
+def validate_feed(
+    transit: TransitNetwork,
+    *,
+    max_stop_spacing_km: float = 2.0,
+    min_stop_spacing_km: float = 0.1,
+    min_stops_per_route: int = 2,
+    max_detour_factor: float = 3.0,
+) -> ValidationReport:
+    """Audit a transit network for soft quality issues.
+
+    Checks, per route: stop count, adjacent stop spacing outside the
+    ``[min, max]`` band, and path detour (path cost much larger than
+    the shortest network cost between its terminals).  Network-level:
+    isolated single-route stops share, and whether any transfer stop
+    exists at all.
+    """
+    if min_stop_spacing_km >= max_stop_spacing_km:
+        raise ConfigurationError("spacing band must satisfy min < max")
+    report = ValidationReport()
+    network = transit.road_network
+
+    for route in transit.routes():
+        if route.num_stops < min_stops_per_route:
+            report.add(
+                "warning",
+                "too-few-stops",
+                f"route {route.route_id!r} has {route.num_stops} stop(s)",
+                route.route_id,
+            )
+            continue
+        spacings = route.adjacent_stop_costs(network)
+        for i, spacing in enumerate(spacings):
+            if spacing > max_stop_spacing_km:
+                report.add(
+                    "warning",
+                    "spacing-too-wide",
+                    f"route {route.route_id!r} leg {i} spans "
+                    f"{spacing:.2f} km (> {max_stop_spacing_km})",
+                    route.route_id,
+                )
+            elif spacing < min_stop_spacing_km:
+                report.add(
+                    "info",
+                    "spacing-very-tight",
+                    f"route {route.route_id!r} leg {i} spans "
+                    f"{spacing:.3f} km (< {min_stop_spacing_km})",
+                    route.route_id,
+                )
+        detour = _detour_factor(transit, route)
+        if detour is not None and detour > max_detour_factor:
+            report.add(
+                "warning",
+                "excessive-detour",
+                f"route {route.route_id!r} path is {detour:.1f}x the "
+                "shortest terminal-to-terminal cost",
+                route.route_id,
+            )
+
+    degrees = [transit.degree(s) for s in transit.existing_stops]
+    if degrees and max(degrees) < 2:
+        report.add(
+            "warning",
+            "no-transfer-stops",
+            "no stop serves two routes: the network has no transfers",
+        )
+    if degrees:
+        isolated_share = sum(1 for d in degrees if d == 1) / len(degrees)
+        report.add(
+            "info",
+            "single-route-stops",
+            f"{100 * isolated_share:.0f}% of stops serve a single route",
+        )
+    return report
+
+
+def _detour_factor(transit: TransitNetwork, route) -> Optional[float]:
+    """Route path cost over the shortest terminal-to-terminal cost."""
+    from ..network.dijkstra import distance_between
+
+    if route.num_stops < 2 or len(route.path) < 2:
+        return None
+    network = transit.road_network
+    direct = distance_between(network, route.path[0], route.path[-1])
+    if direct <= 0:
+        return None
+    return route.length(network) / direct

@@ -1,0 +1,101 @@
+"""Unit tests for the k-means clustering baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmeans_route import (
+    KMeansRoute,
+    _init_centroids,
+    _lloyd,
+    _nearest_neighbor_order,
+)
+from repro.core.config import EBRRConfig
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def instance(small_city):
+    return small_city.instance(alpha=25.0)
+
+
+@pytest.fixture
+def config():
+    return EBRRConfig(max_stops=8, max_adjacent_cost=2.0, alpha=25.0)
+
+
+class TestPlan:
+    def test_produces_valid_route(self, instance, config):
+        plan = KMeansRoute(seed=1).plan(instance, config)
+        assert 2 <= plan.route.num_stops <= config.max_stops
+        plan.route.validate_on(instance.network)
+        assert instance.network.is_path(plan.route.path)
+
+    def test_deterministic(self, instance, config):
+        a = KMeansRoute(seed=2).plan(instance, config)
+        b = KMeansRoute(seed=2).plan(instance, config)
+        assert a.route.stops == b.route.stops
+
+    def test_stops_near_demand_mass(self, instance, config):
+        """Centroid stops sit closer to the demand (on average) than
+        random nodes do — the clustering is doing its job."""
+        from repro.network.geometry import euclidean
+
+        plan = KMeansRoute(seed=3).plan(instance, config)
+        coords = instance.network.coordinates()
+        demand_points = [coords[v] for v in instance.queries.nodes[::10]]
+
+        def mean_min_dist(nodes):
+            total = 0.0
+            for p in demand_points:
+                total += min(euclidean(p, coords[s]) for s in nodes)
+            return total / len(demand_points)
+
+        rng = np.random.default_rng(0)
+        random_nodes = [
+            int(v)
+            for v in rng.integers(
+                0, instance.network.num_nodes, size=plan.route.num_stops
+            )
+        ]
+        assert mean_min_dist(plan.route.stops) <= mean_min_dist(random_nodes)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            KMeansRoute(max_iterations=0)
+
+    def test_metrics_attached(self, instance, config):
+        plan = KMeansRoute(seed=1).plan(instance, config)
+        assert plan.metrics.walk_cost > 0
+        assert plan.timings["total"] >= 0
+
+
+class TestLloyd:
+    def test_converges_on_separated_clusters(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal((0, 0), 0.1, size=(50, 2))
+        b = rng.normal((10, 10), 0.1, size=(50, 2))
+        points = np.vstack([a, b])
+        centroids = _lloyd(points, 2, 50, 1e-4, seed=0)
+        centroids = centroids[centroids[:, 0].argsort()]
+        assert np.allclose(centroids[0], (0, 0), atol=0.2)
+        assert np.allclose(centroids[1], (10, 10), atol=0.2)
+
+    def test_k_equals_points(self):
+        points = np.array([[0.0, 0.0], [5.0, 5.0], [9.0, 0.0]])
+        centroids = _lloyd(points, 3, 10, 1e-6, seed=0)
+        got = {tuple(c) for c in np.round(centroids, 6)}
+        assert got == {(0.0, 0.0), (5.0, 5.0), (9.0, 0.0)}
+
+    def test_init_farthest_point_spread(self):
+        points = np.array([[0.0, 0.0]] * 10 + [[100.0, 0.0]] * 10)
+        centroids = _init_centroids(points, 2, np.random.default_rng(0))
+        xs = sorted(c[0] for c in centroids)
+        assert xs == [0.0, 100.0]
+
+
+class TestOrdering:
+    def test_nearest_neighbor_on_line(self):
+        positions = [(3.0, 0.0), (0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]
+        stops = [30, 0, 10, 20]
+        order = _nearest_neighbor_order(positions, stops)
+        assert order == [0, 10, 20, 30]

@@ -1,0 +1,105 @@
+"""Unit tests for the natural-connectivity measure (ETA-Pre's
+objective), cross-checked against direct eigenvalue computation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.natural_connectivity import (
+    NaturalConnectivityGain,
+    connectivity_gain,
+    natural_connectivity,
+    stop_graph_adjacency,
+)
+from repro.transit.network import TransitNetwork
+from repro.transit.route import BusRoute
+
+from ..conftest import V1, V2, V3, V4, V5
+
+
+class TestNaturalConnectivity:
+    def test_empty_graph(self):
+        assert natural_connectivity(np.zeros((0, 0))) == 0.0
+
+    def test_isolated_vertices(self):
+        """All eigenvalues 0 -> ln((1/n)*n*e^0) = 0."""
+        assert natural_connectivity(np.zeros((5, 5))) == pytest.approx(0.0)
+
+    def test_single_edge(self):
+        """K2 eigenvalues are ±1: nc = ln((e + 1/e)/2) = ln(cosh 1)."""
+        adjacency = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert natural_connectivity(adjacency) == pytest.approx(
+            math.log(math.cosh(1.0))
+        )
+
+    def test_denser_graph_higher(self):
+        """Natural connectivity grows with redundancy: the triangle
+        beats the 3-path."""
+        triangle = np.array(
+            [[0, 1, 1], [1, 0, 1], [1, 1, 0]], dtype=float
+        )
+        path = np.array([[0, 1, 0], [1, 0, 1], [0, 1, 0]], dtype=float)
+        assert natural_connectivity(triangle) > natural_connectivity(path)
+
+    def test_matches_naive_formula(self):
+        rng = np.random.default_rng(2)
+        n = 12
+        adjacency = (rng.random((n, n)) < 0.3).astype(float)
+        adjacency = np.triu(adjacency, 1)
+        adjacency = adjacency + adjacency.T
+        naive = math.log(np.exp(np.linalg.eigvalsh(adjacency)).sum() / n)
+        assert natural_connectivity(adjacency) == pytest.approx(naive)
+
+
+class TestStopGraph:
+    def test_adjacency_from_routes(self, toy_transit):
+        matrix, index = stop_graph_adjacency(toy_transit)
+        assert matrix.shape == (2, 2)
+        assert matrix[index[V1], index[V2]] == 1.0  # route_3's leg
+
+    def test_extra_route_extends_vertex_set(self, toy_transit):
+        extra = BusRoute("x", [V2, V3, V4], [V2, V3, V4])
+        matrix, index = stop_graph_adjacency(toy_transit, [extra])
+        assert matrix.shape == (4, 4)
+        assert matrix[index[V3], index[V4]] == 1.0
+
+
+class TestGain:
+    def test_gain_positive_for_connecting_route(self, toy_transit):
+        route = BusRoute("new", [V2, V3, V4], [V2, V3, V4])
+        assert connectivity_gain(toy_transit, route) > 0.0
+
+    def test_cached_matches_direct(self, toy_transit):
+        evaluator = NaturalConnectivityGain(toy_transit)
+        for stops in ([V2, V3], [V1, V2], [V3, V4, V5]):
+            path = stops  # stops are network-adjacent chains here
+            route = BusRoute("r", stops, path)
+            direct = _direct_gain(toy_transit, route)
+            assert evaluator.gain(route) == pytest.approx(direct)
+
+    def test_redundant_route_gains_nothing(self, toy_transit):
+        """A route duplicating an existing stop-graph edge (v1-v2 is
+        already route_3's leg) leaves the adjacency unchanged."""
+        duplicate = BusRoute("dup", [V1, V2], [V1, V2])
+        assert connectivity_gain(toy_transit, duplicate) == pytest.approx(0.0)
+
+    def test_connecting_beats_isolated(self, toy_transit):
+        """Extending the existing component (v1-v3) builds more natural
+        connectivity than an isolated two-stop shuttle (v4-v5)."""
+        connecting = connectivity_gain(
+            toy_transit, BusRoute("linked", [V1, V3], [V1, V2, V3])
+        )
+        isolated = connectivity_gain(
+            toy_transit, BusRoute("lonely", [V4, V5], [V4, V5])
+        )
+        assert connecting > isolated
+
+
+def _direct_gain(transit, route):
+    after, _ = stop_graph_adjacency(transit, [route])
+    existing, _ = stop_graph_adjacency(transit)
+    before = np.zeros_like(after)
+    k = existing.shape[0]
+    before[:k, :k] = existing
+    return natural_connectivity(after) - natural_connectivity(before)

@@ -1,0 +1,64 @@
+"""Unit tests for trajectory synthesis and frequency maps."""
+
+import pytest
+
+from repro.baselines.trajectories import (
+    edge_frequencies,
+    node_frequencies,
+    synthesize_trajectories,
+)
+from repro.demand.query import QuerySet
+from repro.exceptions import DemandError
+
+
+class TestSynthesis:
+    def test_count_and_validity(self, grid_network):
+        qs = QuerySet(grid_network, list(range(36)))
+        trajectories = synthesize_trajectories(qs, 50, seed=1)
+        assert len(trajectories) == 50
+        for path in trajectories:
+            assert len(path) >= 2
+            assert grid_network.is_path(path)
+
+    def test_endpoints_from_demand(self, grid_network):
+        qs = QuerySet(grid_network, [0, 35])
+        trajectories = synthesize_trajectories(qs, 10, seed=2)
+        for path in trajectories:
+            assert path[0] in (0, 35)
+            assert path[-1] in (0, 35)
+
+    def test_deterministic(self, grid_network):
+        qs = QuerySet(grid_network, list(range(36)))
+        a = synthesize_trajectories(qs, 20, seed=3)
+        b = synthesize_trajectories(qs, 20, seed=3)
+        assert a == b
+
+    def test_needs_two_distinct_nodes(self, grid_network):
+        qs = QuerySet(grid_network, [5, 5, 5])
+        with pytest.raises(DemandError):
+            synthesize_trajectories(qs, 5)
+
+    def test_invalid_count(self, grid_network):
+        qs = QuerySet(grid_network, [0, 1])
+        with pytest.raises(DemandError):
+            synthesize_trajectories(qs, 0)
+
+
+class TestFrequencies:
+    def test_edge_frequencies_normalized_keys(self):
+        trajectories = [[0, 1, 2], [2, 1, 0], [0, 1]]
+        freq = edge_frequencies(trajectories)
+        assert freq[(0, 1)] == 3
+        assert freq[(1, 2)] == 2
+        assert all(u < v for u, v in freq)
+
+    def test_node_frequencies_count_once_per_trajectory(self):
+        trajectories = [[0, 1, 0, 2], [1, 2]]
+        freq = node_frequencies(trajectories)
+        assert freq[0] == 1
+        assert freq[1] == 2
+        assert freq[2] == 2
+
+    def test_empty(self):
+        assert edge_frequencies([]) == {}
+        assert node_frequencies([]) == {}

@@ -1,0 +1,117 @@
+"""Unit tests for the Theorem 3/4 bound calculators."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    GUARANTEE_UPPER_BOUND,
+    approximation_bound,
+    audit_stop_budget,
+    diameter_upper_bound,
+    double_sweep_diameter,
+    network_diameter,
+)
+from repro.core.config import EBRRConfig
+from repro.core.ebrr import plan_route
+from repro.exceptions import ConfigurationError
+
+from ..conftest import V1
+
+
+class TestDiameters:
+    def test_exact_toy_diameter(self, toy_network):
+        # farthest pair: v1 to v5 = 16 (or v8 to v5 = 16)
+        assert network_diameter(toy_network) == pytest.approx(16.0)
+
+    def test_double_sweep_lower_bounds_exact(self, toy_network, grid_network):
+        for network in (toy_network, grid_network):
+            exact = network_diameter(network)
+            sweep = double_sweep_diameter(network)
+            assert sweep <= exact + 1e-9
+            assert sweep >= exact * 0.5  # sweeps are good on road-like graphs
+
+    def test_upper_bound_upper_bounds_exact(self, toy_network, grid_network):
+        for network in (toy_network, grid_network):
+            exact = network_diameter(network)
+            upper = diameter_upper_bound(network)
+            assert upper >= exact - 1e-9
+            assert upper <= 2 * exact + 1e-9
+
+    def test_sampled_diameter(self, grid_network):
+        sampled = network_diameter(grid_network, sample=[0])
+        assert sampled <= network_diameter(grid_network) + 1e-9
+
+    def test_empty_sample_rejected(self, toy_network):
+        with pytest.raises(ConfigurationError):
+            network_diameter(toy_network, sample=[])
+
+
+class TestApproximationBound:
+    def test_paper_default_settings(self):
+        """The paper: with C=2 and max dist = 80, the guarantee is
+        1 - exp(-1/60) ≈ 0.02."""
+        bound_ratio = 1.0 - math.exp(-2.0 * 2.0 / (3.0 * 80.0))
+        assert bound_ratio == pytest.approx(1.0 - math.exp(-1.0 / 60.0))
+        assert bound_ratio == pytest.approx(0.0165, abs=2e-3)
+
+    def test_toy_bound(self, toy_network):
+        bound = approximation_bound(
+            toy_network, 4.0, diameter=network_diameter(toy_network)
+        )
+        expected = 1.0 - math.exp(-2.0 * 4.0 / (3.0 * 16.0))
+        assert bound.ratio == pytest.approx(expected)
+        assert bound.diameter == pytest.approx(16.0)
+        assert bound.upper_envelope == pytest.approx(GUARANTEE_UPPER_BOUND)
+
+    def test_capped_by_envelope(self, toy_network):
+        """With huge C the formula exceeds 1 - e^{-2/3}; the cap holds."""
+        bound = approximation_bound(toy_network, 1e9, diameter=16.0)
+        assert bound.ratio == pytest.approx(GUARANTEE_UPPER_BOUND)
+
+    def test_grows_with_c(self, toy_network):
+        ratios = [
+            approximation_bound(toy_network, c, diameter=16.0).ratio
+            for c in (1.0, 2.0, 4.0, 8.0)
+        ]
+        assert ratios == sorted(ratios)
+
+    def test_default_uses_safe_diameter(self, toy_network):
+        default = approximation_bound(toy_network, 4.0)
+        exact = approximation_bound(
+            toy_network, 4.0, diameter=network_diameter(toy_network)
+        )
+        assert default.ratio <= exact.ratio + 1e-12
+
+    def test_invalid_inputs(self, toy_network):
+        with pytest.raises(ConfigurationError):
+            approximation_bound(toy_network, 0.0)
+        with pytest.raises(ConfigurationError):
+            approximation_bound(toy_network, 2.0, diameter=0.0)
+
+    def test_empirical_ratio_beats_guarantee(self, toy_instance):
+        """Fig. 11a's point: the guarantee is loose; EBRR's empirical
+        ratio easily exceeds it on the toy instance."""
+        from repro.core.exact import optimal_stop_set
+
+        config = EBRRConfig(
+            max_stops=4, max_adjacent_cost=4.0, alpha=1.0, seed_stop=V1
+        )
+        result = plan_route(toy_instance, config)
+        _, opt = optimal_stop_set(toy_instance, 4)
+        bound = approximation_bound(toy_instance.network, 4.0)
+        assert result.metrics.utility / opt >= bound.ratio
+
+
+class TestAuditStopBudget:
+    def test_passes_on_normal_run(self, toy_instance):
+        config = EBRRConfig(
+            max_stops=4, max_adjacent_cost=4.0, alpha=1.0, seed_stop=V1
+        )
+        result = plan_route(toy_instance, config)
+        assert audit_stop_budget(result)
+
+    def test_passes_on_generated_city(self, small_city):
+        instance = small_city.instance(alpha=25.0)
+        config = EBRRConfig(max_stops=9, max_adjacent_cost=2.0, alpha=25.0)
+        assert audit_stop_budget(plan_route(instance, config))

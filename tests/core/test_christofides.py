@@ -1,0 +1,108 @@
+"""Unit tests for the from-scratch Christofides implementation."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.core.christofides import christofides_order, tour_price
+from repro.exceptions import ConfigurationError
+
+
+def _euclid_matrix(points):
+    n = len(points)
+    return [
+        [math.dist(points[i], points[j]) for j in range(n)] for i in range(n)
+    ]
+
+
+def _path_distance(order, points):
+    lookup = {p: i for i, p in enumerate(order)}
+    return sum(
+        math.dist(points[order[i]], points[order[i + 1]])
+        for i in range(len(order) - 1)
+    )
+
+
+class TestBasics:
+    def test_visits_each_stop_once(self):
+        points = [(0, 0), (1, 0), (2, 1), (0, 2), (3, 3), (1, 4)]
+        stops = list(range(6))
+        order = christofides_order(stops, _euclid_matrix(points), 1.0)
+        assert sorted(order) == stops
+
+    def test_small_inputs_passthrough(self):
+        assert christofides_order([7], [[0.0]], 1.0) == [7]
+        matrix = [[0.0, 2.0], [2.0, 0.0]]
+        assert christofides_order([3, 9], matrix, 1.0) == [3, 9]
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            christofides_order([1, 2, 3], [[0.0, 1.0], [1.0, 0.0]], 1.0)
+
+    def test_infinite_distance_rejected(self):
+        matrix = [[0.0, math.inf, 1], [math.inf, 0.0, 1], [1, 1, 0.0]]
+        with pytest.raises(ConfigurationError):
+            christofides_order([0, 1, 2], matrix, 1.0)
+
+    def test_collinear_points_ordered(self):
+        """On a line, the optimal open path is the sorted order."""
+        points = [(float(x), 0.0) for x in (5, 1, 3, 0, 4, 2)]
+        stops = list(range(6))
+        order = christofides_order(stops, _euclid_matrix(points), 10.0)
+        xs = [points[i][0] for i in order]
+        assert xs == sorted(xs) or xs == sorted(xs, reverse=True)
+
+
+class TestQuality:
+    def test_within_2x_of_optimal_small(self):
+        """Against brute force on 7 random points: the open-path price
+        should stay within 2x optimal (theory: 3/2 on the tour)."""
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        for trial in range(5):
+            points = [tuple(p) for p in rng.uniform(0, 10, size=(7, 2))]
+            matrix = _euclid_matrix(points)
+            c = 1.0
+            stops = list(range(7))
+            order = christofides_order(stops, matrix, c)
+            got = tour_price(order, lambda a, b: matrix[a][b], c)
+            best = min(
+                tour_price(list(perm), lambda a, b: matrix[a][b], c)
+                for perm in itertools.permutations(stops)
+            )
+            assert got <= 2 * best + 1, f"trial {trial}: {got} vs {best}"
+
+    def test_open_path_drops_heaviest_edge(self):
+        """A cluster plus one far outlier: the far leg should never sit
+        in the middle of the path twice (the cycle's heaviest edge is
+        dropped, so the outlier ends up terminal)."""
+        points = [(0, 0), (0.5, 0), (0, 0.5), (0.5, 0.5), (50, 50)]
+        matrix = _euclid_matrix(points)
+        order = christofides_order(list(range(5)), matrix, 1.0)
+        assert order[0] == 4 or order[-1] == 4
+
+    def test_tour_price_closed_vs_open(self):
+        matrix = [[0.0, 1.0, 2.0], [1.0, 0.0, 1.0], [2.0, 1.0, 0.0]]
+        order = [0, 1, 2]
+        open_price = tour_price(order, lambda a, b: matrix[a][b], 1.0)
+        closed_price = tour_price(
+            order, lambda a, b: matrix[a][b], 1.0, closed=True
+        )
+        assert closed_price == open_price + 2  # wrap leg costs 2/1 -> 2
+
+    def test_handles_many_points(self):
+        import numpy as np
+
+        rng = np.random.default_rng(8)
+        points = [tuple(p) for p in rng.uniform(0, 20, size=(40, 2))]
+        order = christofides_order(
+            list(range(40)), _euclid_matrix(points), 2.0
+        )
+        assert sorted(order) == list(range(40))
+        # Sanity: far better than a random order on raw distance.
+        random_order = list(rng.permutation(40))
+        assert _path_distance(order, points) < _path_distance(
+            random_order, points
+        )

@@ -1,0 +1,64 @@
+"""Unit tests for the run diagnostics report."""
+
+import pytest
+
+from repro.core.config import EBRRConfig
+from repro.core.diagnostics import explain_result, selection_table
+from repro.core.ebrr import plan_route
+
+from ..conftest import V1, V3, V4
+
+
+@pytest.fixture
+def toy_result(toy_instance):
+    config = EBRRConfig(
+        max_stops=4, max_adjacent_cost=4.0, alpha=1.0, seed_stop=V1
+    )
+    return plan_route(toy_instance, config)
+
+
+class TestSelectionTable:
+    def test_rows_match_trace(self, toy_instance, toy_result):
+        rows = selection_table(toy_instance, toy_result)
+        assert [row["stop"] for row in rows] == [V1, V3, V4]
+        assert rows[0]["kind"] == "existing"
+        assert rows[1]["kind"] == "new"
+        # Example 8's numbers: v3 gain 12 price 2 ratio 6; v4 gain 4/1.
+        assert rows[1]["gain"] == pytest.approx(12.0)
+        assert rows[1]["price"] == 2
+        assert rows[1]["ratio"] == pytest.approx(6.0)
+        assert rows[2]["ratio"] == pytest.approx(4.0)
+
+    def test_seed_has_no_price(self, toy_instance, toy_result):
+        rows = selection_table(toy_instance, toy_result)
+        assert rows[0]["price"] == "-"
+
+
+class TestExplainResult:
+    def test_report_sections(self, toy_instance, toy_result):
+        text = explain_result(toy_instance, toy_result)
+        assert "EBRR run report" in text
+        assert "selection trace" in text
+        assert "phase timings" in text
+        assert "constraints: satisfied" in text
+        assert "Theorem 3 budget audit: ok" in text
+        assert "Theorem 4 guarantee" in text
+
+    def test_reports_violations(self, toy_instance):
+        config = EBRRConfig(
+            max_stops=4, max_adjacent_cost=4.0, alpha=1.0, seed_stop=V1,
+            refine_path=False,
+        )
+        result = plan_route(toy_instance, config)
+        text = explain_result(toy_instance, result)
+        if not result.is_feasible:
+            assert "VIOLATED" in text
+
+    def test_report_on_generated_city(self, small_city):
+        alpha = 25.0
+        instance = small_city.instance(alpha)
+        config = EBRRConfig(max_stops=8, max_adjacent_cost=2.0, alpha=alpha)
+        result = plan_route(instance, config)
+        text = explain_result(instance, result)
+        assert f"K={config.max_stops}" in text
+        assert "utility" in text

@@ -1,0 +1,110 @@
+"""Unit tests for sequential multi-route planning."""
+
+import pytest
+
+from repro.core.config import EBRRConfig
+from repro.core.multi_route import plan_routes
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def config():
+    return EBRRConfig(max_stops=6, max_adjacent_cost=2.0, alpha=25.0)
+
+
+class TestPlanRoutes:
+    def test_plans_requested_count(self, small_city, config):
+        result = plan_routes(
+            small_city.transit, small_city.queries, config, num_routes=2
+        )
+        assert result.num_routes == 2
+        assert len(result.per_route) == 2
+        assert result.final_transit.num_routes == (
+            small_city.transit.num_routes + 2
+        )
+
+    def test_routes_have_distinct_ids(self, small_city, config):
+        result = plan_routes(
+            small_city.transit, small_city.queries, config, num_routes=3
+        )
+        ids = [r.route_id for r in result.routes]
+        assert len(set(ids)) == len(ids)
+
+    def test_each_round_respects_constraints(self, small_city, config):
+        result = plan_routes(
+            small_city.transit, small_city.queries, config, num_routes=2
+        )
+        for round_result in result.per_route:
+            assert round_result.is_feasible, round_result.constraint_violations
+            assert round_result.metrics.num_stops <= config.max_stops
+
+    def test_later_routes_avoid_earlier_stops(self, small_city, config):
+        """A stop of round 0 becomes an existing stop in round 1, so it
+        cannot be selected as a *new* stop again (it may still appear
+        as a transfer point — but never counted as a fresh candidate)."""
+        result = plan_routes(
+            small_city.transit, small_city.queries, config, num_routes=2
+        )
+        if result.num_routes == 2:
+            first = result.per_route[0]
+            second = result.per_route[1]
+            # second round's instance treats first-round stops as existing
+            first_new = {
+                s for s in first.route.stops
+                if not small_city.transit.is_stop(s)
+            }
+            second_new_claims = set(second.route.stops) & first_new
+            # they may be shared as transfer stops; but the walk gain of
+            # the second route must come from elsewhere, so total
+            # decrease exceeds the first round's alone
+            assert result.total_walk_decrease >= (
+                first.metrics.walk_decrease - 1e-6
+            )
+
+    def test_marginal_utilities_decrease(self, small_city, config):
+        """Submodularity at the program level: each round's utility
+        (on its own residual instance) is no greater than the first
+        round's, up to greedy noise."""
+        result = plan_routes(
+            small_city.transit, small_city.queries, config, num_routes=3
+        )
+        utilities = [r.metrics.utility for r in result.per_route]
+        assert utilities[-1] <= utilities[0] * 1.1
+
+    def test_min_marginal_utility_stops_early(self, small_city, config):
+        result = plan_routes(
+            small_city.transit,
+            small_city.queries,
+            config,
+            num_routes=10,
+            min_marginal_utility=1e12,
+        )
+        assert result.num_routes == 1  # round 0 always kept
+
+    def test_invalid_count(self, small_city, config):
+        with pytest.raises(ConfigurationError):
+            plan_routes(
+                small_city.transit, small_city.queries, config, num_routes=0
+            )
+
+    def test_timing_recorded(self, small_city, config):
+        result = plan_routes(
+            small_city.transit, small_city.queries, config, num_routes=1
+        )
+        assert result.total_elapsed_s > 0.0
+
+    def test_explicit_candidates_shrink(self, small_city, config):
+        instance = small_city.instance(alpha=config.alpha)
+        candidates = instance.candidates[:40]
+        result = plan_routes(
+            small_city.transit,
+            small_city.queries,
+            config,
+            num_routes=2,
+            candidates=candidates,
+        )
+        # Round 1's route must not reuse round 0's candidate picks.
+        if result.num_routes == 2:
+            used_first = set(result.routes[0].stops) & set(candidates)
+            used_second = set(result.routes[1].stops) & used_first
+            assert not used_second

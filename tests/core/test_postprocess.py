@@ -1,0 +1,120 @@
+"""Unit tests for the post-processing local search (the paper's
+future-work second stage)."""
+
+import pytest
+
+from repro.core.config import EBRRConfig
+from repro.core.ebrr import evaluate_route, plan_route
+from repro.core.postprocess import postprocess_route
+from repro.exceptions import ConfigurationError
+from repro.transit.route import BusRoute
+
+from ..conftest import V1, V2, V3, V4, V5
+
+
+def _config(**overrides):
+    defaults = dict(max_stops=4, max_adjacent_cost=4.0, alpha=1.0)
+    defaults.update(overrides)
+    return EBRRConfig(**defaults)
+
+
+class TestImprovement:
+    def test_improves_a_bad_route(self, toy_instance):
+        """Start from the deliberately poor route {v1, v2}: the search
+        should substitute toward the demand (v3/v4 side)."""
+        bad = BusRoute("bad", [V1, V2], [V1, V2])
+        result = postprocess_route(toy_instance, bad, _config())
+        assert result.metrics.utility >= result.initial_utility
+        assert result.improvement >= 0.0
+
+    def test_never_decreases_utility(self, toy_instance):
+        for stops, path in (
+            ([V1, V2], [V1, V2]),
+            ([V2, V3], [V2, V3]),
+            ([V3, V4, V5], [V3, V4, V5]),
+        ):
+            route = BusRoute("r", stops, path)
+            result = postprocess_route(toy_instance, route, _config())
+            assert result.metrics.utility >= (
+                toy_instance.utility(stops) - 1e-9
+            )
+
+    def test_ebrr_route_is_near_local_optimum(self, toy_instance):
+        """EBRR already finds the toy optimum; post-processing should
+        find nothing (or only ties)."""
+        config = _config(seed_stop=V1)
+        first_stage = plan_route(toy_instance, config)
+        result = postprocess_route(toy_instance, first_stage.route, config)
+        assert result.metrics.utility == pytest.approx(
+            first_stage.metrics.utility
+        )
+
+    def test_improves_baseline_route_on_city(self, small_city):
+        """The intended workflow: polish a baseline's route."""
+        from repro.baselines.vk_tsp import VkTSP
+
+        alpha = 25.0
+        instance = small_city.instance(alpha)
+        config = EBRRConfig(max_stops=8, max_adjacent_cost=2.0, alpha=alpha)
+        baseline = VkTSP(seed=1).plan(instance, config)
+        result = postprocess_route(
+            instance, baseline.route, config, max_rounds=2
+        )
+        assert result.metrics.utility >= baseline.metrics.utility - 1e-9
+
+
+class TestConstraints:
+    def test_keeps_stop_count(self, toy_instance):
+        route = BusRoute("r", [V1, V2, V3], [V1, V2, V3])
+        result = postprocess_route(toy_instance, route, _config())
+        assert result.route.num_stops == 3
+
+    def test_result_satisfies_c_when_input_does(self, small_city):
+        alpha = 25.0
+        instance = small_city.instance(alpha)
+        config = EBRRConfig(max_stops=8, max_adjacent_cost=2.0, alpha=alpha)
+        first = plan_route(instance, config)
+        assert first.is_feasible
+        result = postprocess_route(instance, first.route, config)
+        costs = result.route.adjacent_stop_costs(instance.network)
+        assert all(c <= config.max_adjacent_cost + 1e-6 for c in costs)
+
+    def test_stops_remain_valid_locations(self, small_city):
+        alpha = 25.0
+        instance = small_city.instance(alpha)
+        config = EBRRConfig(max_stops=6, max_adjacent_cost=2.0, alpha=alpha)
+        first = plan_route(instance, config)
+        result = postprocess_route(instance, first.route, config)
+        for stop in result.route.stops:
+            assert instance.is_candidate[stop] or instance.is_existing[stop]
+        result.route.validate_on(instance.network)
+
+    def test_no_duplicate_stops(self, toy_instance):
+        route = BusRoute("r", [V1, V2, V3], [V1, V2, V3])
+        result = postprocess_route(toy_instance, route, _config())
+        assert len(set(result.route.stops)) == result.route.num_stops
+
+
+class TestBookkeeping:
+    def test_unchanged_route_returned_as_is(self, toy_instance):
+        config = _config(seed_stop=V1)
+        first = plan_route(toy_instance, config)
+        result = postprocess_route(toy_instance, first.route, config)
+        if result.moves_applied == 0:
+            assert result.route is first.route
+
+    def test_counters(self, toy_instance):
+        route = BusRoute("r", [V1, V2], [V1, V2])
+        result = postprocess_route(toy_instance, route, _config(), max_rounds=2)
+        assert result.rounds >= 1
+        assert result.moves_applied >= 0
+        assert result.elapsed_s >= 0.0
+
+    def test_invalid_params(self, toy_instance):
+        route = BusRoute("r", [V1, V2], [V1, V2])
+        with pytest.raises(ConfigurationError):
+            postprocess_route(toy_instance, route, _config(), max_rounds=0)
+        with pytest.raises(ConfigurationError):
+            postprocess_route(
+                toy_instance, route, _config(), neighborhood_cost=0.0
+            )

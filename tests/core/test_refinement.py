@@ -1,0 +1,140 @@
+"""Unit tests for Algorithm 5 (path refinement) — Example 10 plus the
+K-matching behaviour."""
+
+import pytest
+
+from repro.core.config import EBRRConfig
+from repro.core.preprocess import preprocess_queries
+from repro.core.refinement import refine_path
+from repro.core.selection import SelectionState
+from repro.exceptions import InfeasibleRouteError
+
+from ..conftest import V1, V2, V3, V4, V5
+
+
+def _state(instance, config):
+    pre = preprocess_queries(instance)
+    return SelectionState(instance, pre, config)
+
+
+class TestExample10:
+    def test_intermediate_stop_inserted(self, toy_instance):
+        """Example 10: order (v1, v3, v4) with C=4 needs v2 between v1
+        and v3, giving pi = (v1, v2, v3, v4)."""
+        config = EBRRConfig(max_stops=4, max_adjacent_cost=4.0, alpha=1.0)
+        state = _state(toy_instance, config)
+        for stop in (V1, V3, V4):
+            state.select(stop)
+        stops, path = refine_path(state, [V1, V3, V4], config)
+        assert stops == [V1, V2, V3, V4]
+        assert path == [V1, V2, V3, V4]
+
+    def test_adjacent_costs_satisfied(self, toy_instance):
+        config = EBRRConfig(max_stops=4, max_adjacent_cost=4.0, alpha=1.0)
+        state = _state(toy_instance, config)
+        for stop in (V1, V3, V4):
+            state.select(stop)
+        stops, path = refine_path(state, [V1, V3, V4], config)
+        from repro.transit.route import BusRoute
+
+        route = BusRoute("r", stops, path)
+        assert route.satisfies_constraints(
+            toy_instance.network, max_stops=4, max_adjacent_cost=4.0
+        )
+
+
+class TestStopCountMatching:
+    def test_padding_toward_k(self, toy_instance):
+        """With K=5 the refinement extends a terminal (the paper: 'this
+        final step usually adds stops')."""
+        config = EBRRConfig(max_stops=5, max_adjacent_cost=4.0, alpha=1.0)
+        state = _state(toy_instance, config)
+        for stop in (V1, V3):
+            state.select(stop)
+        stops, path = refine_path(state, [V1, V3], config)
+        assert len(stops) >= 3  # v1, v2 (intermediate), v3, plus padding
+        assert len(stops) <= 5
+
+    def test_never_exceeds_k(self, toy_instance):
+        config = EBRRConfig(max_stops=3, max_adjacent_cost=4.0, alpha=1.0)
+        state = _state(toy_instance, config)
+        for stop in (V1, V3, V4):
+            state.select(stop)
+        stops, _ = refine_path(state, [V1, V3, V4], config)
+        assert len(stops) <= 3
+
+    def test_trimming_drops_weaker_terminal(self, toy_instance):
+        """When trimming is needed, the terminal with the smaller
+        initial utility goes first (v1 has U=3 vs v4's U=8)."""
+        config = EBRRConfig(max_stops=3, max_adjacent_cost=4.0, alpha=1.0)
+        state = _state(toy_instance, config)
+        for stop in (V1, V3, V4):
+            state.select(stop)
+        stops, _ = refine_path(state, [V1, V3, V4], config)
+        # Inserted v2 makes 4 stops; trimming drops v1 (weakest terminal).
+        assert V4 in stops
+        assert len(stops) == 3
+
+    def test_stops_unique(self, toy_instance):
+        config = EBRRConfig(max_stops=5, max_adjacent_cost=4.0, alpha=1.0)
+        state = _state(toy_instance, config)
+        for stop in (V1, V4):
+            state.select(stop)
+        stops, _ = refine_path(state, [V1, V4], config)
+        assert len(set(stops)) == len(stops)
+
+    def test_path_contains_stops_in_order(self, toy_instance):
+        config = EBRRConfig(max_stops=5, max_adjacent_cost=4.0, alpha=1.0)
+        state = _state(toy_instance, config)
+        for stop in (V1, V5):
+            state.select(stop)
+        stops, path = refine_path(state, [V1, V5], config)
+        from repro.transit.route import BusRoute
+
+        BusRoute("check", stops, path)  # validates the subsequence rule
+        assert toy_instance.network.is_path(path)
+
+    def test_empty_order_rejected(self, toy_instance):
+        config = EBRRConfig(max_stops=3, max_adjacent_cost=4.0, alpha=1.0)
+        state = _state(toy_instance, config)
+        with pytest.raises(InfeasibleRouteError):
+            refine_path(state, [], config)
+
+
+class TestCorollary1:
+    def test_stop_count_equals_price_sum_plus_one(self, toy_instance):
+        """Corollary 1: the sum of virtual-edge prices in the selection
+        tree equals the number of stops needed to connect the profitable
+        stops minus one.  On the toy (Example 8/10): prices 2 + 1 = 3,
+        and the realized route v1-v2-v3-v4 has exactly 4 stops."""
+        from repro.core.ebrr import plan_route
+
+        config = EBRRConfig(
+            max_stops=4, max_adjacent_cost=4.0, alpha=1.0, seed_stop=V1
+        )
+        result = plan_route(toy_instance, config)
+        assert result.trace.prices == [2, 1]
+        assert result.metrics.num_stops == result.trace.total_price + 1
+
+
+class TestSparseCandidates:
+    def test_sparse_candidates_best_effort(self, toy_transit, toy_network):
+        """With an ultra-sparse S_new, legs longer than C cannot host
+        intermediates; refinement emits the leg and the driver records
+        the violation instead of crashing."""
+        from repro.core.utility import BRRInstance
+        from repro.demand.query import QuerySet
+
+        instance = BRRInstance(
+            toy_transit,
+            QuerySet(toy_network, [V5]),
+            candidates=[V5],
+            alpha=1.0,
+        )
+        config = EBRRConfig(max_stops=4, max_adjacent_cost=4.0, alpha=1.0)
+        state = _state(instance, config)
+        state.select(V1)
+        state.select(V5)
+        stops, path = refine_path(state, [V1, V5], config)
+        assert stops[0] == V1
+        assert V5 in stops

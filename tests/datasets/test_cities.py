@@ -1,0 +1,70 @@
+"""Unit tests for the synthetic city dataset builders."""
+
+import pytest
+
+from repro.datasets.cities import PAPER_SIZES, chicago, nyc, orlando
+from repro.exceptions import ConfigurationError
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("builder", [chicago, nyc, orlando])
+    def test_complete_dataset(self, builder):
+        dataset = builder(0.05)
+        assert dataset.network.is_connected()
+        assert dataset.transit.num_routes >= 4
+        assert len(dataset.transit.existing_stops) >= 4
+        assert len(dataset.queries) >= 1000
+        stats = dataset.statistics()
+        assert stats["S_new"] + stats["S_existing"] == stats["V"]
+
+    def test_chicago_coastline(self):
+        """Chicago's lattice is cut on the east: the bounding box is
+        wider in y than x."""
+        from repro.network.geometry import bounding_box
+
+        dataset = chicago(0.05)
+        min_x, min_y, max_x, max_y = bounding_box(dataset.network.coordinates())
+        assert (max_y - min_y) > (max_x - min_x)
+
+    def test_nyc_has_regions(self):
+        dataset = nyc(0.05)
+        assert dataset.regions is not None
+        assert [name for name, _ in dataset.regions] == [
+            "Brooklyn", "Manhattan", "Queens", "Bronx",
+        ]
+
+    def test_chicago_orlando_no_regions(self):
+        assert chicago(0.05).regions is None
+        assert orlando(0.05).regions is None
+
+    def test_scale_grows_sizes(self):
+        small = orlando(0.05)
+        large = orlando(0.1)
+        assert large.network.num_nodes > small.network.num_nodes
+        assert len(large.queries) > len(small.queries)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            chicago(0.0)
+        with pytest.raises(ConfigurationError):
+            chicago(1.5)
+
+    def test_deterministic_per_seed(self):
+        a = orlando(0.05, seed=3)
+        b = orlando(0.05, seed=3)
+        assert a.queries.nodes == b.queries.nodes
+        assert a.network.num_nodes == b.network.num_nodes
+
+    def test_instance_construction(self):
+        dataset = orlando(0.05)
+        instance = dataset.instance(alpha=10.0)
+        assert instance.alpha == 10.0
+        assert len(instance.queries) == len(dataset.queries)
+        sub = dataset.queries.subset(dataset.queries.nodes[:100])
+        partial = dataset.instance(alpha=10.0, queries=sub)
+        assert len(partial.queries) == 100
+
+    def test_paper_sizes_table(self):
+        assert PAPER_SIZES["Chicago"]["V"] == 58_337
+        assert PAPER_SIZES["NYC"]["Q"] == 793_496
+        assert set(PAPER_SIZES) == {"Chicago", "NYC", "Orlando"}

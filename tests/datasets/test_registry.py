@@ -1,0 +1,39 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import available_cities, clear_cache, load_city
+from repro.exceptions import ConfigurationError
+
+
+class TestRegistry:
+    def test_available(self):
+        assert available_cities() == ("chicago", "nyc", "orlando")
+
+    def test_load_and_cache_identity(self):
+        clear_cache()
+        a = load_city("orlando", scale=0.05)
+        b = load_city("orlando", scale=0.05)
+        assert a is b
+        c = load_city("orlando", scale=0.06)
+        assert c is not a
+        clear_cache()
+        d = load_city("orlando", scale=0.05)
+        assert d is not a
+
+    def test_case_insensitive(self):
+        clear_cache()
+        assert load_city("Orlando", scale=0.05) is load_city(
+            "ORLANDO", scale=0.05
+        )
+
+    def test_seed_override(self):
+        clear_cache()
+        a = load_city("orlando", scale=0.05, seed=1)
+        b = load_city("orlando", scale=0.05, seed=2)
+        assert a is not b
+        assert a.queries.nodes != b.queries.nodes
+
+    def test_unknown_city(self):
+        with pytest.raises(ConfigurationError, match="unknown city"):
+            load_city("atlantis")

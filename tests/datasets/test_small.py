@@ -1,0 +1,50 @@
+"""Unit tests for the small OPT-comparison extract."""
+
+import pytest
+
+from repro.datasets.small import small_nyc_extract
+
+
+class TestSmallExtract:
+    def test_paper_counts_default(self):
+        extract = small_nyc_extract()
+        assert len(extract.transit.existing_stops) == 7
+        assert len(extract.candidates) == 7
+        assert len(extract.queries) == 132
+
+    def test_custom_counts(self):
+        extract = small_nyc_extract(
+            num_existing=5, num_candidates=4, num_query_nodes=50, seed=9
+        )
+        assert len(extract.transit.existing_stops) == 5
+        assert len(extract.candidates) == 4
+        assert len(extract.queries) == 50
+
+    def test_candidates_disjoint_from_existing(self):
+        extract = small_nyc_extract()
+        existing = set(extract.transit.existing_stops)
+        assert not existing.intersection(extract.candidates)
+
+    def test_shared_stop_between_routes(self):
+        """Connectivity must be a real coverage function: some stop
+        serves at least two routes."""
+        extract = small_nyc_extract()
+        degrees = [
+            extract.transit.degree(s) for s in extract.transit.existing_stops
+        ]
+        assert max(degrees) >= 2
+
+    def test_instance_enumerable_by_opt(self):
+        extract = small_nyc_extract()
+        instance = extract.instance(alpha=1.0)
+        from repro.core.exact import optimal_stop_set
+
+        best_set, best = optimal_stop_set(instance, 3)
+        assert best >= 0
+        assert len(best_set) <= 3
+
+    def test_deterministic(self):
+        a = small_nyc_extract(seed=3)
+        b = small_nyc_extract(seed=3)
+        assert a.candidates == b.candidates
+        assert a.queries.nodes == b.queries.nodes

@@ -1,0 +1,75 @@
+"""Unit tests for demand partitioning (the effect-of-Q splits)."""
+
+import pytest
+
+from repro.demand.partition import by_regions, vertical_bands
+from repro.demand.query import QuerySet
+from repro.exceptions import DemandError
+
+
+class TestVerticalBands:
+    def test_equal_sizes(self, grid_network):
+        qs = QuerySet(grid_network, list(range(36)))
+        bands = vertical_bands(qs, 4)
+        assert [len(b) for b in bands] == [9, 9, 9, 9]
+
+    def test_ordered_south_to_north(self, grid_network):
+        qs = QuerySet(grid_network, list(range(36)))
+        bands = vertical_bands(qs, 4)
+        maxima = [
+            max(grid_network.coordinate(v)[1] for v in band) for band in bands
+        ]
+        assert maxima == sorted(maxima)
+        assert bands[0].name == "Dataset1"
+        assert bands[3].name == "Dataset4"
+
+    def test_multiset_preserved(self, grid_network):
+        qs = QuerySet(grid_network, [0, 0, 0, 35, 35, 18])
+        bands = vertical_bands(qs, 2)
+        rejoined = sorted(v for band in bands for v in band)
+        assert rejoined == sorted(qs.nodes)
+
+    def test_uneven_sizes_balanced(self, grid_network):
+        qs = QuerySet(grid_network, list(range(10)))
+        bands = vertical_bands(qs, 3)
+        sizes = [len(b) for b in bands]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_too_many_bands(self, grid_network):
+        qs = QuerySet(grid_network, [0, 1])
+        with pytest.raises(DemandError):
+            vertical_bands(qs, 3)
+
+    def test_invalid_band_count(self, grid_network):
+        qs = QuerySet(grid_network, [0, 1])
+        with pytest.raises(DemandError):
+            vertical_bands(qs, 0)
+
+
+class TestByRegions:
+    def test_voronoi_assignment(self, grid_network):
+        qs = QuerySet(grid_network, list(range(36)))
+        regions = [("SW", (0.0, 0.0)), ("NE", (5.0, 5.0))]
+        parts = by_regions(qs, regions)
+        assert parts[0].name == "SW"
+        assert parts[1].name == "NE"
+        assert len(parts[0]) + len(parts[1]) == 36
+        # Node 0 is at (0,0); node 35 at (5,5).
+        assert 0 in parts[0].nodes
+        assert 35 in parts[1].nodes
+
+    def test_empty_region_raises(self, grid_network):
+        qs = QuerySet(grid_network, [0])  # only the SW corner
+        with pytest.raises(DemandError, match="no query nodes"):
+            by_regions(qs, [("SW", (0.0, 0.0)), ("FAR", (99.0, 99.0))])
+
+    def test_no_regions_raises(self, grid_network):
+        qs = QuerySet(grid_network, [0])
+        with pytest.raises(DemandError):
+            by_regions(qs, [])
+
+    def test_multiset_preserved(self, grid_network):
+        qs = QuerySet(grid_network, [0, 0, 35, 35, 35])
+        parts = by_regions(qs, [("SW", (0.0, 0.0)), ("NE", (5.0, 5.0))])
+        assert sorted(v for p in parts for v in p) == [0, 0, 35, 35, 35]

@@ -1,0 +1,64 @@
+"""Unit tests for queries and the multiset Q (Definitions 4 and 6)."""
+
+import pytest
+
+from repro.demand.query import QuerySet, TransitQuery
+from repro.exceptions import DemandError
+
+from ..conftest import V1, V6, V7, V8
+
+
+class TestTransitQuery:
+    def test_nodes(self):
+        q = TransitQuery(origin=3, destination=7)
+        assert q.nodes() == (3, 7)
+
+    def test_frozen(self):
+        q = TransitQuery(1, 2)
+        with pytest.raises(Exception):
+            q.origin = 5  # type: ignore[misc]
+
+
+class TestQuerySet:
+    def test_from_queries_builds_multiset(self, toy_network):
+        """Example 3: three queries -> Q = {v1,v1,v1,v6,v7,v8}."""
+        queries = [
+            TransitQuery(V6, V1),
+            TransitQuery(V1, V7),
+            TransitQuery(V8, V1),
+        ]
+        qs = QuerySet.from_queries(toy_network, queries)
+        assert sorted(qs.nodes) == sorted([V1, V1, V1, V6, V7, V8])
+        assert len(qs) == 6
+
+    def test_duplicates_preserved(self, toy_network):
+        qs = QuerySet(toy_network, [1, 1, 1, 2])
+        assert len(qs) == 4
+        assert qs.distinct_nodes() == [1, 2]
+
+    def test_empty_rejected(self, toy_network):
+        with pytest.raises(DemandError, match="at least one"):
+            QuerySet(toy_network, [])
+
+    def test_out_of_range_rejected(self, toy_network):
+        with pytest.raises(DemandError, match="outside"):
+            QuerySet(toy_network, [0, 99])
+
+    def test_negative_rejected(self, toy_network):
+        with pytest.raises(DemandError):
+            QuerySet(toy_network, [-1])
+
+    def test_iteration(self, toy_network):
+        qs = QuerySet(toy_network, [3, 1, 3])
+        assert list(qs) == [3, 1, 3]
+
+    def test_subset(self, toy_network):
+        qs = QuerySet(toy_network, [0, 1, 2, 3], name="full")
+        sub = qs.subset([1, 2], name="part")
+        assert sub.nodes == [1, 2]
+        assert sub.name == "part"
+        assert sub.network is toy_network
+
+    def test_name_in_repr(self, toy_network):
+        qs = QuerySet(toy_network, [0], name="Brooklyn")
+        assert "Brooklyn" in repr(qs)

@@ -1,0 +1,135 @@
+"""Unit tests for time-sliced demand."""
+
+import pytest
+
+from repro.demand.query import QuerySet
+from repro.demand.temporal import (
+    HOURS_PER_DAY,
+    TemporalDemand,
+    _window_hours,
+    simulate_daily_profile,
+)
+from repro.exceptions import DemandError
+
+
+@pytest.fixture
+def demand(grid_network):
+    return TemporalDemand(
+        grid_network,
+        {8: [0, 1, 2, 3], 17: [4, 5, 6], 23: [7], 2: [8]},
+    )
+
+
+class TestTemporalDemand:
+    def test_hours_and_volumes(self, demand):
+        assert demand.hours() == [2, 8, 17, 23]
+        assert demand.volume(8) == 4
+        assert demand.volume(12) == 0
+        assert demand.total_volume() == 9
+
+    def test_slice(self, demand):
+        qs = demand.slice(8)
+        assert isinstance(qs, QuerySet)
+        assert sorted(qs.nodes) == [0, 1, 2, 3]
+        assert qs.name == "h08"
+
+    def test_slice_empty_hour_raises(self, demand):
+        with pytest.raises(DemandError):
+            demand.slice(12)
+
+    def test_window(self, demand):
+        qs = demand.window(8, 18)
+        assert sorted(qs.nodes) == [0, 1, 2, 3, 4, 5, 6]
+
+    def test_night_window_wraps(self, demand):
+        qs = demand.night()
+        assert sorted(qs.nodes) == [7, 8]
+
+    def test_daytime(self, demand):
+        qs = demand.daytime()
+        assert sorted(qs.nodes) == [0, 1, 2, 3, 4, 5, 6]
+
+    def test_peak_hour(self, demand):
+        assert demand.peak_hour() == 8
+
+    def test_empty_window_raises(self, demand):
+        with pytest.raises(DemandError):
+            demand.window(10, 12)
+
+    def test_validation(self, grid_network):
+        with pytest.raises(DemandError):
+            TemporalDemand(grid_network, {25: [0]})
+        with pytest.raises(DemandError):
+            TemporalDemand(grid_network, {8: [999]})
+
+    def test_empty_peak_raises(self, grid_network):
+        with pytest.raises(DemandError):
+            TemporalDemand(grid_network, {}).peak_hour()
+
+
+class TestSimulateDailyProfile:
+    def test_conserves_demand(self, grid_network):
+        base = QuerySet(grid_network, list(range(36)) * 10)
+        temporal = simulate_daily_profile(base, seed=1)
+        assert temporal.total_volume() == len(base)
+
+    def test_peaks_dominate(self, grid_network):
+        base = QuerySet(grid_network, list(range(36)) * 50)
+        temporal = simulate_daily_profile(
+            base, peak_hours=(8, 17), peak_share=0.6, seed=2
+        )
+        peak_volume = temporal.volume(8) + temporal.volume(17)
+        assert peak_volume > 0.4 * temporal.total_volume()
+
+    def test_night_share(self, grid_network):
+        base = QuerySet(grid_network, list(range(36)) * 50)
+        temporal = simulate_daily_profile(base, night_share=0.2, seed=3)
+        night = temporal.night()
+        assert 0.1 < len(night) / temporal.total_volume() < 0.35
+
+    def test_deterministic(self, grid_network):
+        base = QuerySet(grid_network, list(range(36)))
+        a = simulate_daily_profile(base, seed=4)
+        b = simulate_daily_profile(base, seed=4)
+        assert [a.volume(h) for h in range(24)] == [
+            b.volume(h) for h in range(24)
+        ]
+
+    def test_invalid_shares(self, grid_network):
+        base = QuerySet(grid_network, [0, 1])
+        with pytest.raises(DemandError):
+            simulate_daily_profile(base, peak_share=1.0)
+        with pytest.raises(DemandError):
+            simulate_daily_profile(base, peak_share=0.6, night_share=0.5)
+
+    def test_planning_per_window(self, small_city):
+        """End-to-end: plan a route on the night slice only."""
+        from repro.core import EBRRConfig, plan_route
+        from repro.core.utility import BRRInstance
+
+        temporal = simulate_daily_profile(
+            small_city.queries, night_share=0.2, seed=5
+        )
+        night_instance = BRRInstance(
+            small_city.transit, temporal.night(), alpha=10.0
+        )
+        config = EBRRConfig(max_stops=6, max_adjacent_cost=2.0, alpha=10.0)
+        result = plan_route(night_instance, config)
+        assert result.route.num_stops >= 2
+
+
+class TestWindowHours:
+    def test_forward(self):
+        assert _window_hours(6, 9) == [6, 7, 8]
+
+    def test_wrapping(self):
+        assert _window_hours(22, 2) == [22, 23, 0, 1]
+
+    def test_full_day(self):
+        assert len(_window_hours(0, 24)) == HOURS_PER_DAY
+
+    def test_invalid(self):
+        with pytest.raises(DemandError):
+            _window_hours(-1, 5)
+        with pytest.raises(DemandError):
+            _window_hours(0, 25)

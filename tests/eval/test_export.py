@@ -1,0 +1,69 @@
+"""Unit tests for CSV/JSON export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.eval.export import load_rows_json, rows_to_csv, rows_to_json
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def rows():
+    return [
+        {"K": 10, "algorithm": "EBRR", "walk_cost": 5.5},
+        {"K": 20, "algorithm": "EBRR", "walk_cost": 4.25, "extra": "x"},
+    ]
+
+
+class TestCsv:
+    def test_roundtrip(self, rows, tmp_path):
+        target = tmp_path / "out.csv"
+        rows_to_csv(rows, target)
+        with open(target, newline="") as handle:
+            loaded = list(csv.DictReader(handle))
+        assert loaded[0]["K"] == "10"
+        assert loaded[1]["extra"] == "x"
+        assert loaded[0]["extra"] == ""
+
+    def test_column_selection(self, rows, tmp_path):
+        target = tmp_path / "out.csv"
+        rows_to_csv(rows, target, columns=["algorithm", "K"])
+        header = target.read_text().splitlines()[0]
+        assert header == "algorithm,K"
+
+    def test_creates_directories(self, rows, tmp_path):
+        target = tmp_path / "a" / "b" / "out.csv"
+        rows_to_csv(rows, target)
+        assert target.exists()
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            rows_to_csv([], tmp_path / "out.csv")
+
+
+class TestJson:
+    def test_roundtrip(self, rows, tmp_path):
+        target = tmp_path / "out.json"
+        rows_to_json(rows, target, metadata={"scale": 0.12})
+        loaded = load_rows_json(target)
+        assert loaded == rows
+        with open(target) as handle:
+            document = json.load(handle)
+        assert document["metadata"]["scale"] == 0.12
+
+    def test_numpy_scalars_serialized(self, tmp_path):
+        import numpy as np
+
+        target = tmp_path / "np.json"
+        rows_to_json([{"v": np.float64(1.5), "n": np.int64(3)}], target)
+        loaded = load_rows_json(target)
+        assert loaded[0]["v"] == 1.5
+        assert loaded[0]["n"] == 3
+
+    def test_bad_document_rejected(self, tmp_path):
+        target = tmp_path / "bad.json"
+        target.write_text('{"rows": "nope"}')
+        with pytest.raises(ConfigurationError):
+            load_rows_json(target)

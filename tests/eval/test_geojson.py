@@ -1,0 +1,85 @@
+"""Unit tests for GeoJSON export."""
+
+import json
+
+import pytest
+
+from repro.demand.query import QuerySet
+from repro.eval.geojson import GeoJsonWriter, route_to_geojson
+from repro.exceptions import ConfigurationError
+from repro.transit.route import BusRoute
+
+from ..conftest import V1, V2, V3, V6
+
+
+class TestGeoJsonWriter:
+    def test_route_features(self, toy_network):
+        writer = GeoJsonWriter(toy_network)
+        route = BusRoute("r", [V1, V2, V3], [V1, V2, V3])
+        writer.add_route(route, planner="EBRR")
+        doc = writer.feature_collection()
+        assert doc["type"] == "FeatureCollection"
+        kinds = [f["properties"]["kind"] for f in doc["features"]]
+        assert kinds.count("route") == 1
+        assert kinds.count("stop") == 3
+        line = next(
+            f for f in doc["features"] if f["geometry"]["type"] == "LineString"
+        )
+        assert line["properties"]["planner"] == "EBRR"
+        assert len(line["geometry"]["coordinates"]) == 3
+        assert line["geometry"]["coordinates"][0] == [0.0, 0.0]  # v1
+
+    def test_stop_order_recorded(self, toy_network):
+        writer = GeoJsonWriter(toy_network)
+        writer.add_route(BusRoute("r", [V3, V2], [V3, V2]))
+        stops = [
+            f for f in writer.feature_collection()["features"]
+            if f["properties"]["kind"] == "stop"
+        ]
+        assert [s["properties"]["stop_order"] for s in stops] == [0, 1]
+
+    def test_demand_weights(self, toy_network):
+        writer = GeoJsonWriter(toy_network)
+        writer.add_demand(QuerySet(toy_network, [V6, V6, V1]))
+        weights = {
+            f["properties"]["node"]: f["properties"]["weight"]
+            for f in writer.feature_collection()["features"]
+        }
+        assert weights == {V6: 2, V1: 1}
+
+    def test_lonlat_conversion(self, toy_network):
+        from repro.network.dimacs import KM_PER_DEGREE
+
+        writer = GeoJsonWriter(toy_network, to_lonlat=True)
+        writer.add_stop(V2)  # planar (4, 0)
+        point = writer.feature_collection()["features"][0]
+        lon, lat = point["geometry"]["coordinates"]
+        assert lon == pytest.approx(4.0 / KM_PER_DEGREE)
+        assert lat == 0.0
+
+    def test_save_and_parse(self, toy_network, tmp_path):
+        writer = GeoJsonWriter(toy_network)
+        writer.add_stop(V1)
+        target = tmp_path / "geo" / "out.geojson"
+        writer.save(target)
+        with open(target) as handle:
+            doc = json.load(handle)
+        assert doc["features"][0]["properties"]["node"] == V1
+
+    def test_empty_save_rejected(self, toy_network, tmp_path):
+        with pytest.raises(ConfigurationError):
+            GeoJsonWriter(toy_network).save(tmp_path / "empty.geojson")
+
+
+class TestOneCall:
+    def test_route_to_geojson(self, toy_network, tmp_path):
+        route = BusRoute("green", [V1, V2], [V1, V2])
+        target = tmp_path / "route.geojson"
+        route_to_geojson(toy_network, route, target, utility=20.0)
+        with open(target) as handle:
+            doc = json.load(handle)
+        line = next(
+            f for f in doc["features"] if f["geometry"]["type"] == "LineString"
+        )
+        assert line["properties"]["utility"] == 20.0
+        assert line["properties"]["route_id"] == "green"

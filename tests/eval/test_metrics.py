@@ -1,0 +1,102 @@
+"""Unit tests for the evaluation metrics."""
+
+import pytest
+
+from repro.eval.metrics import (
+    approximation_ratio,
+    connectivity,
+    mean_walk_to_nearest_stop,
+    uncovered_demand_coverage,
+    utility,
+    walking_cost,
+)
+from repro.exceptions import ConfigurationError
+from repro.transit.route import BusRoute
+
+from ..conftest import V1, V2, V3, V4, V5
+
+
+@pytest.fixture
+def paper_route():
+    return BusRoute("green", [V1, V2, V3, V4], [V1, V2, V3, V4])
+
+
+class TestObjectiveMetrics:
+    def test_walking_cost_example3(self, toy_instance, paper_route):
+        assert walking_cost(toy_instance, paper_route) == pytest.approx(10.0)
+
+    def test_connectivity_example4(self, toy_instance, paper_route):
+        assert connectivity(toy_instance, paper_route) == 4
+
+    def test_utility_example5(self, toy_instance, paper_route):
+        assert utility(toy_instance, paper_route) == pytest.approx(20.0)
+
+    def test_metrics_consistent_with_evaluate_route(self, toy_instance, paper_route):
+        from repro.core.ebrr import evaluate_route
+
+        metrics = evaluate_route(toy_instance, paper_route)
+        assert metrics.walk_cost == pytest.approx(
+            walking_cost(toy_instance, paper_route)
+        )
+        assert metrics.connectivity == connectivity(toy_instance, paper_route)
+        assert metrics.utility == pytest.approx(
+            utility(toy_instance, paper_route)
+        )
+
+
+class TestApproximationRatio:
+    def test_basic(self):
+        assert approximation_ratio(8.0, 10.0) == pytest.approx(0.8)
+
+    def test_zero_optimum(self):
+        assert approximation_ratio(0.0, 0.0) == 1.0
+
+    def test_negative_optimum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            approximation_ratio(1.0, -1.0)
+
+
+class TestUncoveredCoverage:
+    def test_toy_coverage(self, toy_queries, toy_transit):
+        """With a 4 km walk limit, v7 (11 from v2) is uncovered; the
+        paper route brings it within 3 of v4."""
+        route = BusRoute("green", [V1, V2, V3, V4], [V1, V2, V3, V4])
+        covered, total = uncovered_demand_coverage(
+            toy_queries, toy_transit, route, walk_limit_km=4.0
+        )
+        # Uncovered initially: v6 (7), v7 (11), v8 (8) -> 3 nodes.
+        assert total == 3
+        # Route covers v6 (3 to v3), v7 (3 to v4), v8 (4 to v3).
+        assert covered == 3
+
+    def test_no_uncovered(self, toy_queries, toy_transit):
+        route = BusRoute("r", [V1], [V1])
+        covered, total = uncovered_demand_coverage(
+            toy_queries, toy_transit, route, walk_limit_km=100.0
+        )
+        assert (covered, total) == (0, 0)
+
+    def test_partial_coverage(self, toy_queries, toy_transit):
+        route = BusRoute("r", [V4], [V4])  # only helps v7
+        covered, total = uncovered_demand_coverage(
+            toy_queries, toy_transit, route, walk_limit_km=4.0
+        )
+        assert total == 3
+        assert covered == 1
+
+
+class TestMeanWalk:
+    def test_example_value(self, toy_queries):
+        # Walk(S_existing) = 26 over 6 query nodes.
+        assert mean_walk_to_nearest_stop(toy_queries, [V1, V2]) == (
+            pytest.approx(26.0 / 6.0)
+        )
+
+    def test_more_stops_closer(self, toy_queries):
+        before = mean_walk_to_nearest_stop(toy_queries, [V1, V2])
+        after = mean_walk_to_nearest_stop(toy_queries, [V1, V2, V3, V4])
+        assert after < before
+
+    def test_empty_stops_rejected(self, toy_queries):
+        with pytest.raises(ConfigurationError):
+            mean_walk_to_nearest_stop(toy_queries, [])

@@ -1,0 +1,108 @@
+"""Unit tests for the results regression comparator."""
+
+import math
+
+import pytest
+
+from repro.eval.regression import ComparisonReport, compare_rows
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def baseline():
+    return [
+        {"algorithm": "EBRR", "K": 10, "walk_cost": 100.0, "time_s": 1.0},
+        {"algorithm": "EBRR", "K": 20, "walk_cost": 80.0, "time_s": 2.0},
+        {"algorithm": "vk-TSP", "K": 10, "walk_cost": 150.0, "time_s": 3.0},
+    ]
+
+
+class TestCompareRows:
+    def test_identical_is_ok(self, baseline):
+        report = compare_rows(
+            baseline, baseline,
+            key_columns=["algorithm", "K"], metrics=["walk_cost", "time_s"],
+        )
+        assert report.ok
+        assert report.compared_cells == 6
+
+    def test_small_drift_within_tolerance(self, baseline):
+        after = [dict(r) for r in baseline]
+        after[0]["walk_cost"] = 103.0  # +3%
+        report = compare_rows(
+            baseline, after,
+            key_columns=["algorithm", "K"], metrics=["walk_cost"],
+            tolerance=0.05,
+        )
+        assert report.ok
+
+    def test_regression_detected(self, baseline):
+        after = [dict(r) for r in baseline]
+        after[1]["walk_cost"] = 120.0  # +50%
+        report = compare_rows(
+            baseline, after,
+            key_columns=["algorithm", "K"], metrics=["walk_cost"],
+        )
+        assert not report.ok
+        assert len(report.regressions) == 1
+        regression = report.regressions[0]
+        assert regression.key == ("EBRR", 20)
+        assert regression.metric == "walk_cost"
+        assert regression.relative_change == pytest.approx(0.5)
+
+    def test_improvement_also_reported(self, baseline):
+        after = [dict(r) for r in baseline]
+        after[0]["walk_cost"] = 50.0  # -50%: still a change to review
+        report = compare_rows(
+            baseline, after,
+            key_columns=["algorithm", "K"], metrics=["walk_cost"],
+        )
+        assert report.regressions[0].relative_change == pytest.approx(-0.5)
+
+    def test_missing_and_new_rows(self, baseline):
+        after = baseline[:-1] + [
+            {"algorithm": "k-means", "K": 10, "walk_cost": 1.0, "time_s": 1.0}
+        ]
+        report = compare_rows(
+            baseline, after, key_columns=["algorithm", "K"], metrics=["walk_cost"],
+        )
+        assert report.missing_keys == [("vk-TSP", 10)]
+        assert report.new_keys == [("k-means", 10)]
+        assert "1 rows missing" in report.summary()
+
+    def test_zero_baseline_infinite_change(self):
+        before = [{"k": 1, "m": 0.0}]
+        after = [{"k": 1, "m": 5.0}]
+        report = compare_rows(before, after, key_columns=["k"], metrics=["m"])
+        assert math.isinf(report.regressions[0].relative_change)
+
+    def test_duplicate_keys_rejected(self):
+        rows = [{"k": 1, "m": 1.0}, {"k": 1, "m": 2.0}]
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            compare_rows(rows, rows, key_columns=["k"], metrics=["m"])
+
+    def test_missing_key_column_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing key column"):
+            compare_rows(
+                [{"m": 1.0}], [{"m": 1.0}], key_columns=["k"], metrics=["m"]
+            )
+
+    def test_negative_tolerance_rejected(self, baseline):
+        with pytest.raises(ConfigurationError):
+            compare_rows(
+                baseline, baseline, key_columns=["K"],
+                metrics=["walk_cost"], tolerance=-1.0,
+            )
+
+    def test_roundtrip_through_json(self, baseline, tmp_path):
+        """The intended workflow: two runs exported to JSON, compared."""
+        from repro.eval.export import load_rows_json, rows_to_json
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        rows_to_json(baseline, a)
+        rows_to_json(baseline, b)
+        report = compare_rows(
+            load_rows_json(a), load_rows_json(b),
+            key_columns=["algorithm", "K"], metrics=["walk_cost", "time_s"],
+        )
+        assert report.ok

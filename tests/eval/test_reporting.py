@@ -1,0 +1,101 @@
+"""Unit tests for the plain-text reporters."""
+
+import math
+
+from repro.eval.reporting import (
+    format_series,
+    format_table,
+    format_value,
+    print_and_save,
+    save_report,
+)
+
+
+class TestFormatValue:
+    def test_floats_rounded(self):
+        assert format_value(3.14159) == "3.142"
+        assert format_value(3.14159, float_digits=1) == "3.1"
+
+    def test_large_floats_grouped(self):
+        assert format_value(123456.7) == "123,456.7"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_large_ints_grouped(self):
+        assert format_value(1234567) == "1,234,567"
+        assert format_value(999) == "999"
+
+    def test_bool_not_treated_as_int(self):
+        assert format_value(True) == "True"
+
+    def test_strings_passthrough(self):
+        assert format_value("EBRR") == "EBRR"
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_alignment_and_title(self):
+        rows = [{"a": 1, "bb": "x"}, {"a": 22, "bb": "yyyy"}]
+        text = format_table(rows, title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1].startswith("a")
+        # all rows same width
+        assert len({len(line) for line in lines[2:]}) <= 2
+
+    def test_explicit_columns(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert "c" in header and "a" in header and "b" not in header
+
+    def test_missing_cells_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 9}]
+        text = format_table(rows, columns=["a", "b"])
+        assert "9" in text
+
+
+class TestFormatSeries:
+    def test_fig_layout(self):
+        rows = [
+            {"K": 10, "algorithm": "EBRR", "walk": 5.0},
+            {"K": 20, "algorithm": "EBRR", "walk": 4.0},
+            {"K": 10, "algorithm": "vk-TSP", "walk": 9.0},
+            {"K": 20, "algorithm": "vk-TSP", "walk": 8.5},
+        ]
+        text = format_series(rows, x="K", series="algorithm", value="walk")
+        lines = text.splitlines()
+        assert lines[0] == "walk vs K"
+        assert lines[1].split() == ["algorithm", "10", "20"]
+        assert lines[3].split() == ["EBRR", "5.000", "4.000"]
+        assert lines[4].split() == ["vk-TSP", "9.000", "8.500"]
+
+    def test_custom_title(self):
+        rows = [{"K": 1, "alg": "a", "v": 1}]
+        text = format_series(rows, x="K", series="alg", value="v", title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_empty(self):
+        assert "(no rows)" in format_series(
+            [], x="K", series="alg", value="v"
+        )
+
+
+class TestPersistence:
+    def test_save_report(self, tmp_path):
+        target = tmp_path / "deep" / "report.txt"
+        save_report("hello", target)
+        assert target.read_text() == "hello\n"
+
+    def test_print_and_save(self, tmp_path, capsys):
+        target = tmp_path / "r.txt"
+        print_and_save("content", target)
+        assert "content" in capsys.readouterr().out
+        assert target.read_text() == "content\n"
+
+    def test_print_without_path(self, capsys):
+        print_and_save("just print")
+        assert "just print" in capsys.readouterr().out

@@ -1,0 +1,36 @@
+"""Unit tests for the seed-robustness harness."""
+
+import pytest
+
+from repro.eval.sensitivity import seed_robustness
+from repro.exceptions import ConfigurationError
+
+
+class TestSeedRobustness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return seed_robustness(
+            "orlando", [41, 42], scale=0.05, max_stops=6
+        )
+
+    def test_one_row_per_algorithm(self, rows):
+        assert {row["algorithm"] for row in rows} == {
+            "EBRR", "ETA-Pre", "vk-TSP",
+        }
+
+    def test_aggregates_present(self, rows):
+        for row in rows:
+            assert row["seeds"] == 2
+            for metric in ("walk_cost", "connectivity", "time_s"):
+                assert row[f"{metric}_mean"] >= 0
+                assert row[f"{metric}_std"] >= 0
+                assert 0 <= row[f"{metric}_wins"] <= 2
+
+    def test_wins_at_least_one_winner_per_metric(self, rows):
+        for metric in ("walk_cost", "connectivity", "time_s"):
+            total_wins = sum(row[f"{metric}_wins"] for row in rows)
+            assert total_wins >= 2  # one (or tied several) per seed
+
+    def test_needs_two_seeds(self):
+        with pytest.raises(ConfigurationError):
+            seed_robustness("orlando", [1], scale=0.05)

@@ -1,0 +1,112 @@
+"""Unit tests for the SVG map renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.demand.query import QuerySet
+from repro.eval.visualize import MapRenderer, render_case_study
+from repro.exceptions import ConfigurationError
+from repro.transit.route import BusRoute
+
+from ..conftest import V1, V2, V3, V4, V6
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestMapRenderer:
+    def test_empty_document_valid(self, toy_network):
+        renderer = MapRenderer(toy_network)
+        root = _parse(renderer.to_svg())
+        assert root.tag == f"{SVG_NS}svg"
+        assert root.get("width") == "800"
+
+    def test_network_layer_line_count(self, toy_network):
+        renderer = MapRenderer(toy_network)
+        renderer.draw_network()
+        root = _parse(renderer.to_svg())
+        lines = root.findall(f".//{SVG_NS}line")
+        assert len(lines) == toy_network.num_edges
+
+    def test_stops_layer(self, toy_network):
+        renderer = MapRenderer(toy_network)
+        renderer.draw_existing_stops([V1, V2])
+        root = _parse(renderer.to_svg())
+        circles = root.findall(f".//{SVG_NS}circle")
+        assert len(circles) == 2
+
+    def test_demand_radius_scales_with_multiplicity(self, toy_network):
+        renderer = MapRenderer(toy_network)
+        queries = QuerySet(toy_network, [V6, V6, V6, V1])
+        renderer.draw_demand(queries)
+        root = _parse(renderer.to_svg())
+        radii = sorted(
+            float(c.get("r")) for c in root.findall(f".//{SVG_NS}circle")
+        )
+        assert len(radii) == 2  # two distinct nodes
+        assert radii[1] > radii[0]
+
+    def test_route_layer(self, toy_network):
+        renderer = MapRenderer(toy_network)
+        route = BusRoute("r", [V1, V2, V3], [V1, V2, V3])
+        renderer.draw_route(route)
+        root = _parse(renderer.to_svg())
+        assert root.findall(f".//{SVG_NS}polyline")
+        assert len(root.findall(f".//{SVG_NS}circle")) == 3
+
+    def test_title_escaped(self, toy_network):
+        renderer = MapRenderer(toy_network)
+        renderer.draw_title("K<30 & C>1")
+        text = renderer.to_svg()
+        assert "K&lt;30 &amp; C&gt;1" in text
+        _parse(text)  # still valid XML
+
+    def test_coordinates_within_viewport(self, toy_network):
+        renderer = MapRenderer(toy_network, width_px=400, margin_px=10)
+        renderer.draw_existing_stops(list(toy_network.nodes()))
+        root = _parse(renderer.to_svg())
+        width = float(root.get("width"))
+        height = float(root.get("height"))
+        for circle in root.findall(f".//{SVG_NS}circle"):
+            assert 0 <= float(circle.get("cx")) <= width
+            assert 0 <= float(circle.get("cy")) <= height
+
+    def test_invalid_width(self, toy_network):
+        with pytest.raises(ConfigurationError):
+            MapRenderer(toy_network, width_px=10)
+
+    def test_save_creates_dirs(self, toy_network, tmp_path):
+        renderer = MapRenderer(toy_network)
+        target = tmp_path / "maps" / "toy.svg"
+        renderer.save(target)
+        assert target.exists()
+        _parse(target.read_text())
+
+
+class TestRenderCaseStudy:
+    def test_one_call(self, toy_network, toy_transit, toy_queries, tmp_path):
+        route = BusRoute("green", [V1, V2, V3, V4], [V1, V2, V3, V4])
+        target = tmp_path / "case.svg"
+        render_case_study(
+            toy_network,
+            toy_queries,
+            toy_transit.existing_stops,
+            route,
+            target,
+            title="toy case study",
+        )
+        text = target.read_text()
+        root = _parse(text)
+        assert "toy case study" in text
+        assert root.findall(f".//{SVG_NS}polyline")
+
+    def test_without_route(self, toy_network, toy_transit, toy_queries, tmp_path):
+        target = tmp_path / "none.svg"
+        render_case_study(
+            toy_network, toy_queries, toy_transit.existing_stops, None, target
+        )
+        assert target.exists()

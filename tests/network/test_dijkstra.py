@@ -1,0 +1,213 @@
+"""Unit tests for the Dijkstra search family, including the paper's
+worked distances on the Figure 2 network."""
+
+import math
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.network.dijkstra import (
+    IncrementalNearestDistance,
+    distance_between,
+    multi_source_costs,
+    query_preprocessing_search,
+    search_to_nearest,
+    shortest_path,
+    shortest_path_costs,
+)
+
+from ..conftest import V1, V2, V3, V4, V5, V6, V7, V8
+
+
+class TestShortestPathCosts:
+    def test_paper_distances(self, toy_network):
+        dist = shortest_path_costs(toy_network, V6)
+        # Example 2 / 3 / 7 worked values
+        assert dist[V3] == pytest.approx(3.0)
+        assert dist[V2] == pytest.approx(7.0)
+        assert dist[V4] == pytest.approx(7.0)
+        assert dist[V7] == pytest.approx(4.0)
+        assert dist[V1] == pytest.approx(11.0)
+
+    def test_source_distance_zero(self, toy_network):
+        assert shortest_path_costs(toy_network, V1)[V1] == 0.0
+
+    def test_max_cost_truncation(self, toy_network):
+        dist = shortest_path_costs(toy_network, V1, max_cost=8.0)
+        assert dist[V3] == pytest.approx(8.0)
+        assert math.isinf(dist[V4])
+        assert math.isinf(dist[V5])
+
+    def test_line_network_costs(self, line_network):
+        dist = shortest_path_costs(line_network, 0)
+        assert dist == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+class TestShortestPath:
+    def test_path_and_cost(self, toy_network):
+        path, cost = shortest_path(toy_network, V1, V4)
+        assert path == [V1, V2, V3, V4]
+        assert cost == pytest.approx(12.0)
+
+    def test_trivial_path(self, toy_network):
+        path, cost = shortest_path(toy_network, V3, V3)
+        assert path == [V3]
+        assert cost == 0.0
+
+    def test_path_cost_matches_costs_array(self, grid_network):
+        costs = shortest_path_costs(grid_network, 0)
+        for target in (7, 23, 35):
+            path, cost = shortest_path(grid_network, 0, target)
+            assert cost == pytest.approx(costs[target])
+            assert grid_network.path_cost(path) == pytest.approx(cost)
+
+    def test_unreachable_raises(self):
+        from repro.network.graph import RoadNetwork
+
+        network = RoadNetwork(
+            [(0, 0), (1, 0), (9, 9)], [(0, 1, 1.0)], validate_connected=False
+        )
+        with pytest.raises(GraphError, match="unreachable"):
+            shortest_path(network, 0, 2)
+
+
+class TestDistanceBetween:
+    def test_matches_full_search(self, toy_network):
+        full = shortest_path_costs(toy_network, V8)
+        for target in range(8):
+            assert distance_between(toy_network, V8, target) == pytest.approx(
+                full[target]
+            )
+
+    def test_same_node(self, toy_network):
+        assert distance_between(toy_network, V5, V5) == 0.0
+
+    def test_upper_bound_cutoff(self, toy_network):
+        assert math.isinf(
+            distance_between(toy_network, V1, V5, upper_bound=10.0)
+        )
+        assert distance_between(toy_network, V1, V5, upper_bound=20.0) == (
+            pytest.approx(16.0)
+        )
+
+
+class TestSearchToNearest:
+    def test_finds_nearest_target(self, toy_network):
+        node, dist = search_to_nearest(toy_network, V6, lambda v: v in (V1, V2))
+        assert node == V2
+        assert dist == pytest.approx(7.0)
+
+    def test_source_is_target(self, toy_network):
+        node, dist = search_to_nearest(toy_network, V2, lambda v: v == V2)
+        assert node == V2
+        assert dist == 0.0
+
+    def test_no_target_raises(self, toy_network):
+        with pytest.raises(GraphError, match="no target"):
+            search_to_nearest(toy_network, V1, lambda v: False)
+
+
+class TestQueryPreprocessingSearch:
+    def _masks(self, toy_network):
+        is_existing = [False] * 8
+        is_existing[V1] = is_existing[V2] = True
+        is_candidate = [False] * 8
+        for v in (V3, V4, V5):
+            is_candidate[v] = True
+        return is_existing, is_candidate
+
+    def test_example7_search_from_v6(self, toy_network):
+        """Example 7: from v6 the search finds RNN entry (v3, 3), then
+        nn(v6) = v2 at distance 7."""
+        is_existing, is_candidate = self._masks(toy_network)
+        nn, dist, visited = query_preprocessing_search(
+            toy_network, V6, is_existing, is_candidate
+        )
+        assert nn == V2
+        assert dist == pytest.approx(7.0)
+        assert visited == [(V3, pytest.approx(3.0))]
+
+    def test_search_from_v7_collects_three_candidates(self, toy_network):
+        is_existing, is_candidate = self._masks(toy_network)
+        nn, dist, visited = query_preprocessing_search(
+            toy_network, V7, is_existing, is_candidate
+        )
+        assert nn == V2
+        assert dist == pytest.approx(11.0)
+        assert dict(visited) == {
+            V4: pytest.approx(3.0),
+            V3: pytest.approx(7.0),
+            V5: pytest.approx(7.0),
+        }
+
+    def test_query_on_existing_stop(self, toy_network):
+        is_existing, is_candidate = self._masks(toy_network)
+        nn, dist, visited = query_preprocessing_search(
+            toy_network, V1, is_existing, is_candidate
+        )
+        assert nn == V1
+        assert dist == 0.0
+        assert visited == []
+
+    def test_no_existing_stop_raises(self, toy_network):
+        is_candidate = [False] * 8
+        with pytest.raises(GraphError, match="no existing bus stop"):
+            query_preprocessing_search(
+                toy_network, V1, [False] * 8, is_candidate
+            )
+
+
+class TestMultiSource:
+    def test_multi_source_is_min_of_singles(self, toy_network):
+        sources = [V1, V7]
+        combined = multi_source_costs(toy_network, sources)
+        singles = [shortest_path_costs(toy_network, s) for s in sources]
+        for v in range(8):
+            assert combined[v] == pytest.approx(min(s[v] for s in singles))
+
+    def test_max_cost(self, toy_network):
+        dist = multi_source_costs(toy_network, [V1], max_cost=4.0)
+        assert dist[V2] == pytest.approx(4.0)
+        assert math.isinf(dist[V3])
+
+    def test_duplicate_sources(self, toy_network):
+        dist = multi_source_costs(toy_network, [V1, V1, V1])
+        assert dist[V1] == 0.0
+
+
+class TestIncrementalNearest:
+    def test_matches_multi_source_after_each_add(self, toy_network):
+        incremental = IncrementalNearestDistance(toy_network)
+        added = []
+        for source in (V5, V1, V6):
+            incremental.add_source(source)
+            added.append(source)
+            expected = multi_source_costs(toy_network, added)
+            for v in range(8):
+                assert incremental.distance[v] == pytest.approx(expected[v])
+
+    def test_improved_nodes_reported(self, line_network):
+        incremental = IncrementalNearestDistance(line_network)
+        first = incremental.add_source(0)
+        assert sorted(first) == [0, 1, 2, 3, 4, 5]
+        second = incremental.add_source(5)
+        # Only the right half improves (distances 2,1,0 beat 3,4,5).
+        assert sorted(second) == [3, 4, 5]
+
+    def test_duplicate_source_is_noop(self, toy_network):
+        incremental = IncrementalNearestDistance(toy_network)
+        incremental.add_source(V1)
+        before = list(incremental.distance)
+        assert incremental.add_source(V1) == []
+        assert incremental.distance == before
+
+    def test_sources_property(self, toy_network):
+        incremental = IncrementalNearestDistance(toy_network)
+        incremental.add_source(V2)
+        incremental.add_source(V4)
+        assert incremental.sources == [V2, V4]
+
+    def test_getitem(self, toy_network):
+        incremental = IncrementalNearestDistance(toy_network)
+        incremental.add_source(V1)
+        assert incremental[V2] == pytest.approx(4.0)

@@ -1,0 +1,133 @@
+"""Unit tests for the DIMACS reader/writer."""
+
+import math
+
+import pytest
+
+from repro.exceptions import DataFormatError
+from repro.network.dimacs import read_dimacs, write_dimacs
+from repro.network.generators import grid_city
+from repro.network.graph import RoadNetwork
+
+
+@pytest.fixture
+def dimacs_pair(tmp_path):
+    gr = tmp_path / "net.gr"
+    co = tmp_path / "net.co"
+    gr.write_text(
+        "c tiny test network\n"
+        "p sp 3 6\n"
+        "a 1 2 1000\n"
+        "a 2 1 1000\n"
+        "a 2 3 2000\n"
+        "a 3 2 2000\n"
+        "a 1 3 5000\n"
+        "a 3 1 5000\n"
+    )
+    co.write_text(
+        "c coordinates\n"
+        "p aux sp co 3\n"
+        "v 1 0 0\n"
+        "v 2 10000 0\n"
+        "v 3 20000 0\n"
+    )
+    return gr, co
+
+
+class TestRead:
+    def test_basic_read(self, dimacs_pair):
+        network = read_dimacs(*dimacs_pair)
+        assert network.num_nodes == 3
+        assert network.num_edges == 3
+        # costs are metres by default -> km
+        assert network.edge_cost(0, 1) == pytest.approx(1.0)
+        assert network.edge_cost(1, 2) == pytest.approx(2.0)
+
+    def test_cost_unit(self, dimacs_pair):
+        network = read_dimacs(*dimacs_pair, cost_unit_km=0.01)
+        assert network.edge_cost(0, 1) == pytest.approx(10.0)
+
+    def test_coordinates_projected_monotonically(self, dimacs_pair):
+        network = read_dimacs(*dimacs_pair)
+        xs = [network.coordinate(v)[0] for v in range(3)]
+        assert xs[0] < xs[1] < xs[2]
+
+    def test_mismatched_counts_raise(self, dimacs_pair, tmp_path):
+        gr, _ = dimacs_pair
+        bad_co = tmp_path / "bad.co"
+        bad_co.write_text("p aux sp co 2\nv 1 0 0\nv 2 1 1\n")
+        with pytest.raises(DataFormatError, match="declares"):
+            read_dimacs(gr, bad_co)
+
+    def test_bad_arc_line(self, tmp_path, dimacs_pair):
+        _, co = dimacs_pair
+        gr = tmp_path / "bad.gr"
+        gr.write_text("p sp 3 1\na 1 2\n")
+        with pytest.raises(DataFormatError, match="bad arc"):
+            read_dimacs(gr, co)
+
+    def test_missing_problem_line(self, tmp_path, dimacs_pair):
+        _, co = dimacs_pair
+        gr = tmp_path / "bad.gr"
+        gr.write_text("a 1 2 100\n")
+        with pytest.raises(DataFormatError, match="problem line"):
+            read_dimacs(gr, co)
+
+    def test_unknown_record(self, tmp_path, dimacs_pair):
+        _, co = dimacs_pair
+        gr = tmp_path / "bad.gr"
+        gr.write_text("p sp 3 1\nz 1 2 3\n")
+        with pytest.raises(DataFormatError, match="unknown record"):
+            read_dimacs(gr, co)
+
+    def test_arc_out_of_range(self, tmp_path, dimacs_pair):
+        _, co = dimacs_pair
+        gr = tmp_path / "bad.gr"
+        gr.write_text("p sp 3 1\na 1 9 100\n")
+        with pytest.raises(DataFormatError, match="out of range"):
+            read_dimacs(gr, co)
+
+    def test_non_contiguous_vertices(self, tmp_path, dimacs_pair):
+        gr, _ = dimacs_pair
+        co = tmp_path / "bad.co"
+        co.write_text("p aux sp co 3\nv 1 0 0\nv 2 1 1\nv 7 2 2\n")
+        with pytest.raises(DataFormatError, match="contiguous"):
+            read_dimacs(gr, co)
+
+    def test_disconnected_keeps_largest_component(self, tmp_path):
+        gr = tmp_path / "net.gr"
+        co = tmp_path / "net.co"
+        gr.write_text("p sp 4 4\na 1 2 100\na 2 1 100\na 3 4 100\na 4 3 100\n")
+        co.write_text(
+            "p aux sp co 4\nv 1 0 0\nv 2 100 0\nv 3 0 100\nv 4 100 100\n"
+        )
+        network = read_dimacs(gr, co)
+        assert network.num_nodes == 2
+        with pytest.raises(DataFormatError, match="disconnected"):
+            read_dimacs(gr, co, keep_largest_component=False)
+
+
+class TestRoundTrip:
+    def test_write_read_roundtrip(self, tmp_path):
+        original = grid_city(6, 6, seed=4)
+        gr, co = tmp_path / "city.gr", tmp_path / "city.co"
+        write_dimacs(original, gr, co)
+        loaded = read_dimacs(gr, co)
+        assert loaded.num_nodes == original.num_nodes
+        assert loaded.num_edges == original.num_edges
+        # costs survive up to metre quantization
+        for u, v, cost in original.edges():
+            assert loaded.edge_cost(u, v) == pytest.approx(cost, abs=1e-3)
+        # coordinates survive up to micro-degree quantization (~0.1 m)
+        for node in original.nodes():
+            ox, oy = original.coordinate(node)
+            lx, ly = loaded.coordinate(node)
+            assert abs(ox - lx) < 0.01 and abs(oy - ly) < 0.01
+
+    def test_written_files_have_headers(self, tmp_path):
+        network = RoadNetwork([(0, 0), (1, 0)], [(0, 1, 1.0)])
+        gr, co = tmp_path / "x.gr", tmp_path / "x.co"
+        write_dimacs(network, gr, co, comment="hello")
+        assert "c hello" in gr.read_text()
+        assert "p sp 2 2" in gr.read_text()
+        assert "p aux sp co 2" in co.read_text()

@@ -1,0 +1,105 @@
+"""Unit tests for the synthetic city generators."""
+
+import math
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.network.generators import (
+    _MAX_SEGMENT_KM,
+    grid_city,
+    radial_city,
+    sprawl_city,
+)
+from repro.network.geometry import bounding_box
+
+
+def _max_edge(network):
+    return max(cost for _, _, cost in network.edges())
+
+
+def _check_euclidean_lower_bound(network):
+    """All generators must keep edge cost >= Euclidean gap (the lower
+    bound Algorithm 4 relies on)."""
+    for u, v, cost in network.edges():
+        assert cost >= network.euclidean_distance(u, v) - 1e-9
+
+
+class TestGridCity:
+    def test_connected_and_sized(self):
+        network = grid_city(12, 12, seed=1)
+        assert network.is_connected()
+        assert network.num_nodes > 100
+        assert network.num_edges >= network.num_nodes - 1
+
+    def test_deterministic_per_seed(self):
+        a = grid_city(8, 8, seed=5)
+        b = grid_city(8, 8, seed=5)
+        assert a.num_nodes == b.num_nodes
+        assert sorted(a.edges()) == sorted(b.edges())
+        c = grid_city(8, 8, seed=6)
+        assert sorted(a.edges()) != sorted(c.edges())
+
+    def test_coastline_cuts_east_side(self):
+        full = grid_city(10, 10, seed=2, removal_fraction=0.0)
+        cut = grid_city(10, 10, seed=2, removal_fraction=0.0, coastline=0.6)
+        assert cut.num_nodes < full.num_nodes
+        _, _, max_x_cut, _ = bounding_box(cut.coordinates())
+        _, _, max_x_full, _ = bounding_box(full.coordinates())
+        assert max_x_cut < max_x_full
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            grid_city(1, 5)
+
+    def test_edge_costs_bound_euclidean(self):
+        _check_euclidean_lower_bound(grid_city(8, 8, seed=3))
+
+    def test_no_overlong_edges(self):
+        network = grid_city(8, 8, seed=3, block_km=2.0)
+        assert _max_edge(network) <= _MAX_SEGMENT_KM * 1.3 + 1e-9
+
+
+class TestRadialCity:
+    def test_connected_across_boroughs(self):
+        network = radial_city(num_boroughs=4, nodes_per_borough=80, seed=1)
+        assert network.is_connected()
+        assert network.num_nodes >= 4 * 80  # bridges may add subdivisions
+
+    def test_bridges_subdivided(self):
+        network = radial_city(num_boroughs=3, nodes_per_borough=60, seed=2)
+        assert _max_edge(network) <= _MAX_SEGMENT_KM + 1e-9
+
+    def test_minimum_boroughs(self):
+        with pytest.raises(GraphError):
+            radial_city(num_boroughs=1)
+
+    def test_euclidean_lower_bound(self):
+        _check_euclidean_lower_bound(
+            radial_city(num_boroughs=3, nodes_per_borough=50, seed=3)
+        )
+
+
+class TestSprawlCity:
+    def test_connected(self):
+        network = sprawl_city(num_nodes=300, seed=1)
+        assert network.is_connected()
+        assert network.num_nodes >= 200  # largest component dominates
+
+    def test_minimum_size(self):
+        with pytest.raises(GraphError):
+            sprawl_city(num_nodes=5)
+
+    def test_deterministic(self):
+        a = sprawl_city(num_nodes=200, seed=9)
+        b = sprawl_city(num_nodes=200, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_euclidean_lower_bound(self):
+        _check_euclidean_lower_bound(sprawl_city(num_nodes=200, seed=4))
+
+    def test_extent_respected(self):
+        network = sprawl_city(num_nodes=200, extent_km=10.0, seed=5)
+        min_x, min_y, max_x, max_y = bounding_box(network.coordinates())
+        assert min_x >= -1e-9 and min_y >= -1e-9
+        assert max_x <= 10.0 + 1e-9 and max_y <= 10.0 + 1e-9

@@ -1,0 +1,141 @@
+"""Unit tests for the road network data structure (Definition 1)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.network.graph import RoadNetwork
+
+
+class TestConstruction:
+    def test_basic_counts(self, toy_network):
+        assert toy_network.num_nodes == 8
+        assert toy_network.num_edges == 8
+
+    def test_nodes_iterates_all_ids(self, toy_network):
+        assert list(toy_network.nodes()) == list(range(8))
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(GraphError):
+            RoadNetwork([], [])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self loop"):
+            RoadNetwork([(0, 0), (1, 0)], [(0, 0, 1.0), (0, 1, 1.0)])
+
+    def test_non_positive_cost_rejected(self):
+        with pytest.raises(GraphError, match="non-positive"):
+            RoadNetwork([(0, 0), (1, 0)], [(0, 1, 0.0)])
+        with pytest.raises(GraphError, match="non-positive"):
+            RoadNetwork([(0, 0), (1, 0)], [(0, 1, -2.0)])
+
+    def test_out_of_range_node_rejected(self):
+        with pytest.raises(GraphError, match="outside"):
+            RoadNetwork([(0, 0), (1, 0)], [(0, 5, 1.0)])
+
+    def test_disconnected_rejected_by_default(self):
+        coords = [(0, 0), (1, 0), (5, 5), (6, 5)]
+        edges = [(0, 1, 1.0), (2, 3, 1.0)]
+        with pytest.raises(GraphError, match="connected"):
+            RoadNetwork(coords, edges)
+        network = RoadNetwork(coords, edges, validate_connected=False)
+        assert not network.is_connected()
+
+    def test_parallel_edges_keep_cheapest(self):
+        network = RoadNetwork(
+            [(0, 0), (1, 0)], [(0, 1, 5.0), (1, 0, 2.0), (0, 1, 9.0)]
+        )
+        assert network.num_edges == 1
+        assert network.edge_cost(0, 1) == 2.0
+
+    def test_single_node_network(self):
+        network = RoadNetwork([(0.0, 0.0)], [])
+        assert network.num_nodes == 1
+        assert network.is_connected()
+
+
+class TestAccessors:
+    def test_edge_cost_symmetric(self, toy_network):
+        assert toy_network.edge_cost(0, 1) == 4.0
+        assert toy_network.edge_cost(1, 0) == 4.0
+
+    def test_edge_cost_missing_raises(self, toy_network):
+        with pytest.raises(GraphError, match="no edge"):
+            toy_network.edge_cost(0, 7)
+
+    def test_has_edge(self, toy_network):
+        assert toy_network.has_edge(2, 3)
+        assert toy_network.has_edge(3, 2)
+        assert not toy_network.has_edge(0, 4)
+
+    def test_neighbors_costs(self, toy_network):
+        neighbors = dict(toy_network.neighbors(2))  # v3
+        assert neighbors == {1: 4.0, 3: 4.0, 5: 3.0, 7: 4.0}
+
+    def test_degree(self, toy_network):
+        assert toy_network.degree(2) == 4  # v3
+        assert toy_network.degree(4) == 1  # v5
+
+    def test_coordinates_are_copies(self, toy_network):
+        coords = toy_network.coordinates()
+        coords[0] = (99.0, 99.0)
+        assert toy_network.coordinate(0) == (0.0, 0.0)
+
+    def test_euclidean_distance_lower_bounds_network(self, toy_network):
+        # v1 to v4: euclid 12 == network 12 on the toy's straight line
+        assert toy_network.euclidean_distance(0, 3) == pytest.approx(12.0)
+
+    def test_total_edge_cost(self, toy_network):
+        assert toy_network.total_edge_cost() == pytest.approx(4 * 5 + 3 + 4 + 3)
+
+    def test_edges_iteration_normalized(self, toy_network):
+        for u, v, cost in toy_network.edges():
+            assert u < v
+            assert cost > 0
+
+
+class TestPaths:
+    def test_path_cost(self, toy_network):
+        assert toy_network.path_cost([0, 1, 2, 3]) == pytest.approx(12.0)
+
+    def test_path_cost_single_node(self, toy_network):
+        assert toy_network.path_cost([0]) == 0.0
+
+    def test_path_cost_invalid_raises(self, toy_network):
+        with pytest.raises(GraphError):
+            toy_network.path_cost([0, 4])
+
+    def test_is_path(self, toy_network):
+        assert toy_network.is_path([0, 1, 2, 5])
+        assert not toy_network.is_path([0, 2])
+        assert not toy_network.is_path([])
+
+
+class TestStructure:
+    def test_connected_components_single(self, toy_network):
+        components = toy_network.connected_components()
+        assert len(components) == 1
+        assert sorted(components[0]) == list(range(8))
+
+    def test_connected_components_multiple(self):
+        network = RoadNetwork(
+            [(0, 0), (1, 0), (9, 9)], [(0, 1, 1.0)], validate_connected=False
+        )
+        components = network.connected_components()
+        assert sorted(len(c) for c in components) == [1, 2]
+
+    def test_subgraph_keeps_largest_component(self, toy_network):
+        # Nodes v1, v2 and v5 (v5 disconnected from v1-v2 in induced graph)
+        sub, original = toy_network.subgraph([0, 1, 4])
+        assert sub.num_nodes == 2
+        assert original == [0, 1]
+
+    def test_subgraph_preserves_costs(self, toy_network):
+        sub, original = toy_network.subgraph([0, 1, 2])
+        assert original == [0, 1, 2]
+        assert sub.edge_cost(0, 1) == 4.0
+        assert sub.edge_cost(1, 2) == 4.0
+
+    def test_repr(self, toy_network):
+        assert "|V|=8" in repr(toy_network)

@@ -1,0 +1,88 @@
+"""Property-based tests for the Christofides tour construction."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.christofides import christofides_order, tour_price
+
+
+point_sets = lambda: st.lists(  # noqa: E731 - strategy factory
+    st.tuples(
+        st.floats(0, 30, allow_nan=False), st.floats(0, 30, allow_nan=False)
+    ),
+    min_size=3,
+    max_size=12,
+    unique=True,
+)
+
+
+def _matrix(points):
+    return [
+        [math.dist(a, b) for b in points] for a in points
+    ]
+
+
+def _mst_price(matrix, c):
+    """Prim MST total price — the lower bound of any spanning structure."""
+    from repro.core.price import virtual_edge_price
+
+    n = len(matrix)
+    in_tree = [False] * n
+    best = [math.inf] * n
+    best[0] = 0.0
+    total = 0
+    for _ in range(n):
+        u = min(
+            (v for v in range(n) if not in_tree[v]), key=lambda v: best[v]
+        )
+        in_tree[u] = True
+        if best[u] > 0:
+            total += virtual_edge_price(best[u], c)
+        for v in range(n):
+            if not in_tree[v] and matrix[u][v] < best[v]:
+                best[v] = matrix[u][v]
+    return total
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=point_sets(), c=st.floats(min_value=0.5, max_value=10.0))
+def test_visits_every_stop_exactly_once(points, c):
+    stops = list(range(len(points)))
+    order = christofides_order(stops, _matrix(points), c)
+    assert sorted(order) == stops
+
+
+@settings(max_examples=40, deadline=None)
+@given(points=point_sets(), c=st.floats(min_value=0.5, max_value=10.0))
+def test_open_path_price_bounded(points, c):
+    """The open path's price is at most the closed tour's, and the
+    closed tour (MST + greedy matching, shortcut) stays within 3x the
+    MST price — a generous envelope over the 3/2 theory that catches
+    gross construction bugs without flaking on the greedy matching."""
+    stops = list(range(len(points)))
+    matrix = _matrix(points)
+    order = christofides_order(stops, matrix, c)
+    open_price = tour_price(order, lambda a, b: matrix[a][b], c)
+    closed_price = tour_price(order, lambda a, b: matrix[a][b], c, closed=True)
+    mst = _mst_price(matrix, c)
+    assert open_price <= closed_price
+    assert closed_price <= 3 * mst + len(points)
+
+
+@settings(max_examples=20, deadline=None)
+@given(points=point_sets(), c=st.floats(min_value=0.5, max_value=10.0))
+def test_matches_brute_force_within_factor_two(points, c):
+    if len(points) > 8:
+        return  # brute force too slow
+    stops = list(range(len(points)))
+    matrix = _matrix(points)
+    order = christofides_order(stops, matrix, c)
+    got = tour_price(order, lambda a, b: matrix[a][b], c)
+    best = min(
+        tour_price(list(perm), lambda a, b: matrix[a][b], c)
+        for perm in itertools.permutations(stops)
+    )
+    assert got <= 2 * best + 1

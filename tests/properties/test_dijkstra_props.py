@@ -1,0 +1,113 @@
+"""Property-based tests for the Dijkstra family, cross-checked against
+networkx on random connected graphs."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.dijkstra import (
+    IncrementalNearestDistance,
+    distance_between,
+    multi_source_costs,
+    shortest_path,
+    shortest_path_costs,
+)
+from repro.network.graph import RoadNetwork
+
+
+@st.composite
+def connected_networks(draw):
+    """A random connected weighted graph: a random spanning tree plus
+    random extra edges."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    coords = [
+        (draw(st.floats(0, 10)), draw(st.floats(0, 10))) for _ in range(n)
+    ]
+    edges = []
+    # spanning tree
+    for v in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=v - 1))
+        cost = draw(st.floats(min_value=0.1, max_value=5.0))
+        edges.append((parent, v, cost))
+    # extras
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            cost = draw(st.floats(min_value=0.1, max_value=5.0))
+            edges.append((u, v, cost))
+    return RoadNetwork(coords, edges)
+
+
+def _to_networkx(network):
+    graph = nx.Graph()
+    graph.add_nodes_from(network.nodes())
+    for u, v, cost in network.edges():
+        graph.add_edge(u, v, weight=cost)
+    return graph
+
+
+@settings(max_examples=40, deadline=None)
+@given(network=connected_networks(), source_seed=st.integers(0, 10 ** 6))
+def test_costs_match_networkx(network, source_seed):
+    source = source_seed % network.num_nodes
+    ours = shortest_path_costs(network, source)
+    reference = nx.single_source_dijkstra_path_length(
+        _to_networkx(network), source
+    )
+    for v in network.nodes():
+        assert ours[v] == pytest.approx(reference[v])
+
+
+@settings(max_examples=30, deadline=None)
+@given(network=connected_networks(), seed=st.integers(0, 10 ** 6))
+def test_shortest_path_is_valid_and_optimal(network, seed):
+    source = seed % network.num_nodes
+    target = (seed // 7) % network.num_nodes
+    path, cost = shortest_path(network, source, target)
+    assert path[0] == source and path[-1] == target
+    assert network.is_path(path)
+    assert network.path_cost(path) == pytest.approx(cost)
+    assert cost == pytest.approx(
+        nx.dijkstra_path_length(_to_networkx(network), source, target)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(network=connected_networks(), seed=st.integers(0, 10 ** 6))
+def test_triangle_inequality(network, seed):
+    n = network.num_nodes
+    a, b, c = seed % n, (seed // 3) % n, (seed // 11) % n
+    d_ab = distance_between(network, a, b)
+    d_bc = distance_between(network, b, c)
+    d_ac = distance_between(network, a, c)
+    assert d_ac <= d_ab + d_bc + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(network=connected_networks(), seed=st.integers(0, 10 ** 6))
+def test_incremental_equals_multi_source(network, seed):
+    n = network.num_nodes
+    sources = sorted({seed % n, (seed // 5) % n, (seed // 23) % n})
+    incremental = IncrementalNearestDistance(network)
+    for s in sources:
+        incremental.add_source(s)
+    expected = multi_source_costs(network, sources)
+    for v in network.nodes():
+        assert incremental.distance[v] == pytest.approx(expected[v])
+
+
+@settings(max_examples=30, deadline=None)
+@given(network=connected_networks(), seed=st.integers(0, 10 ** 6))
+def test_adding_sources_never_increases_distance(network, seed):
+    n = network.num_nodes
+    incremental = IncrementalNearestDistance(network)
+    previous = [math.inf] * n
+    for k in range(3):
+        incremental.add_source((seed // (k + 1)) % n)
+        for v in network.nodes():
+            assert incremental.distance[v] <= previous[v] + 1e-12
+        previous = list(incremental.distance)

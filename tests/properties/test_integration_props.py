@@ -1,0 +1,92 @@
+"""Randomized end-to-end invariants: EBRR on generated instances always
+produces feasible routes whose reported metrics are exactly consistent
+with independent recomputation, and never beats the exhaustive optimum
+where that optimum is computable."""
+
+import pytest
+
+from repro.core.config import EBRRConfig
+from repro.core.ebrr import plan_route
+from repro.core.exact import optimal_stop_set
+from repro.core.utility import BRRInstance
+from repro.demand.generators import hotspot_demand
+from repro.network.generators import grid_city, sprawl_city
+from repro.transit.builder import build_transit_network
+
+
+def _instance(seed, *, style="grid"):
+    if style == "grid":
+        network = grid_city(8, 8, seed=seed)
+    else:
+        network = sprawl_city(num_nodes=120, seed=seed)
+    transit = build_transit_network(
+        network, num_routes=4, seed=seed + 1, stop_spacing_km=0.8
+    )
+    queries = hotspot_demand(
+        network, 400, num_hotspots=4, transit=transit, seed=seed + 2
+    )
+    return BRRInstance(transit, queries, alpha=5.0)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+@pytest.mark.parametrize("style", ["grid", "sprawl"])
+def test_route_invariants(seed, style):
+    instance = _instance(seed, style=style)
+    config = EBRRConfig(max_stops=8, max_adjacent_cost=1.5, alpha=5.0)
+    result = plan_route(instance, config)
+    route = result.route
+
+    # structural invariants
+    assert len(set(route.stops)) == route.num_stops
+    assert route.num_stops <= config.max_stops
+    assert instance.network.is_path(route.path)
+    for stop in route.stops:
+        assert instance.is_candidate[stop] or instance.is_existing[stop]
+
+    # feasibility (dense candidates -> refinement must satisfy C)
+    assert result.is_feasible, result.constraint_violations
+
+    # reported metrics equal independent recomputation
+    assert result.metrics.utility == pytest.approx(
+        instance.utility(route.stops)
+    )
+    assert result.metrics.connectivity == instance.connectivity(route.stops)
+    assert result.metrics.walk_cost == pytest.approx(
+        instance.baseline_walk()
+        - instance.walk_decrease(
+            s for s in route.stops if instance.is_candidate[s]
+        )
+    )
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13])
+def test_never_beats_opt_on_small_instances(seed):
+    network = grid_city(4, 4, seed=seed, removal_fraction=0.0)
+    transit = build_transit_network(
+        network, num_routes=2, seed=seed, stop_spacing_km=1.0
+    )
+    existing = set(transit.existing_stops)
+    candidates = [v for v in network.nodes() if v not in existing][:8]
+    queries = hotspot_demand(network, 60, num_hotspots=2, seed=seed)
+    instance = BRRInstance(transit, queries, candidates=candidates, alpha=2.0)
+    config = EBRRConfig(max_stops=5, max_adjacent_cost=2.0, alpha=2.0)
+    result = plan_route(instance, config)
+    _, opt = optimal_stop_set(instance, 5)
+    assert result.metrics.utility <= opt + 1e-6
+
+
+@pytest.mark.parametrize("seed", [21, 22])
+def test_selection_budget_theorem3(seed):
+    """Theorem 3's mechanism: the selection's total price stays within
+    one step of the 2K/3 budget, so Christofides + refinement can fit
+    within K stops."""
+    instance = _instance(seed)
+    for k in (6, 9, 15):
+        config = EBRRConfig(max_stops=k, max_adjacent_cost=1.5, alpha=5.0)
+        result = plan_route(instance, config)
+        trace = result.trace
+        budget = 2 * k / 3
+        if trace.prices:
+            overshoot = trace.total_price - budget
+            assert overshoot < max(trace.prices) + 1e-9
+        assert result.metrics.num_stops <= k

@@ -1,0 +1,85 @@
+"""Property tests for path refinement: across random instances and
+configurations, the final route always satisfies the structural
+contract of Definition 8 (with dense candidates)."""
+
+import pytest
+
+from repro.core.config import EBRRConfig
+from repro.core.ebrr import plan_route
+from repro.core.utility import BRRInstance
+from repro.demand.generators import hotspot_demand
+from repro.network.generators import grid_city
+from repro.transit.builder import build_transit_network
+from repro.transit.route import BusRoute
+
+
+def _instance(seed):
+    network = grid_city(7, 7, seed=seed)
+    transit = build_transit_network(
+        network, num_routes=3, seed=seed + 1, stop_spacing_km=0.9
+    )
+    queries = hotspot_demand(
+        network, 200, num_hotspots=3, transit=transit, seed=seed + 2
+    )
+    return BRRInstance(transit, queries, alpha=3.0)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("k", [4, 8, 14])
+@pytest.mark.parametrize("c", [0.8, 1.5, 3.0])
+def test_refined_route_contract(seed, k, c):
+    instance = _instance(seed)
+    config = EBRRConfig(max_stops=k, max_adjacent_cost=c, alpha=3.0)
+    result = plan_route(instance, config)
+    route = result.route
+
+    # structural contract
+    assert 1 <= route.num_stops <= k
+    assert len(set(route.stops)) == route.num_stops
+    assert instance.network.is_path(route.path)
+    # the stop sequence embeds in the path in order (BusRoute enforces
+    # it at construction; re-assert through a fresh object)
+    BusRoute("check", route.stops, route.path)
+    # every stop is a legal location
+    for stop in route.stops:
+        assert instance.is_candidate[stop] or instance.is_existing[stop]
+    # dense candidates -> C feasible
+    for cost in route.adjacent_stop_costs(instance.network):
+        assert cost <= c + 1e-9
+    assert result.is_feasible
+
+
+@pytest.mark.parametrize("seed", [5, 6])
+def test_refinement_weakly_improves_utility(seed):
+    """Fig. 16a across random instances: refinement never loses more
+    than trivia against the bare Christofides order."""
+    instance = _instance(seed)
+    for k in (6, 10):
+        refined = plan_route(
+            instance,
+            EBRRConfig(max_stops=k, max_adjacent_cost=1.5, alpha=3.0),
+        )
+        bare = plan_route(
+            instance,
+            EBRRConfig(
+                max_stops=k, max_adjacent_cost=1.5, alpha=3.0,
+                refine_path=False,
+            ),
+        )
+        assert refined.metrics.utility >= bare.metrics.utility - 1e-9
+        assert refined.metrics.num_stops >= bare.metrics.num_stops
+
+
+@pytest.mark.parametrize("seed", [7, 8])
+def test_budget_fraction_monotone_selection(seed):
+    """A bigger selection budget never selects fewer profitable stops."""
+    instance = _instance(seed)
+    counts = []
+    for fraction in (1.0 / 3.0, 2.0 / 3.0, 1.0):
+        config = EBRRConfig(
+            max_stops=12, max_adjacent_cost=1.5, alpha=3.0,
+            price_budget_fraction=fraction,
+        )
+        result = plan_route(instance, config)
+        counts.append(len(result.trace.selected))
+    assert counts == sorted(counts)

@@ -1,0 +1,110 @@
+"""Property tests for the greedy selection: on randomized instances,
+every stop the filtered/lazy machinery picks must be a true argmax of
+``ΔU_B(v) / p(v, B)`` — i.e. the accelerations never change the greedy
+decision, only the work done to find it."""
+
+import math
+
+import pytest
+
+from repro.core.config import EBRRConfig
+from repro.core.preprocess import preprocess_queries
+from repro.core.selection import SelectionState, run_selection
+from repro.core.utility import BRRInstance
+from repro.demand.generators import hotspot_demand
+from repro.network.generators import grid_city
+from repro.transit.builder import build_transit_network
+
+
+def _random_instance(seed):
+    network = grid_city(7, 7, seed=seed)
+    transit = build_transit_network(
+        network, num_routes=3, seed=seed + 1, stop_spacing_km=0.9
+    )
+    queries = hotspot_demand(
+        network, 250, num_hotspots=3, transit=transit, seed=seed + 2
+    )
+    return BRRInstance(transit, queries, alpha=4.0)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
+def test_each_pick_is_a_true_argmax(seed):
+    instance = _random_instance(seed)
+    pre = preprocess_queries(instance)
+    config = EBRRConfig(max_stops=9, max_adjacent_cost=1.5, alpha=4.0)
+    trace = run_selection(instance, pre, config)
+
+    # Replay: before each pick, exhaustively evaluate every remaining
+    # stop's true ratio and confirm the pick ties the maximum.
+    state = SelectionState(instance, pre, config)
+    universe = instance.candidates + instance.existing_stops
+    state.select(trace.selected[0])
+    for picked in trace.selected[1:]:
+        best_ratio = -math.inf
+        for v in universe:
+            if v in state.selected_set:
+                continue
+            ratio = state.marginal_gain(v) / state.true_price(v)
+            best_ratio = max(best_ratio, ratio)
+        picked_ratio = state.marginal_gain(picked) / state.true_price(picked)
+        assert picked_ratio == pytest.approx(best_ratio, rel=1e-9, abs=1e-9)
+        state.select(picked)
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13])
+def test_all_variants_reach_equal_total_gain(seed):
+    instance = _random_instance(seed)
+    pre = preprocess_queries(instance)
+    base = EBRRConfig(max_stops=9, max_adjacent_cost=1.5, alpha=4.0)
+    reference = run_selection(instance, pre, base)
+    for overrides in (
+        dict(use_threshold_pruning=False),
+        dict(use_lower_bound_price=False),
+        dict(use_lazy_selection=False, use_threshold_pruning=False),
+        dict(use_lazy_selection=False),
+    ):
+        variant_config = EBRRConfig(
+            max_stops=9, max_adjacent_cost=1.5, alpha=4.0, **overrides
+        )
+        variant = run_selection(instance, pre, variant_config)
+        assert variant.total_gain == pytest.approx(
+            reference.total_gain, rel=1e-9
+        )
+        assert variant.total_price == reference.total_price
+
+
+@pytest.mark.parametrize("seed", [21, 22, 23])
+def test_prices_match_distance_definition(seed):
+    """Every recorded price equals max(1, ceil(dist(v, B)/C)) computed
+    from a fresh multi-source Dijkstra at that iteration."""
+    from repro.core.price import price_from_distance
+    from repro.network.dijkstra import multi_source_costs
+
+    instance = _random_instance(seed)
+    pre = preprocess_queries(instance)
+    config = EBRRConfig(max_stops=9, max_adjacent_cost=1.5, alpha=4.0)
+    trace = run_selection(instance, pre, config)
+    selected_so_far = [trace.selected[0]]
+    for stop, price in zip(trace.selected[1:], trace.prices):
+        dist = multi_source_costs(instance.network, selected_so_far)
+        assert price == price_from_distance(dist[stop], 1.5)
+        selected_so_far.append(stop)
+
+
+@pytest.mark.parametrize("seed", [31, 32])
+def test_total_gain_telescopes_to_exact_utility(seed):
+    """Σ ΔU over the trace equals the exact utility of the selected set
+    (the incremental bookkeeping never drifts from the true objective).
+
+    Note the greedy *ratio* sequence is NOT monotone in general: prices
+    are state-dependent and can drop as B grows (a distant stop becomes
+    cheap once a neighbour is selected), so a later pick can legally
+    have a higher ratio than an earlier one.
+    """
+    instance = _random_instance(seed)
+    pre = preprocess_queries(instance)
+    config = EBRRConfig(max_stops=12, max_adjacent_cost=1.5, alpha=4.0)
+    trace = run_selection(instance, pre, config)
+    assert trace.total_gain == pytest.approx(
+        instance.utility(trace.selected), rel=1e-9
+    )

@@ -1,0 +1,121 @@
+"""Property-based verification of Theorem 1: the utility function is
+monotone submodular on randomly generated BRR instances."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.utility import BRRInstance
+from repro.demand.query import QuerySet
+from repro.network.graph import RoadNetwork
+from repro.transit.network import TransitNetwork
+from repro.transit.route import BusRoute
+
+
+def _random_instance(draw):
+    """A small random connected grid instance with random transit,
+    candidates, queries, and alpha."""
+    rows = draw(st.integers(min_value=2, max_value=4))
+    cols = draw(st.integers(min_value=2, max_value=4))
+    coords = []
+    index = {}
+    for r in range(rows):
+        for c in range(cols):
+            index[(r, c)] = len(coords)
+            coords.append((float(c), float(r)))
+    edges = []
+    for (r, c), u in index.items():
+        if (r, c + 1) in index:
+            cost = draw(st.floats(min_value=0.5, max_value=3.0))
+            edges.append((u, index[(r, c + 1)], cost))
+        if (r + 1, c) in index:
+            cost = draw(st.floats(min_value=0.5, max_value=3.0))
+            edges.append((u, index[(r + 1, c)], cost))
+    network = RoadNetwork(coords, edges)
+    n = network.num_nodes
+
+    node = st.integers(min_value=0, max_value=n - 1)
+    stop_pool = draw(st.lists(node, min_size=1, max_size=4, unique=True))
+    num_routes = draw(st.integers(min_value=1, max_value=5))
+    # Single-stop routes at random pool stops: shared stops give the
+    # coverage structure Connect needs, without path bookkeeping.
+    routes = [
+        BusRoute(f"r{i}", [draw(st.sampled_from(stop_pool))])
+        for i in range(num_routes)
+    ]
+    transit = TransitNetwork(network, routes)
+    existing = set(transit.existing_stops)
+
+    candidates = [v for v in range(n) if v not in existing]
+    query_nodes = draw(st.lists(node, min_size=1, max_size=8))
+    alpha = draw(st.floats(min_value=0.1, max_value=10.0))
+    instance = BRRInstance(
+        transit,
+        QuerySet(network, query_nodes),
+        candidates=candidates,
+        alpha=alpha,
+    )
+    return instance
+
+
+@st.composite
+def instances(draw):
+    return _random_instance(draw)
+
+
+@st.composite
+def instance_and_sets(draw):
+    instance = _random_instance(draw)
+    universe = instance.candidates + instance.existing_stops
+    subset = st.lists(st.sampled_from(universe), max_size=4, unique=True)
+    b = draw(subset)
+    b_prime = draw(subset)
+    v_choices = [x for x in universe if x not in set(b) | set(b_prime)]
+    if not v_choices:
+        v = None
+    else:
+        v = draw(st.sampled_from(v_choices))
+    return instance, b, b_prime, v
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=instance_and_sets())
+def test_monotone(data):
+    """U(B ∪ {v}) >= U(B)."""
+    instance, b, _, v = data
+    if v is None:
+        return
+    assert instance.utility(b + [v]) >= instance.utility(b) - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=instance_and_sets())
+def test_submodular(data):
+    """ΔU_B(v) >= ΔU_{B ∪ B'}(v) (Theorem 1)."""
+    instance, b, b_prime, v = data
+    if v is None:
+        return
+    small = instance.marginal_utility(v, b)
+    union = list(dict.fromkeys(b + b_prime))
+    large = instance.marginal_utility(v, union)
+    assert small >= large - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=instances())
+def test_utility_non_negative_and_zero_on_empty(data):
+    instance = data
+    assert instance.utility([]) == 0.0
+    for v in instance.candidates[:3]:
+        assert instance.utility([v]) >= -1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=instance_and_sets())
+def test_walk_decrease_bounded_by_baseline(data):
+    """0 <= Walk(S) - Walk(S ∪ B) <= Walk(S)."""
+    instance, b, _, _ = data
+    new_stops = [v for v in b if instance.is_candidate[v]]
+    decrease = instance.walk_decrease(new_stops)
+    assert -1e-9 <= decrease <= instance.baseline_walk() + 1e-9

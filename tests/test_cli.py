@@ -1,0 +1,94 @@
+"""Unit tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_city_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--city", "atlantis"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.city == "chicago"
+        assert args.max_stops == 20
+        assert args.max_adjacent_cost == 2.0
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["stats", "--city", "orlando", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Orlando" in out
+        assert "S_existing" in out
+
+    def test_plan(self, capsys):
+        code = main(
+            ["plan", "--city", "orlando", "--scale", "0.05", "-k", "6"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stops:" in out
+        assert "utility" in out
+
+    def test_plan_explain(self, capsys):
+        code = main(
+            ["plan", "--city", "orlando", "--scale", "0.05", "-k", "5",
+             "--explain"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "EBRR run report" in out
+        assert "Theorem 4 guarantee" in out
+
+    def test_plan_explicit_alpha(self, capsys):
+        code = main(
+            ["plan", "--city", "orlando", "--scale", "0.05", "-k", "6",
+             "--alpha", "10.0"]
+        )
+        assert code == 0
+        assert "alpha=10.00" in capsys.readouterr().out
+
+    def test_sweep_with_csv(self, capsys, tmp_path):
+        target = tmp_path / "rows.csv"
+        code = main(
+            ["sweep", "--city", "orlando", "--scale", "0.05",
+             "--ks", "4,6", "--csv", str(target)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Walking cost vs K" in out
+        assert "Connectivity vs K" in out
+        assert target.exists()
+        header = target.read_text().splitlines()[0]
+        assert "walk_cost" in header
+
+    def test_sweep_bad_ks(self, capsys):
+        assert main(["sweep", "--ks", "4,banana"]) == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_sweep_empty_ks(self, capsys):
+        assert main(["sweep", "--ks", ""]) == 2
+
+    def test_case_study(self, capsys, tmp_path):
+        svg = tmp_path / "map.svg"
+        geojson = tmp_path / "route.geojson"
+        code = main(
+            ["case-study", "--city", "orlando", "--scale", "0.05",
+             "-k", "5", "--svg", str(svg), "--geojson", str(geojson)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert svg.exists()
+        assert geojson.exists()
+        assert "map written" in out
+        import json
+
+        doc = json.loads(geojson.read_text())
+        assert doc["type"] == "FeatureCollection"

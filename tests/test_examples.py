@@ -1,0 +1,38 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Each example is executed in a subprocess (its own interpreter, like a
+user would run it) with a generous timeout.  These are the slowest
+tests in the suite; run ``pytest -m "not examples"`` to skip them.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_all_examples_discovered():
+    assert len(EXAMPLES) >= 5
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.examples
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=420,
+        cwd=tmp_path,  # artefacts (SVGs) land in the temp dir
+    )
+    assert result.returncode == 0, (
+        f"{name} failed\nstdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{name} printed nothing"

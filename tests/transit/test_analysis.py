@@ -1,0 +1,94 @@
+"""Unit tests for transit network analytics."""
+
+import pytest
+
+from repro.demand.query import QuerySet
+from repro.exceptions import ConfigurationError
+from repro.transit.analysis import (
+    demand_coverage,
+    route_overlap_matrix,
+    summarize_transit,
+    transfer_degree_histogram,
+)
+
+from ..conftest import V1, V2, V3, V6, V7, V8
+
+
+class TestSummarize:
+    def test_toy_summary(self, toy_transit):
+        summary = summarize_transit(toy_transit, coverage_radius_km=4.0)
+        assert summary.num_routes == 4
+        assert summary.num_stops == 2
+        # only route_3 has a leg (v1-v2, cost 4)
+        assert summary.total_route_km == pytest.approx(4.0)
+        assert summary.mean_stop_spacing_km == pytest.approx(4.0)
+        assert summary.max_stop_spacing_km == pytest.approx(4.0)
+        assert summary.mean_stops_per_route == pytest.approx(1.25)
+        # both stops are transfer stops (v1: 3 routes, v2: 2 routes)
+        assert summary.transfer_stops == 2
+        assert summary.max_transfer_degree == 3
+
+    def test_coverage_radius(self, toy_transit):
+        tight = summarize_transit(toy_transit, coverage_radius_km=0.5)
+        loose = summarize_transit(toy_transit, coverage_radius_km=100.0)
+        assert tight.node_coverage == pytest.approx(2 / 8)  # the stops only
+        assert loose.node_coverage == pytest.approx(1.0)
+
+    def test_invalid_radius(self, toy_transit):
+        with pytest.raises(ConfigurationError):
+            summarize_transit(toy_transit, coverage_radius_km=0.0)
+
+    def test_on_generated_city(self, small_city):
+        summary = summarize_transit(small_city.transit)
+        assert summary.num_routes == small_city.transit.num_routes
+        assert 0.0 < summary.node_coverage <= 1.0
+        assert summary.mean_stop_spacing_km > 0
+
+
+class TestHistogram:
+    def test_toy_histogram(self, toy_transit):
+        histogram = transfer_degree_histogram(toy_transit)
+        assert histogram == {3: 1, 2: 1}  # v1 on 3 routes, v2 on 2
+
+    def test_counts_sum_to_stops(self, small_city):
+        histogram = transfer_degree_histogram(small_city.transit)
+        assert sum(histogram.values()) == len(
+            small_city.transit.existing_stops
+        )
+
+
+class TestOverlap:
+    def test_toy_overlap(self, toy_transit):
+        matrix = route_overlap_matrix(toy_transit)
+        # routes: r1={v1}, r2={v1}, r3={v1,v2}, r4={v2}
+        assert matrix[0][0] == 1
+        assert matrix[2][2] == 2
+        assert matrix[0][1] == 1  # r1 and r2 share v1
+        assert matrix[0][3] == 0  # r1 and r4 share nothing
+        assert matrix[2][3] == 1  # r3 and r4 share v2
+        # symmetry
+        for i in range(4):
+            for j in range(4):
+                assert matrix[i][j] == matrix[j][i]
+
+
+class TestDemandCoverage:
+    def test_toy_profile(self, toy_transit, toy_network):
+        queries = QuerySet(toy_network, [V1, V6, V7, V8])
+        profile = demand_coverage(
+            toy_transit, queries, radii_km=(1.0, 7.0, 11.0)
+        )
+        assert profile[1.0] == pytest.approx(0.25)  # only v1 itself
+        assert profile[7.0] == pytest.approx(0.5)   # + v6 at 7
+        assert profile[11.0] == pytest.approx(1.0)  # all
+
+    def test_monotone_in_radius(self, small_city):
+        profile = demand_coverage(
+            small_city.transit, small_city.queries, radii_km=(0.2, 0.4, 0.8)
+        )
+        values = [profile[r] for r in sorted(profile)]
+        assert values == sorted(values)
+
+    def test_empty_radii_rejected(self, toy_transit, toy_queries):
+        with pytest.raises(ConfigurationError):
+            demand_coverage(toy_transit, toy_queries, radii_km=())

@@ -1,0 +1,88 @@
+"""Unit tests for the synthetic transit builder."""
+
+import pytest
+
+from repro.exceptions import TransitError
+from repro.transit.builder import build_transit_network, place_stops_along_path
+
+
+class TestPlaceStops:
+    def test_endpoints_always_stops(self, line_network):
+        stops = place_stops_along_path(line_network, [0, 1, 2, 3, 4, 5], 2.0)
+        assert stops[0] == 0
+        assert stops[-1] == 5
+
+    def test_spacing_respected(self, line_network):
+        stops = place_stops_along_path(line_network, [0, 1, 2, 3, 4, 5], 2.0)
+        for a, b in zip(stops, stops[1:]):
+            assert abs(a - b) <= 2  # unit edges: cost == id gap
+
+    def test_tight_spacing_takes_every_node(self, line_network):
+        stops = place_stops_along_path(line_network, [0, 1, 2, 3], 1.0)
+        assert stops == [0, 1, 2, 3]
+
+    def test_spacing_larger_than_path(self, line_network):
+        stops = place_stops_along_path(line_network, [0, 1, 2], 10.0)
+        assert stops == [0, 2]
+
+    def test_empty_path(self, line_network):
+        assert place_stops_along_path(line_network, [], 1.0) == []
+
+    def test_single_node_path(self, line_network):
+        assert place_stops_along_path(line_network, [3], 1.0) == [3]
+
+    def test_invalid_spacing(self, line_network):
+        with pytest.raises(TransitError):
+            place_stops_along_path(line_network, [0, 1], 0.0)
+
+    def test_no_duplicate_stops(self, toy_network):
+        # Out-and-back path; dedup must keep stop order.
+        stops = place_stops_along_path(toy_network, [0, 1, 0, 1, 2], 4.0)
+        assert len(stops) == len(set(stops))
+
+
+class TestBuildTransit:
+    def test_builds_requested_routes(self, grid_network):
+        transit = build_transit_network(grid_network, num_routes=5, seed=3,
+                                        stop_spacing_km=1.5)
+        assert transit.num_routes == 5
+        assert len(transit.existing_stops) >= 2
+
+    def test_each_route_valid_on_network(self, grid_network):
+        transit = build_transit_network(grid_network, num_routes=4, seed=1)
+        for route in transit.routes():
+            route.validate_on(grid_network)
+            assert route.num_stops >= 2
+
+    def test_deterministic(self, grid_network):
+        a = build_transit_network(grid_network, num_routes=3, seed=7)
+        b = build_transit_network(grid_network, num_routes=3, seed=7)
+        assert [r.stops for r in a.routes()] == [r.stops for r in b.routes()]
+
+    def test_hub_concentration_creates_shared_stops(self, grid_network):
+        transit = build_transit_network(
+            grid_network, num_routes=8, seed=2, hub_concentration=3.0
+        )
+        degrees = [transit.degree(s) for s in transit.existing_stops]
+        assert max(degrees) >= 2, "expected at least one transfer stop"
+
+    def test_invalid_route_count(self, grid_network):
+        with pytest.raises(TransitError):
+            build_transit_network(grid_network, num_routes=0)
+
+    def test_network_too_small(self):
+        from repro.network.graph import RoadNetwork
+
+        tiny = RoadNetwork([(0, 0), (1, 0)], [(0, 1, 1.0)])
+        with pytest.raises(TransitError):
+            build_transit_network(tiny, num_routes=2)
+
+    def test_stop_spacing_bounds_adjacent_costs(self, grid_network):
+        spacing = 2.0
+        transit = build_transit_network(
+            grid_network, num_routes=4, seed=5, stop_spacing_km=spacing
+        )
+        longest_edge = max(c for _, _, c in grid_network.edges())
+        for route in transit.routes():
+            for cost in route.adjacent_stop_costs(grid_network):
+                assert cost <= max(spacing, longest_edge) + 1e-9

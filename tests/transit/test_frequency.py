@@ -1,0 +1,121 @@
+"""Unit tests for frequency (headway) setting."""
+
+import pytest
+
+from repro.demand.query import QuerySet
+from repro.exceptions import ConfigurationError
+from repro.transit.frequency import (
+    FrequencyPlan,
+    _peak_leg_load,
+    estimate_boardings,
+    set_frequency,
+)
+from repro.transit.route import BusRoute
+
+from ..conftest import V1, V2, V3, V4, V5, V6, V7, V8
+
+
+@pytest.fixture
+def new_route():
+    return BusRoute("new", [V3, V4, V5], [V3, V4, V5])
+
+
+class TestEstimateBoardings:
+    def test_queries_board_at_nearest_route_stop(
+        self, toy_transit, toy_network, new_route
+    ):
+        queries = QuerySet(toy_network, [V6, V7, V8])
+        boardings = estimate_boardings(toy_transit, new_route, queries)
+        # v6 -> v3 (3), v7 -> v4 (3), v8 -> v3 (4): all nearer than v2.
+        assert boardings == [pytest.approx(2.0), pytest.approx(1.0), 0.0]
+
+    def test_queries_closer_to_existing_do_not_board(
+        self, toy_transit, toy_network, new_route
+    ):
+        # v1 is an existing stop itself: never boards the new route.
+        queries = QuerySet(toy_network, [V1, V1])
+        boardings = estimate_boardings(toy_transit, new_route, queries)
+        assert sum(boardings) == 0.0
+
+    def test_multiplicity_weighting(self, toy_transit, toy_network, new_route):
+        queries = QuerySet(toy_network, [V6, V6, V6])
+        boardings = estimate_boardings(toy_transit, new_route, queries)
+        assert boardings[0] == pytest.approx(3.0)
+
+    def test_demand_scaling(self, toy_transit, toy_network, new_route):
+        queries = QuerySet(toy_network, [V6])
+        boardings = estimate_boardings(
+            toy_transit, new_route, queries, demand_per_query_node=2.5
+        )
+        assert boardings[0] == pytest.approx(2.5)
+
+
+class TestSetFrequency:
+    def test_plan_fields(self, toy_transit, toy_network, new_route):
+        queries = QuerySet(toy_network, [V6, V7, V8] * 50)
+        plan = set_frequency(toy_transit, new_route, queries)
+        assert plan.route_id == "new"
+        assert 4.0 <= plan.headway_min <= 30.0
+        assert plan.buses_per_hour == pytest.approx(60.0 / plan.headway_min)
+        assert plan.boarding_penalty_min == pytest.approx(plan.headway_min / 2)
+        assert len(plan.boardings) == new_route.num_stops
+
+    def test_more_demand_shorter_headway(self, toy_transit, toy_network, new_route):
+        light = set_frequency(
+            toy_transit, new_route, QuerySet(toy_network, [V6] * 10)
+        )
+        heavy = set_frequency(
+            toy_transit, new_route, QuerySet(toy_network, [V6] * 2000)
+        )
+        assert heavy.headway_min <= light.headway_min
+
+    def test_no_demand_gets_max_headway(self, toy_transit, toy_network, new_route):
+        queries = QuerySet(toy_network, [V1])  # boards nothing
+        plan = set_frequency(toy_transit, new_route, queries)
+        assert plan.headway_min == 30.0
+
+    def test_headway_clamped(self, toy_transit, toy_network, new_route):
+        plan = set_frequency(
+            toy_transit,
+            new_route,
+            QuerySet(toy_network, [V6] * 100000),
+            min_headway_min=5.0,
+        )
+        assert plan.headway_min == 5.0
+
+    def test_capacity_effect(self, toy_transit, toy_network, new_route):
+        queries = QuerySet(toy_network, [V6, V7, V8] * 100)
+        small_bus = set_frequency(
+            toy_transit, new_route, queries, vehicle_capacity=20
+        )
+        big_bus = set_frequency(
+            toy_transit, new_route, queries, vehicle_capacity=120
+        )
+        assert small_bus.headway_min <= big_bus.headway_min
+
+    def test_parameter_validation(self, toy_transit, toy_network, new_route):
+        queries = QuerySet(toy_network, [V6])
+        with pytest.raises(ConfigurationError):
+            set_frequency(toy_transit, new_route, queries, vehicle_capacity=0)
+        with pytest.raises(ConfigurationError):
+            set_frequency(toy_transit, new_route, queries, load_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            set_frequency(
+                toy_transit, new_route, queries,
+                min_headway_min=10.0, max_headway_min=5.0,
+            )
+
+
+class TestPeakLoad:
+    def test_empty_and_single(self):
+        assert _peak_leg_load([]) == 0.0
+        assert _peak_leg_load([5.0]) == 0.0
+
+    def test_symmetric_profile(self):
+        # Two stops: everyone boarding at 0 rides leg 0; at 1 rides back.
+        assert _peak_leg_load([10.0, 0.0]) == pytest.approx(10.0)
+        assert _peak_leg_load([0.0, 10.0]) == pytest.approx(10.0)
+
+    def test_peak_at_middle(self):
+        load = _peak_leg_load([4.0, 0.0, 0.0, 4.0])
+        assert load >= 4.0

@@ -1,0 +1,69 @@
+"""Unit tests for GTFS-like transit persistence."""
+
+import pytest
+
+from repro.exceptions import DataFormatError
+from repro.transit.gtfs import load_transit, save_transit
+from repro.transit.network import TransitNetwork
+from repro.transit.route import BusRoute
+
+from ..conftest import V1, V2, V3
+
+
+class TestRoundTrip:
+    def test_save_load(self, toy_transit, toy_network, tmp_path):
+        save_transit(toy_transit, tmp_path / "transit")
+        loaded = load_transit(toy_network, tmp_path / "transit")
+        assert loaded.num_routes == toy_transit.num_routes
+        assert loaded.existing_stops == toy_transit.existing_stops
+        originals = {r.route_id: r for r in toy_transit.routes()}
+        for route in loaded.routes():
+            assert route.stops == originals[route.route_id].stops
+            assert route.path == originals[route.route_id].path
+
+    def test_creates_directory(self, toy_transit, tmp_path):
+        target = tmp_path / "deep" / "nested" / "dir"
+        save_transit(toy_transit, target)
+        assert (target / "stops.csv").exists()
+        assert (target / "routes.csv").exists()
+
+    def test_stops_file_contents(self, toy_transit, toy_network, tmp_path):
+        save_transit(toy_transit, tmp_path)
+        lines = (tmp_path / "stops.csv").read_text().strip().splitlines()
+        assert lines[0] == "stop_node,x,y"
+        assert len(lines) == 1 + len(toy_transit.existing_stops)
+
+
+class TestErrors:
+    def test_missing_directory(self, toy_network, tmp_path):
+        with pytest.raises(DataFormatError, match="missing"):
+            load_transit(toy_network, tmp_path / "nope")
+
+    def test_bad_header(self, toy_network, tmp_path):
+        (tmp_path / "routes.csv").write_text("a,b\n1,2\n")
+        with pytest.raises(DataFormatError, match="header"):
+            load_transit(toy_network, tmp_path)
+
+    def test_bad_node_sequence(self, toy_network, tmp_path):
+        (tmp_path / "routes.csv").write_text(
+            "route_id,stop_nodes,path_nodes\nr,0|x,0|1\n"
+        )
+        with pytest.raises(DataFormatError):
+            load_transit(toy_network, tmp_path)
+
+    def test_empty_sequence(self, toy_network, tmp_path):
+        (tmp_path / "routes.csv").write_text(
+            "route_id,stop_nodes,path_nodes\nr,,0|1\n"
+        )
+        with pytest.raises(DataFormatError):
+            load_transit(toy_network, tmp_path)
+
+    def test_loaded_routes_validated_against_network(self, toy_network, tmp_path):
+        # Node 99 does not exist on the toy network.
+        (tmp_path / "routes.csv").write_text(
+            "route_id,stop_nodes,path_nodes\nr,99,99\n"
+        )
+        from repro.exceptions import TransitError
+
+        with pytest.raises(TransitError):
+            load_transit(toy_network, tmp_path)

@@ -1,0 +1,108 @@
+"""Unit tests for journey itinerary reconstruction."""
+
+import math
+
+import pytest
+
+from repro.transit.journey import Itinerary, JourneyLeg, JourneyPlanner
+from repro.transit.network import TransitNetwork
+from repro.transit.route import BusRoute
+
+
+@pytest.fixture
+def line_transit(line_network):
+    route = BusRoute("line", [0, 2, 4, 5], [0, 1, 2, 3, 4, 5])
+    return TransitNetwork(line_network, [route])
+
+
+class TestItinerary:
+    def test_duration_matches_travel_time(self, line_transit, line_network):
+        planner = JourneyPlanner(line_transit)
+        for origin in range(6):
+            for destination in range(6):
+                itinerary = planner.journey(origin, destination)
+                assert itinerary.minutes == pytest.approx(
+                    planner.travel_time(origin, destination)
+                ), f"{origin}->{destination}"
+
+    def test_same_node_empty(self, line_transit):
+        itinerary = JourneyPlanner(line_transit).journey(3, 3)
+        assert itinerary.legs == ()
+        assert itinerary.minutes == 0.0
+        assert itinerary.describe() == "stay put"
+
+    def test_walk_then_ride_legs(self, line_transit):
+        planner = JourneyPlanner(
+            line_transit, walk_speed_kmh=5.0, bus_speed_kmh=20.0,
+            boarding_penalty_min=5.0,
+        )
+        itinerary = planner.journey(1, 5)
+        assert [leg.mode for leg in itinerary.legs] == ["walk", "ride"]
+        walk, ride = itinerary.legs
+        assert walk.nodes == (1, 2)
+        assert ride.nodes == (2, 4, 5)
+        assert ride.route_id == "line"
+        assert walk.minutes == pytest.approx(12.0)
+        assert ride.minutes == pytest.approx(14.0)  # 5 board + 9 ride
+        assert itinerary.num_boardings == 1
+
+    def test_pure_walk_single_leg(self, line_transit):
+        planner = JourneyPlanner(line_transit)
+        itinerary = planner.journey(0, 1)
+        assert [leg.mode for leg in itinerary.legs] == ["walk"]
+        assert itinerary.legs[0].nodes == (0, 1)
+        assert itinerary.num_boardings == 0
+
+    def test_pure_ride(self, line_transit):
+        planner = JourneyPlanner(
+            line_transit, boarding_penalty_min=1.0
+        )
+        itinerary = planner.journey(0, 5)
+        assert [leg.mode for leg in itinerary.legs] == ["ride"]
+        assert itinerary.legs[0].nodes == (0, 2, 4, 5)
+
+    def test_describe_mentions_route(self, line_transit):
+        planner = JourneyPlanner(line_transit, boarding_penalty_min=1.0)
+        text = planner.journey(0, 5).describe()
+        assert "ride line" in text
+
+    def test_transfer_itinerary(self, grid_network):
+        """Two crossing routes: a corner-to-corner trip can transfer."""
+        # route A along the bottom row, route B up the last column
+        bottom = list(range(6))
+        right = [5, 11, 17, 23, 29, 35]
+        transit = TransitNetwork(
+            grid_network,
+            [
+                BusRoute("A", bottom, bottom),
+                BusRoute("B", right, right),
+            ],
+        )
+        planner = JourneyPlanner(
+            transit, walk_speed_kmh=3.0, bus_speed_kmh=40.0,
+            boarding_penalty_min=1.0,
+        )
+        itinerary = planner.journey(0, 35)
+        rides = [leg for leg in itinerary.legs if leg.mode == "ride"]
+        assert len(rides) == 2
+        assert {leg.route_id for leg in rides} == {"A", "B"}
+        assert itinerary.num_boardings == 2
+        assert itinerary.minutes == pytest.approx(
+            planner.travel_time(0, 35)
+        )
+
+    def test_on_generated_city(self, small_city):
+        planner = JourneyPlanner(small_city.transit)
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        for _ in range(8):
+            o = int(rng.integers(0, small_city.network.num_nodes))
+            d = int(rng.integers(0, small_city.network.num_nodes))
+            itinerary = planner.journey(o, d)
+            assert itinerary.minutes == pytest.approx(
+                planner.travel_time(o, d)
+            )
+            # legs chain: each leg starts where the previous ended
+            for a, b in zip(itinerary.legs, itinerary.legs[1:]):
+                assert a.nodes[-1] == b.nodes[0]

@@ -1,0 +1,116 @@
+"""Unit tests for the transit network, ``routes(v)``, and
+``Connect(B)`` — including the paper's Example 1 and Example 4."""
+
+import pytest
+
+from repro.exceptions import TransitError
+from repro.transit.network import TransitNetwork
+from repro.transit.route import BusRoute
+
+from ..conftest import V1, V2, V3, V4, V5
+
+
+class TestConstruction:
+    def test_counts(self, toy_transit):
+        assert toy_transit.num_routes == 4
+        assert toy_transit.existing_stops == [V1, V2]
+
+    def test_duplicate_route_ids_rejected(self, toy_network):
+        with pytest.raises(TransitError, match="duplicate"):
+            TransitNetwork(
+                toy_network,
+                [BusRoute("r", [V1]), BusRoute("r", [V2])],
+            )
+
+    def test_invalid_path_rejected(self, toy_network):
+        with pytest.raises(TransitError):
+            TransitNetwork(toy_network, [BusRoute("r", [V1, V5], [V1, V5])])
+
+    def test_skip_path_validation_still_checks_nodes(self, toy_network):
+        with pytest.raises(TransitError, match="outside"):
+            TransitNetwork(
+                toy_network, [BusRoute("r", [99])], validate_paths=False
+            )
+
+
+class TestRoutesThrough:
+    def test_example1_routes_of_v1(self, toy_transit):
+        """Example 1/4: v1 serves routes 1, 2, 3."""
+        ids = sorted(r.route_id for r in toy_transit.routes_through(V1))
+        assert ids == ["route_1", "route_2", "route_3"]
+
+    def test_routes_of_v2(self, toy_transit):
+        ids = sorted(r.route_id for r in toy_transit.routes_through(V2))
+        assert ids == ["route_3", "route_4"]
+
+    def test_non_stop_has_no_routes(self, toy_transit):
+        assert toy_transit.routes_through(V3) == []
+        assert toy_transit.degree(V3) == 0
+
+    def test_degree(self, toy_transit):
+        assert toy_transit.degree(V1) == 3
+        assert toy_transit.degree(V2) == 2
+
+    def test_is_stop(self, toy_transit):
+        assert toy_transit.is_stop(V1)
+        assert not toy_transit.is_stop(V4)
+
+
+class TestConnectivity:
+    def test_example4_connect_v1(self, toy_transit):
+        """Example 4: Connect({v1}) = 3."""
+        assert toy_transit.connectivity([V1]) == 3
+
+    def test_example4_connect_v1_v2(self, toy_transit):
+        """Example 4: Connect({v1, v2}) = 4."""
+        assert toy_transit.connectivity([V1, V2]) == 4
+
+    def test_new_stops_contribute_nothing(self, toy_transit):
+        """Definition 7: Connect(B) = Connect(B \\ S_new)."""
+        assert toy_transit.connectivity([V3, V4, V5]) == 0
+        assert toy_transit.connectivity([V1, V3]) == 3
+
+    def test_empty_set(self, toy_transit):
+        assert toy_transit.connectivity([]) == 0
+
+    def test_coverage_not_additive(self, toy_transit):
+        """Route 3 is shared: Connect is a coverage function, so
+        Connect({v1}) + Connect({v2}) > Connect({v1, v2})."""
+        assert (
+            toy_transit.connectivity([V1]) + toy_transit.connectivity([V2])
+            > toy_transit.connectivity([V1, V2])
+        )
+
+    def test_marginal_connectivity(self, toy_transit):
+        covered = toy_transit.connectivity_mask([V1])
+        assert toy_transit.marginal_connectivity(V2, covered) == 1
+        assert toy_transit.marginal_connectivity(V1, covered) == 0
+        assert toy_transit.marginal_connectivity(V3, covered) == 0
+
+    def test_mask_popcount_equals_connectivity(self, toy_transit):
+        mask = toy_transit.connectivity_mask([V1, V2])
+        assert bin(mask).count("1") == toy_transit.connectivity([V1, V2])
+
+
+class TestMutation:
+    def test_with_route_adds(self, toy_transit):
+        new_route = BusRoute("new", [V3, V4], [V3, V4])
+        extended = toy_transit.with_route(new_route)
+        assert extended.num_routes == 5
+        assert extended.is_stop(V3)
+        # New object; the original is untouched.
+        assert toy_transit.num_routes == 4
+        assert not toy_transit.is_stop(V3)
+
+    def test_with_route_extends_connectivity(self, toy_transit):
+        extended = toy_transit.with_route(BusRoute("new", [V2, V3], [V2, V3]))
+        assert extended.connectivity([V3]) == 1
+
+    def test_stops_as_objects(self, toy_transit):
+        stops = toy_transit.stops_as_objects()
+        assert [s.node for s in stops] == [V1, V2]
+
+    def test_existing_stop_mask(self, toy_transit, toy_network):
+        mask = toy_transit.existing_stop_mask()
+        assert mask[V1] and mask[V2]
+        assert sum(mask) == 2

@@ -1,0 +1,101 @@
+"""Unit tests for bus stops and bus routes (Definition 3 / 8)."""
+
+import pytest
+
+from repro.exceptions import TransitError
+from repro.transit.route import BusRoute
+from repro.transit.stop import BusStop
+
+from ..conftest import V1, V2, V3, V4
+
+
+class TestBusStop:
+    def test_defaults(self):
+        stop = BusStop(node=7)
+        assert stop.stop_id == "stop_7"
+        assert stop.name == ""
+
+    def test_custom_id(self):
+        stop = BusStop(node=3, stop_id="union_station", name="Union Station")
+        assert stop.stop_id == "union_station"
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValueError):
+            BusStop(node=-1)
+
+    def test_frozen(self):
+        stop = BusStop(node=1)
+        with pytest.raises(Exception):
+            stop.node = 2  # type: ignore[misc]
+
+
+class TestBusRouteConstruction:
+    def test_path_defaults_to_stops(self):
+        route = BusRoute("r", [1, 2, 3])
+        assert route.path == (1, 2, 3)
+        assert route.num_stops == 3
+
+    def test_stop_set(self):
+        route = BusRoute("r", [3, 1, 2])
+        assert route.stop_set == frozenset({1, 2, 3})
+
+    def test_empty_rejected(self):
+        with pytest.raises(TransitError, match="no stops"):
+            BusRoute("r", [])
+
+    def test_duplicate_stop_rejected(self):
+        with pytest.raises(TransitError, match="twice"):
+            BusRoute("r", [1, 2, 1])
+
+    def test_stops_must_follow_path_order(self):
+        BusRoute("ok", [0, 2], [0, 1, 2])
+        with pytest.raises(TransitError, match="in order"):
+            BusRoute("bad", [2, 0], [0, 1, 2])
+
+    def test_stop_missing_from_path_rejected(self):
+        with pytest.raises(TransitError, match="in order"):
+            BusRoute("bad", [0, 9], [0, 1, 2])
+
+
+class TestBusRouteOnNetwork:
+    def test_validate_on_network(self, toy_network):
+        route = BusRoute("r", [V1, V3], [V1, V2, V3])
+        route.validate_on(toy_network)  # no raise
+
+    def test_validate_rejects_non_path(self, toy_network):
+        route = BusRoute("r", [V1, V4], [V1, V4])
+        with pytest.raises(TransitError, match="not a road path"):
+            route.validate_on(toy_network)
+
+    def test_validate_rejects_unknown_node(self, toy_network):
+        route = BusRoute("r", [99])
+        with pytest.raises(TransitError, match="outside"):
+            route.validate_on(toy_network)
+
+    def test_length(self, toy_network):
+        route = BusRoute("r", [V1, V4], [V1, V2, V3, V4])
+        assert route.length(toy_network) == pytest.approx(12.0)
+
+    def test_single_stop_length_zero(self, toy_network):
+        assert BusRoute("r", [V1]).length(toy_network) == 0.0
+
+    def test_adjacent_stop_costs(self, toy_network):
+        route = BusRoute("r", [V1, V3, V4], [V1, V2, V3, V4])
+        assert route.adjacent_stop_costs(toy_network) == [
+            pytest.approx(8.0),
+            pytest.approx(4.0),
+        ]
+
+    def test_satisfies_constraints(self, toy_network):
+        route = BusRoute("r", [V1, V2, V3], [V1, V2, V3])
+        assert route.satisfies_constraints(toy_network, max_stops=3,
+                                           max_adjacent_cost=4.0)
+        assert not route.satisfies_constraints(toy_network, max_stops=2,
+                                               max_adjacent_cost=4.0)
+        assert not route.satisfies_constraints(toy_network, max_stops=3,
+                                               max_adjacent_cost=3.0)
+
+    def test_path_revisiting_node_is_allowed(self, toy_network):
+        # Out-and-back path through v2: a valid bus path.
+        route = BusRoute("r", [V1, V3], [V1, V2, V1, V2, V3])
+        assert route.length(toy_network) == pytest.approx(16.0)

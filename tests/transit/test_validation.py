@@ -1,0 +1,83 @@
+"""Unit tests for the transit feed validator."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.transit.network import TransitNetwork
+from repro.transit.route import BusRoute
+from repro.transit.validation import ValidationReport, validate_feed
+
+from ..conftest import V1, V2, V3, V4, V5
+
+
+class TestReport:
+    def test_severity_buckets(self):
+        report = ValidationReport()
+        report.add("info", "a", "note")
+        report.add("warning", "b", "warn")
+        assert not report.ok
+        assert len(report.by_severity("info")) == 1
+        assert "1 warnings" in report.summary()
+
+    def test_ok_with_only_info(self):
+        report = ValidationReport()
+        report.add("info", "a", "note")
+        assert report.ok
+
+    def test_unknown_severity(self):
+        with pytest.raises(ConfigurationError):
+            ValidationReport().add("fatal", "x", "boom")
+
+
+class TestValidateFeed:
+    def test_healthy_generated_feed(self, small_city):
+        report = validate_feed(
+            small_city.transit, max_stop_spacing_km=2.0
+        )
+        assert not report.by_severity("error")
+
+    def test_flags_single_stop_route(self, toy_transit):
+        report = validate_feed(toy_transit)
+        codes = [f.code for f in report.findings]
+        assert "too-few-stops" in codes  # routes 1, 2, 4 have one stop
+
+    def test_flags_wide_spacing(self, toy_network):
+        transit = TransitNetwork(
+            toy_network,
+            [BusRoute("wide", [V1, V3], [V1, V2, V3])],  # 8 km leg
+        )
+        report = validate_feed(transit, max_stop_spacing_km=5.0)
+        wide = [f for f in report.findings if f.code == "spacing-too-wide"]
+        assert wide and wide[0].route_id == "wide"
+
+    def test_flags_detour(self, toy_network):
+        # v1 -> v2 via v3: cost 8 vs direct 4 -> detour factor 2
+        transit = TransitNetwork(
+            toy_network,
+            [BusRoute("loopy", [V1, V2], [V1, V2, V3, V2])],
+        )
+        report = validate_feed(
+            transit, max_detour_factor=1.5, max_stop_spacing_km=50.0
+        )
+        assert any(f.code == "excessive-detour" for f in report.findings)
+
+    def test_flags_missing_transfers(self, toy_network):
+        transit = TransitNetwork(
+            toy_network, [BusRoute("solo", [V1, V2], [V1, V2])]
+        )
+        report = validate_feed(transit, max_stop_spacing_km=5.0)
+        assert any(f.code == "no-transfer-stops" for f in report.findings)
+
+    def test_transfer_present_not_flagged(self, toy_transit):
+        report = validate_feed(toy_transit)
+        assert not any(f.code == "no-transfer-stops" for f in report.findings)
+
+    def test_single_route_share_reported(self, small_city):
+        report = validate_feed(small_city.transit)
+        assert any(f.code == "single-route-stops" for f in report.findings)
+
+    def test_invalid_band(self, toy_transit):
+        with pytest.raises(ConfigurationError):
+            validate_feed(
+                toy_transit, min_stop_spacing_km=3.0, max_stop_spacing_km=2.0
+            )
