@@ -23,7 +23,7 @@ snapping by *Euclidean* nearness reproduces that inaccuracy faithfully.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -31,7 +31,7 @@ from ..core.config import EBRRConfig
 from ..core.ebrr import evaluate_route
 from ..core.utility import BRRInstance
 from ..exceptions import ConfigurationError
-from ..network.dijkstra import shortest_path
+from ..network.engine import engine_for
 from ..network.geometry import GridIndex
 from ..transit.route import BusRoute
 from .base import BaselinePlan, RoutePlanner
@@ -171,8 +171,9 @@ def _nearest_neighbor_order(
 
 
 def _stitch(instance: BRRInstance, stops: Sequence[int]) -> List[int]:
+    engine = engine_for(instance.network)
     path: List[int] = [stops[0]]
     for a, b in zip(stops, stops[1:]):
-        leg, _ = shortest_path(instance.network, a, b)
+        leg, _ = engine.path(a, b, phase="baseline")
         path.extend(leg[1:])
     return path

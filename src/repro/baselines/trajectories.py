@@ -20,8 +20,7 @@ import numpy as np
 
 from ..demand.query import QuerySet
 from ..exceptions import DemandError
-from ..network.dijkstra import shortest_path
-from ..network.graph import RoadNetwork
+from ..network.engine import engine_for
 
 Trajectory = List[int]
 EdgeKey = Tuple[int, int]
@@ -59,8 +58,8 @@ def synthesize_trajectories(
         destination = nodes[int(rng.integers(0, len(nodes)))]
         if origin == destination:
             continue
-        path, _ = shortest_path(network, origin, destination)
-        trajectories.append(path)
+        path, _ = engine_for(network).path(origin, destination, phase="baseline")
+        trajectories.append(list(path))
     if not trajectories:
         raise DemandError("failed to synthesize any trajectory")
     return trajectories

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .core.config import EBRRConfig
 from .core.ebrr import plan_route
@@ -60,6 +60,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="utility trade-off (default: calibrated)")
     plan.add_argument("--explain", action="store_true",
                       help="print the full run diagnostics report")
+    plan.add_argument("--profile-searches", action="store_true",
+                      help="print per-phase graph-search statistics "
+                           "(searches, cache hits, settled nodes) and "
+                           "the engine cache summary")
 
     sweep = sub.add_parser("sweep", help="effect-of-K experiment (Figs. 7/8/13)")
     add_city_args(sweep)
@@ -121,6 +125,20 @@ def _cmd_plan(args) -> int:
 
         print()
         print(explain_result(instance, result))
+    if args.profile_searches:
+        from .core.diagnostics import search_stats_table
+        from .network.engine import engine_for
+
+        print()
+        if not args.explain:  # --explain already embeds the phase table
+            print(search_stats_table(result))
+        info = engine_for(instance.network).cache_info()
+        print(
+            f"engine cache: {info.hits} hits / {info.misses} misses "
+            f"(hit rate {info.hit_rate:.1%}), {info.rows} rows and "
+            f"{info.points} point entries resident, "
+            f"{info.evictions} evictions, {info.invalidations} invalidations"
+        )
     if not result.is_feasible:
         print("violations:", "; ".join(result.constraint_violations))
         return 1

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..exceptions import ConfigurationError
-from ..network.dijkstra import shortest_path_costs
+from ..network.engine import engine_for
 from ..network.graph import RoadNetwork
 from .config import EBRRConfig
 from .result import EBRRResult
@@ -65,9 +65,12 @@ def network_diameter(
     nodes = list(sample) if sample is not None else list(network.nodes())
     if not nodes:
         raise ConfigurationError("diameter needs at least one node")
+    engine = engine_for(network)
     best = 0.0
     for source in nodes:
-        costs = shortest_path_costs(network, source)
+        # cached=False: an all-sources sweep would churn the engine's
+        # LRU without any reuse — run past the cache instead.
+        costs = engine.sssp(source, phase="bounds", cached=False)
         local = max(c for c in costs if math.isfinite(c))
         best = max(best, local)
     return best
@@ -78,9 +81,10 @@ def double_sweep_diameter(network: RoadNetwork, *, start: int = 0) -> float:
     the farthest node from ``start``, then sweep again from there.
     Exact on trees, a good estimate on road networks, O(2 |E| log |V|).
     """
-    costs = shortest_path_costs(network, start)
+    engine = engine_for(network)
+    costs = engine.sssp(start, phase="bounds")
     far = max(network.nodes(), key=lambda v: costs[v] if math.isfinite(costs[v]) else -1.0)
-    second = shortest_path_costs(network, far)
+    second = engine.sssp(far, phase="bounds")
     return max(c for c in second if math.isfinite(c))
 
 
@@ -89,7 +93,7 @@ def diameter_upper_bound(network: RoadNetwork, *, start: int = 0) -> float:
     triangle inequality, O(|E| log |V|).  A guarantee computed from an
     upper bound of the diameter is *safe* (it understates Theorem 4's
     true ratio), which is the right direction for reporting."""
-    costs = shortest_path_costs(network, start)
+    costs = engine_for(network).sssp(start, phase="bounds")
     return 2.0 * max(c for c in costs if math.isfinite(c))
 
 

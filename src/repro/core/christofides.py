@@ -27,7 +27,7 @@ geometrically short legs among equal-price options.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..exceptions import ConfigurationError
 from .price import virtual_edge_price

@@ -8,7 +8,7 @@ selection, the lower-bound price, and the final path refinement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..exceptions import ConfigurationError

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..network.graph import RoadNetwork
 from .bounds import approximation_bound, audit_stop_budget
 from .result import EBRRResult
 from .utility import BRRInstance
@@ -38,6 +37,28 @@ def selection_table(instance: BRRInstance, result: EBRRResult) -> List[dict]:
             }
         )
     return rows
+
+
+def search_stats_table(result: EBRRResult) -> str:
+    """The per-phase search-profile block (one line per phase plus a
+    total), rendering the run's :attr:`EBRRResult.search_stats`."""
+    lines: List[str] = ["search profile (per phase):"]
+    header = (
+        f"  {'phase':<11} {'searches':>9} {'cache hits':>11} "
+        f"{'settled':>9} {'pushes':>9} {'truncated':>10}"
+    )
+    lines.append(header)
+    for phase, stats in result.search_stats.items():
+        lines.append(
+            f"  {phase:<11} {stats.searches:>9} {stats.cache_hits:>11} "
+            f"{stats.settled:>9} {stats.pushes:>9} {stats.truncated:>10}"
+        )
+    total = result.total_search_stats
+    lines.append(
+        f"  {'total':<11} {total.searches:>9} {total.cache_hits:>11} "
+        f"{total.settled:>9} {total.pushes:>9} {total.truncated:>10}"
+    )
+    return "\n".join(lines)
 
 
 def explain_result(instance: BRRInstance, result: EBRRResult) -> str:
@@ -83,6 +104,10 @@ def explain_result(instance: BRRInstance, result: EBRRResult) -> str:
         )
     lines.append(f"  {'total':<11} {total:8.4f}s")
     lines.append("")
+
+    if result.search_stats:
+        lines.append(search_stats_table(result))
+        lines.append("")
 
     lines.append(
         f"route: {metrics.num_stops} stops, {metrics.route_length:.2f} km, "

@@ -17,7 +17,7 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import InfeasibleRouteError
-from ..network.dijkstra import shortest_path, shortest_path_costs
+from ..network.engine import SearchEngine, engine_for
 from ..transit.route import BusRoute
 from .christofides import christofides_order
 from .config import EBRRConfig
@@ -34,6 +34,7 @@ def plan_route(
     *,
     preprocess: Optional[PreprocessResult] = None,
     route_id: str = "ebrr",
+    engine: Optional[SearchEngine] = None,
 ) -> EBRRResult:
     """Plan a new bus route with EBRR.
 
@@ -45,10 +46,15 @@ def plan_route(
             runs that share the instance (e.g. a K sweep); computed on
             the fly when omitted.
         route_id: identifier for the returned route.
+        engine: the search engine all phases run their graph searches
+            on; defaults to the network's shared engine, so repeated
+            runs on the same network reuse cached distance rows and
+            paths.  The result's ``search_stats`` reports this run's
+            per-phase counters regardless of sharing.
 
     Returns:
         The :class:`EBRRResult` with the route, exact metrics, selection
-        trace, and per-phase timings.
+        trace, per-phase timings, and per-phase search statistics.
     """
     if abs(instance.alpha - config.alpha) > 1e-12:
         raise InfeasibleRouteError(
@@ -56,24 +62,27 @@ def plan_route(
             f"config.alpha={config.alpha}; build the instance with the "
             "same alpha"
         )
+    if engine is None:
+        engine = engine_for(instance.network)
+    stats_base = engine.snapshot()
     timings: Dict[str, float] = {}
     total_start = time.perf_counter()
 
     # Line 1: preprocessing.
     start = time.perf_counter()
     if preprocess is None:
-        preprocess = preprocess_queries(instance)
+        preprocess = preprocess_queries(instance, engine=engine)
     timings["preprocess"] = time.perf_counter() - start
 
     # Lines 2-7: greedy selection. (run_selection builds its own state;
     # we rebuild an identical one afterwards for refinement bookkeeping.)
     start = time.perf_counter()
-    trace, state = _run_selection_with_state(instance, preprocess, config)
+    trace, state = _run_selection_with_state(instance, preprocess, config, engine)
     timings["selection"] = time.perf_counter() - start
 
     # Line 8: Christofides visiting order.
     start = time.perf_counter()
-    order = _order_stops(instance, trace.selected, config)
+    order = _order_stops(trace.selected, config, engine)
     timings["ordering"] = time.perf_counter() - start
 
     # Line 9: path refinement (or the bare order for the ablation).
@@ -81,7 +90,7 @@ def plan_route(
     if config.refine_path:
         stops, path = refine_path(state, order, config)
     else:
-        stops, path = _bare_route(instance, order)
+        stops, path = _bare_route(engine, order)
     timings["refinement"] = time.perf_counter() - start
 
     route = BusRoute(route_id, stops, path)
@@ -95,6 +104,7 @@ def plan_route(
         timings=timings,
         config=config,
         constraint_violations=violations,
+        search_stats=engine.stats_since(stats_base),
     )
 
 
@@ -126,33 +136,41 @@ def _run_selection_with_state(
     instance: BRRInstance,
     preprocess: PreprocessResult,
     config: EBRRConfig,
+    engine: SearchEngine,
 ) -> Tuple[SelectionTrace, SelectionState]:
     """Run the selection loop and keep its live state for refinement."""
-    trace = run_selection(instance, preprocess, config)
+    trace = run_selection(instance, preprocess, config, engine=engine)
     # Rebuild the state by replaying the trace: cheap relative to the
     # selection itself and keeps run_selection's interface pure.
-    state = SelectionState(instance, preprocess, config)
+    state = SelectionState(instance, preprocess, config, engine=engine)
     for stop in trace.selected:
         state.select(stop)
     return trace, state
 
 
 def _order_stops(
-    instance: BRRInstance, selected: Sequence[int], config: EBRRConfig
+    selected: Sequence[int],
+    config: EBRRConfig,
+    engine: SearchEngine,
 ) -> List[int]:
     """Pairwise network distances between selected stops, then the
-    Christofides open-path order."""
+    Christofides open-path order.
+
+    Each stop's full SSSP row goes through the engine's cache, so a K
+    sweep over the same instance recomputes only the rows of stops that
+    were not selected in an earlier run.
+    """
     if len(selected) <= 2:
         return list(selected)
     matrix: List[List[float]] = []
     for stop in selected:
-        costs = shortest_path_costs(instance.network, stop)
+        costs = engine.sssp(stop, phase="ordering")
         matrix.append([costs[other] for other in selected])
     return christofides_order(list(selected), matrix, config.max_adjacent_cost)
 
 
 def _bare_route(
-    instance: BRRInstance, order: Sequence[int]
+    engine: SearchEngine, order: Sequence[int]
 ) -> Tuple[List[int], List[int]]:
     """The unrefined route: the visiting order itself, linked by road
     shortest paths (no intermediate stops, no K padding)."""
@@ -161,7 +179,7 @@ def _bare_route(
         raise InfeasibleRouteError("empty visiting order")
     path: List[int] = [stops[0]]
     for a, b in zip(stops, stops[1:]):
-        leg, _ = shortest_path(instance.network, a, b)
+        leg, _ = engine.path(a, b, phase="refinement")
         path.extend(leg[1:])
     # Drop stops the stitched path happens to miss the ordering of (a
     # later leg may pass through an earlier stop; keep the valid ones).

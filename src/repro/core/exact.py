@@ -24,7 +24,7 @@ from itertools import combinations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ConfigurationError
-from ..network.dijkstra import shortest_path_costs
+from ..network.engine import engine_for
 from .utility import BRRInstance
 
 
@@ -104,9 +104,10 @@ class _FastEvaluator:
             c * d for c, d in zip(self._counts, baseline)
         )
         # Per-candidate distance rows.
+        engine = engine_for(instance.network)
         self._rows: Dict[int, List[float]] = {}
         for stop in instance.candidates:
-            costs = shortest_path_costs(instance.network, stop)
+            costs = engine.sssp(stop, phase="exact")
             self._rows[stop] = [costs[q] for q in self._query_nodes]
 
     def utility(self, stops: Sequence[int]) -> float:
@@ -132,18 +133,17 @@ class _FastEvaluator:
 def _distances_to_queries(
     instance: BRRInstance, sources: Sequence[int], query_nodes: Sequence[int]
 ) -> List[float]:
-    from ..network.dijkstra import multi_source_costs
-
-    dist = multi_source_costs(instance.network, list(sources))
+    dist = engine_for(instance.network).multi_source(list(sources), phase="exact")
     return [dist[q] for q in query_nodes]
 
 
 def _pairwise_distances(
     instance: BRRInstance, universe: Sequence[int]
 ) -> Dict[Tuple[int, int], float]:
+    engine = engine_for(instance.network)
     result: Dict[Tuple[int, int], float] = {}
     for stop in universe:
-        costs = shortest_path_costs(instance.network, stop)
+        costs = engine.sssp(stop, phase="exact")
         for other in universe:
             result[(stop, other)] = costs[other]
     return result

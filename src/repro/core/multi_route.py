@@ -87,11 +87,6 @@ def plan_routes(
     result = MultiRouteResult()
     current_transit = transit
     current_candidates = list(candidates) if candidates is not None else None
-    baseline_instance = BRRInstance(
-        transit, queries, candidates=candidates, alpha=config.alpha
-    )
-    original_walk = baseline_instance.baseline_walk()
-
     for round_index in range(num_routes):
         instance = BRRInstance(
             current_transit,

@@ -20,14 +20,12 @@ returned as a new route plus the full road path rebuilt leg by leg.
 
 from __future__ import annotations
 
-import heapq
-import math
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ConfigurationError
-from ..network.dijkstra import distance_between, shortest_path
+from ..network.engine import engine_for
 from ..transit.route import BusRoute
 from .config import EBRRConfig
 from .ebrr import evaluate_route
@@ -140,6 +138,7 @@ class _LocalSearch:
         self._instance = instance
         self._config = config
         self._radius = radius
+        self._engine = engine_for(instance.network)
         self._leg_cache: Dict[Tuple[int, int], float] = {}
 
     # -- helpers ---------------------------------------------------------
@@ -147,29 +146,19 @@ class _LocalSearch:
     def _leg(self, a: int, b: int) -> float:
         key = (a, b) if a < b else (b, a)
         if key not in self._leg_cache:
-            self._leg_cache[key] = distance_between(self._instance.network, a, b)
+            self._leg_cache[key] = self._engine.distance(*key, phase="postprocess")
         return self._leg_cache[key]
 
     def _neighbors_of(self, stop: int) -> List[int]:
         """Eligible stop locations within the search radius of ``stop``."""
         instance = self._instance
-        dist: Dict[int, float] = {stop: 0.0}
-        heap: List[Tuple[float, int]] = [(0.0, stop)]
-        found: List[int] = []
-        settled: Set[int] = set()
-        while heap:
-            d, u = heapq.heappop(heap)
-            if u in settled:
-                continue
-            settled.add(u)
-            if u != stop and (instance.is_candidate[u] or instance.is_existing[u]):
-                found.append(u)
-            for v, cost in instance.network.neighbors(u):
-                nd = d + cost
-                if nd <= self._radius + _EPSILON and nd < dist.get(v, math.inf):
-                    dist[v] = nd
-                    heapq.heappush(heap, (nd, v))
-        return found
+        return [
+            node
+            for node, _dist in self._engine.nodes_within(
+                stop, self._radius, phase="postprocess"
+            )
+            if instance.is_candidate[node] or instance.is_existing[node]
+        ]
 
     def _legs_ok(self, stops: Sequence[int], index: int, replacement: int) -> bool:
         c = self._config.max_adjacent_cost
@@ -237,8 +226,9 @@ def _rebuild_route(
     instance: BRRInstance, route_id: str, stops: Sequence[int]
 ) -> BusRoute:
     """Stitch the full road path through the (possibly moved) stops."""
+    engine = engine_for(instance.network)
     path: List[int] = [stops[0]]
     for a, b in zip(stops, stops[1:]):
-        leg, _ = shortest_path(instance.network, a, b)
+        leg, _ = engine.path(a, b, phase="postprocess")
         path.extend(leg[1:])
     return BusRoute(route_id, list(stops), path)

@@ -23,9 +23,9 @@ its count in the multiset ``Q``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..network.dijkstra import query_preprocessing_search
+from ..network.engine import SearchEngine, engine_for
 from .utility import BRRInstance
 
 
@@ -63,8 +63,15 @@ class PreprocessResult:
         )
 
 
-def preprocess_queries(instance: BRRInstance) -> PreprocessResult:
+def preprocess_queries(
+    instance: BRRInstance, *, engine: Optional[SearchEngine] = None
+) -> PreprocessResult:
     """Run Algorithm 2 on ``instance``.
+
+    Args:
+        instance: the BRR instance.
+        engine: the search engine to run the per-query searches on;
+            defaults to the instance network's shared engine.
 
     Returns:
         A :class:`PreprocessResult`; see its attribute docs.
@@ -74,15 +81,16 @@ def preprocess_queries(instance: BRRInstance) -> PreprocessResult:
             (the instance is malformed — Definition 5 needs ``nn(q)``).
     """
     result = PreprocessResult()
-    network = instance.network
+    if engine is None:
+        engine = engine_for(instance.network)
     is_existing = instance.is_existing
     is_candidate = instance.is_candidate
     counts = instance.query_counts
 
     # Lines 1-10: one early-terminated Dijkstra per distinct query node.
     for query_node in counts:
-        nn_stop, nn_dist, visited = query_preprocessing_search(
-            network, query_node, is_existing, is_candidate
+        nn_stop, nn_dist, visited = engine.query_search(
+            query_node, is_existing, is_candidate, phase="preprocess"
         )
         result.nn_distance[query_node] = nn_dist
         result.searches += 1

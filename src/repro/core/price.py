@@ -23,7 +23,7 @@ remembers how much of ``B`` has already been scanned.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..exceptions import ConfigurationError
 from ..network.geometry import Point, euclidean

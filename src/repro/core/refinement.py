@@ -19,13 +19,9 @@ the full road path.
 
 from __future__ import annotations
 
-import heapq
-import math
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import InfeasibleRouteError
-from ..network.dijkstra import shortest_path
-from ..network.graph import RoadNetwork
 from .config import EBRRConfig
 from .selection import SelectionState
 
@@ -57,7 +53,6 @@ def refine_path(
     """
     if not order:
         raise InfeasibleRouteError("cannot refine an empty visiting order")
-    network = state.instance.network
     c = config.max_adjacent_cost
 
     stops: List[int] = [order[0]]
@@ -93,11 +88,11 @@ def _link(
 ) -> Tuple[List[int], List[List[int]]]:
     """Stops (intermediates + ``target``) and road segments linking
     ``source`` to ``target`` with every leg at most ``max_cost``."""
-    network = state.instance.network
-    road_path, total = shortest_path(network, source, target)
+    road_path, total = state.engine.path(source, target, phase="refinement")
     if total <= max_cost + _EPSILON:
         return [target], [road_path]
 
+    network = state.instance.network
     eligible = _eligibility(state, used)
     # Prefix costs along the road path.
     prefix = [0.0]
@@ -216,11 +211,12 @@ def _best_terminal_extension(
     ``None`` if no eligible node is reachable within ``C`` from either
     end.
     """
-    network = state.instance.network
     eligible = _eligibility(state, used)
     best: Optional[Tuple[float, str, int]] = None
     for end, terminal in (("head", stops[0]), ("tail", stops[-1])):
-        reachable = _nodes_within(network, terminal, config.max_adjacent_cost)
+        reachable = state.engine.nodes_within(
+            terminal, config.max_adjacent_cost, phase="refinement"
+        )
         for node, _dist in reachable:
             if not eligible(node):
                 continue
@@ -231,34 +227,10 @@ def _best_terminal_extension(
         return None
     _, end, node = best
     terminal = stops[0] if end == "head" else stops[-1]
-    road_path, _cost = shortest_path(network, terminal, node)
+    road_path, _cost = state.engine.path(terminal, node, phase="refinement")
     if end == "head":
         road_path = list(reversed(road_path))
     return end, node, road_path
-
-
-def _nodes_within(
-    network: RoadNetwork, source: int, max_cost: float
-) -> List[Tuple[int, float]]:
-    """All (node, dist) with network distance from ``source`` at most
-    ``max_cost`` — a truncated Dijkstra, excluding ``source`` itself."""
-    dist: Dict[int, float] = {source: 0.0}
-    heap: List[Tuple[float, int]] = [(0.0, source)]
-    result: List[Tuple[int, float]] = []
-    settled: Set[int] = set()
-    while heap:
-        d, u = heapq.heappop(heap)
-        if u in settled:
-            continue
-        settled.add(u)
-        if u != source:
-            result.append((u, d))
-        for v, cost in network.neighbors(u):
-            nd = d + cost
-            if nd <= max_cost + _EPSILON and nd < dist.get(v, math.inf):
-                dist[v] = nd
-                heapq.heappush(heap, (nd, v))
-    return result
 
 
 # ----------------------------------------------------------------------

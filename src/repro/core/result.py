@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
+from ..network.engine import SearchStats
 from ..transit.route import BusRoute
 from .config import EBRRConfig
 from .selection import SelectionTrace
@@ -47,6 +48,12 @@ class EBRRResult:
         constraint_violations: human-readable descriptions of any
             violated Definition 8 constraint (empty when the route is
             fully feasible; the no-refinement ablation may violate C).
+        search_stats: per-phase :class:`~repro.network.engine.SearchStats`
+            of the run's graph searches (searches executed, cache hits,
+            nodes settled, heap pushes, truncations), keyed by the same
+            phase names as ``timings``.  Zero-work phases are omitted;
+            a reused preprocessing, for example, contributes no
+            ``preprocess`` entry.
     """
 
     route: BusRoute
@@ -55,6 +62,15 @@ class EBRRResult:
     timings: Dict[str, float]
     config: EBRRConfig
     constraint_violations: List[str] = field(default_factory=list)
+    search_stats: Dict[str, SearchStats] = field(default_factory=dict)
+
+    @property
+    def total_search_stats(self) -> SearchStats:
+        """All phases' search counters summed."""
+        total = SearchStats()
+        for stats in self.search_stats.values():
+            total = total + stats
+        return total
 
     @property
     def is_feasible(self) -> bool:

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ConfigurationError, InfeasibleRouteError
-from ..network.dijkstra import IncrementalNearestDistance
+from ..network.engine import SearchEngine, engine_for
 from .config import EBRRConfig
 from .preprocess import PreprocessResult
 from .price import LowerBoundPrice, price_from_distance
@@ -91,15 +91,18 @@ class SelectionState:
         instance: BRRInstance,
         preprocess: PreprocessResult,
         config: EBRRConfig,
+        *,
+        engine: Optional[SearchEngine] = None,
     ) -> None:
         self.instance = instance
         self.preprocess = preprocess
         self.config = config
+        self.engine = engine if engine is not None else engine_for(instance.network)
         self.current_nn: Dict[int, float] = dict(preprocess.nn_distance)
         self.covered_mask: int = 0
         self.selected: List[int] = []
         self.selected_set: set = set()
-        self.dist_to_b = IncrementalNearestDistance(instance.network)
+        self.dist_to_b = self.engine.incremental_nearest(phase="selection")
         self.lower_bound = LowerBoundPrice(
             instance.network.coordinates(), config.max_adjacent_cost
         )
@@ -155,9 +158,17 @@ def run_selection(
     instance: BRRInstance,
     preprocess: PreprocessResult,
     config: EBRRConfig,
+    *,
+    engine: Optional[SearchEngine] = None,
 ) -> SelectionTrace:
     """Lines 2-7 of Algorithm 1: iteratively select profitable stops
     until the accumulated price reaches the ``2K/3`` budget.
+
+    Args:
+        instance / preprocess / config: the problem and its Algorithm 2
+            output.
+        engine: search engine for the incremental ``dist(·, B)``
+            maintenance; defaults to the network's shared engine.
 
     Returns:
         The full :class:`SelectionTrace`.
@@ -166,7 +177,7 @@ def run_selection(
         InfeasibleRouteError: if no stop can be selected at all.
     """
     trace = SelectionTrace()
-    state = SelectionState(instance, preprocess, config)
+    state = SelectionState(instance, preprocess, config, engine=engine)
     utility_order = preprocess.utility_order()
     if not utility_order:
         raise InfeasibleRouteError("no candidate or existing stops to select from")

@@ -17,12 +17,11 @@ whole multiset — the benchmark shows the gap against full recomputation.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..demand.query import QuerySet
-from ..network.dijkstra import query_preprocessing_search
+from ..network.engine import engine_for
 from .preprocess import PreprocessResult
 from .utility import BRRInstance
 
@@ -96,11 +95,11 @@ def update_preprocess(
             continue
         if old == 0:
             # Brand-new distinct node: one Algorithm 2 search.
-            nn_stop, nn_dist, visited = query_preprocessing_search(
-                new_instance.network,
+            nn_stop, nn_dist, visited = engine_for(new_instance.network).query_search(
                 node,
                 new_instance.is_existing,
                 new_instance.is_candidate,
+                phase="update",
             )
             result.nn_distance[node] = nn_dist
             result.searches += 1

@@ -20,12 +20,12 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..demand.query import QuerySet
 from ..exceptions import ConfigurationError, DemandError
 from ..network.candidates import node_candidates
-from ..network.dijkstra import multi_source_costs
+from ..network.engine import engine_for
 from ..network.graph import RoadNetwork
 from ..transit.network import TransitNetwork
 
@@ -97,7 +97,7 @@ class BRRInstance:
         sources = list(stops)
         if not sources:
             raise ConfigurationError("Walk(S) is undefined for an empty stop set")
-        dist = multi_source_costs(self.network, sources)
+        dist = engine_for(self.network).multi_source(sources, phase="evaluate")
         total = 0.0
         for node, count in self.query_counts.items():
             d = dist[node]

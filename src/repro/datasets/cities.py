@@ -21,7 +21,7 @@ Real data drops in through :func:`repro.network.read_dimacs` and
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.utility import BRRInstance

@@ -20,10 +20,10 @@ from ..demand.query import QuerySet
 from ..exceptions import ConfigurationError
 from ..network.generators import grid_city
 from ..network.graph import RoadNetwork
-from ..transit.builder import build_transit_network, place_stops_along_path
+from ..transit.builder import place_stops_along_path
 from ..transit.network import TransitNetwork
 from ..transit.route import BusRoute
-from ..network.dijkstra import shortest_path
+from ..network.engine import engine_for
 
 
 @dataclass
@@ -97,7 +97,7 @@ def _transit_with_exact_stops(
         for i, end in enumerate(int(e) for e in ends):
             if end == hub:
                 continue
-            path, cost = shortest_path(network, hub, end)
+            path, cost = engine_for(network).path(hub, end, phase="dataset")
             if len(path) < 3:
                 continue
             stops = place_stops_along_path(network, path, spacing_km=1.0)
@@ -118,7 +118,7 @@ def _force_stop_count(
     ``num_existing`` stops from it, split across two routes sharing the
     middle stop."""
     corner_a, corner_b = 0, network.num_nodes - 1
-    path, _ = shortest_path(network, corner_a, corner_b)
+    path, _ = engine_for(network).path(corner_a, corner_b, phase="dataset")
     if len(path) < num_existing:
         raise ConfigurationError("network too small for the requested stop count")
     indices = np.linspace(0, len(path) - 1, num_existing)

@@ -19,12 +19,12 @@ case studies).  The generators below reproduce that structure:
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 import numpy as np
 
 from ..exceptions import DemandError
-from ..network.dijkstra import multi_source_costs
+from ..network.engine import engine_for
 from ..network.geometry import GridIndex, bounding_box
 from ..network.graph import RoadNetwork
 from ..transit.network import TransitNetwork
@@ -151,7 +151,9 @@ def _pick_hotspot_centers(
     if transit is None or not transit.existing_stops:
         return [int(v) for v in rng.integers(0, network.num_nodes, size=num_hotspots)]
 
-    dist_to_stop = multi_source_costs(network, transit.existing_stops)
+    dist_to_stop = engine_for(network).multi_source(
+        transit.existing_stops, phase="demand"
+    )
     finite = [(d if math.isfinite(d) else 0.0) for d in dist_to_stop]
     order = sorted(range(network.num_nodes), key=lambda v: finite[v])
 

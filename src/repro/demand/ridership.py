@@ -21,12 +21,12 @@ while the baselines chase the first.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import List
 
 import numpy as np
 
 from ..exceptions import DemandError
-from ..network.dijkstra import multi_source_costs
+from ..network.engine import engine_for
 from ..network.geometry import GridIndex
 from ..network.graph import RoadNetwork
 from ..transit.network import TransitNetwork
@@ -103,7 +103,7 @@ def _growth_cluster_centers(
     the decile farthest from any existing stop."""
     if count < 1:
         raise DemandError(f"num_growth_clusters must be >= 1, got {count}")
-    dist = multi_source_costs(network, transit.existing_stops)
+    dist = engine_for(network).multi_source(transit.existing_stops, phase="demand")
     finite = [(d if math.isfinite(d) else 0.0) for d in dist]
     order = sorted(range(network.num_nodes), key=lambda v: finite[v])
     pool = order[-max(count, network.num_nodes // 10):]
@@ -122,7 +122,7 @@ def uncovered_query_nodes(
     Chicago case study.  Multiset semantics: a node appearing twice in
     ``Q`` appears twice in the result.
     """
-    dist = multi_source_costs(
-        queries.network, transit.existing_stops, max_cost=walk_limit_km
+    dist = engine_for(queries.network).multi_source(
+        transit.existing_stops, max_cost=walk_limit_km, phase="demand"
     )
     return [v for v in queries.nodes if not math.isfinite(dist[v])]

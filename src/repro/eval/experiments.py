@@ -7,7 +7,7 @@ The benchmarks in ``benchmarks/`` are thin wrappers around these.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..baselines.base import RoutePlanner
 from ..core.config import EBRRConfig
@@ -21,7 +21,7 @@ from ..demand.query import QuerySet
 from ..exceptions import ConfigurationError
 from ..transit.journey import travel_cost_decrease
 from .metrics import approximation_ratio, uncovered_demand_coverage
-from .runner import EBRRPlanner, default_planners, run_planners
+from .runner import default_planners, run_planners
 
 Row = Dict[str, object]
 

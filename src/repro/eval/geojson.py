@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 from collections import Counter
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Union
 
 from ..demand.query import QuerySet
 from ..exceptions import ConfigurationError

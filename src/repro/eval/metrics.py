@@ -9,12 +9,12 @@ case studies' uncovered-demand coverage.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..core.utility import BRRInstance
 from ..demand.query import QuerySet
 from ..exceptions import ConfigurationError
-from ..network.dijkstra import multi_source_costs
+from ..network.engine import engine_for
 from ..transit.network import TransitNetwork
 from ..transit.route import BusRoute
 
@@ -59,13 +59,16 @@ def uncovered_demand_coverage(
         ``(covered_now, previously_uncovered)`` — multiset counts.
     """
     network = queries.network
-    existing_dist = multi_source_costs(
-        network, transit.existing_stops, max_cost=walk_limit_km
+    engine = engine_for(network)
+    existing_dist = engine.multi_source(
+        transit.existing_stops, max_cost=walk_limit_km, phase="evaluate"
     )
     uncovered = [v for v in queries.nodes if not math.isfinite(existing_dist[v])]
     if not uncovered:
         return (0, 0)
-    route_dist = multi_source_costs(network, list(route.stops), max_cost=walk_limit_km)
+    route_dist = engine.multi_source(
+        list(route.stops), max_cost=walk_limit_km, phase="evaluate"
+    )
     covered_now = sum(1 for v in uncovered if math.isfinite(route_dist[v]))
     return covered_now, len(uncovered)
 
@@ -77,7 +80,7 @@ def mean_walk_to_nearest_stop(
     a per-passenger view of ``Walk`` used in the examples."""
     if not stops:
         raise ConfigurationError("needs at least one stop")
-    dist = multi_source_costs(queries.network, list(stops))
+    dist = engine_for(queries.network).multi_source(list(stops), phase="evaluate")
     total = 0.0
     for v in queries.nodes:
         if not math.isfinite(dist[v]):

@@ -8,7 +8,7 @@ report; these helpers render them as aligned text tables and as
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 Row = Dict[str, object]
 PathLike = Union[str, Path]

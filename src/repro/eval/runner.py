@@ -7,7 +7,6 @@ shared instance so experiments get comparable rows.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from ..baselines.base import BaselinePlan, RoutePlanner

@@ -11,7 +11,7 @@ and — the number that matters — how often EBRR wins each metric.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..core.config import EBRRConfig
 from ..datasets.registry import load_city

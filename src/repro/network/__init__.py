@@ -9,6 +9,8 @@ generators that stand in for the Chicago/NYC/Orlando extracts.
 from .astar import LandmarkIndex, astar_distance, astar_path
 from .candidates import candidate_mask, insert_edge_midpoints, node_candidates
 from .contraction import ContractionHierarchy
+from .csr import CSRAdjacency
+from .engine import CacheInfo, IncrementalNearest, SearchEngine, SearchStats, engine_for
 from .dijkstra import (
     IncrementalNearestDistance,
     distance_between,
@@ -28,6 +30,12 @@ from .graph import RoadNetwork
 
 __all__ = [
     "RoadNetwork",
+    "CSRAdjacency",
+    "SearchEngine",
+    "SearchStats",
+    "CacheInfo",
+    "IncrementalNearest",
+    "engine_for",
     "shortest_path_costs",
     "shortest_path",
     "distance_between",

@@ -22,11 +22,10 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..exceptions import ConfigurationError, GraphError
 from .dijkstra import shortest_path_costs
-from .geometry import euclidean
 from .graph import RoadNetwork
 
 Heuristic = Callable[[int], float]

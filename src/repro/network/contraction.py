@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..exceptions import ConfigurationError, GraphError
 from .graph import RoadNetwork

@@ -1,0 +1,79 @@
+"""Flat CSR (compressed sparse row) adjacency of a road network.
+
+Every search in :mod:`repro.network.engine` iterates edges through this
+structure instead of calling :meth:`RoadNetwork.neighbors` per settled
+node.  The three parallel lists — ``indptr``, ``targets``, ``costs`` —
+are built once per network snapshot, so the hot inner loop touches only
+local list indexing (no method call, no tuple unpacking).
+
+The neighbor order inside each row is **exactly** the order of
+``network.neighbors(u)``; heap tie-breaking therefore matches the
+legacy free functions in :mod:`repro.network.dijkstra` bit for bit,
+which the equivalence test suite relies on.
+
+A snapshot records the network's :attr:`~RoadNetwork.version`;
+:meth:`CSRAdjacency.is_current` tells callers (the engine) when a graph
+mutation has invalidated it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .graph import RoadNetwork
+
+
+class CSRAdjacency:
+    """Flat adjacency arrays of one :class:`RoadNetwork` snapshot.
+
+    Attributes:
+        indptr: ``indptr[u]:indptr[u+1]`` is node ``u``'s slice of the
+            edge arrays (length ``num_nodes + 1``).
+        targets: flat neighbor node ids.
+        costs: flat edge costs, aligned with ``targets``.
+        num_nodes: node count of the snapshot.
+        version: the network version this snapshot was built from.
+    """
+
+    __slots__ = ("indptr", "targets", "costs", "num_nodes", "version", "_network")
+
+    def __init__(self, network: RoadNetwork) -> None:
+        n = network.num_nodes
+        indptr: List[int] = [0] * (n + 1)
+        targets: List[int] = []
+        costs: List[float] = []
+        for u in range(n):
+            for v, cost in network.neighbors(u):
+                targets.append(v)
+                costs.append(cost)
+            indptr[u + 1] = len(targets)
+        self.indptr = indptr
+        self.targets = targets
+        self.costs = costs
+        self.num_nodes = n
+        self.version = network.version
+        self._network = network
+
+    @property
+    def network(self) -> RoadNetwork:
+        """The network this snapshot was built from."""
+        return self._network
+
+    @property
+    def num_directed_edges(self) -> int:
+        """Number of directed arcs (twice the undirected edge count)."""
+        return len(self.targets)
+
+    def is_current(self) -> bool:
+        """Whether the source network is still at the snapshot version."""
+        return self._network.version == self.version
+
+    def degree(self, node: int) -> int:
+        """Out-degree of ``node`` in the snapshot."""
+        return self.indptr[node + 1] - self.indptr[node]
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRAdjacency(|V|={self.num_nodes}, "
+            f"arcs={self.num_directed_edges}, version={self.version})"
+        )

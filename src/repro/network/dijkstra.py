@@ -54,7 +54,11 @@ def shortest_path_costs(
         if d > dist[u]:
             continue
         if max_cost is not None and d > max_cost:
-            dist[u] = INF
+            # Beyond the bound: skip expansion.  Do NOT reset dist[u]
+            # here — pops are non-decreasing, so resetting to INF lets
+            # stale heap entries for u sneak past the staleness check
+            # above and redo the bound test; the final sweep below
+            # masks every out-of-bound node exactly once.
             continue
         for v, cost in adj(u):
             nd = d + cost
@@ -99,7 +103,7 @@ def shortest_path(
                 dist[v] = nd
                 parent[v] = u
                 heapq.heappush(heap, (nd, v))
-    if dist[target] is INF or dist[target] == INF:
+    if dist[target] == INF:
         raise GraphError(f"node {target} unreachable from {source}")
     path = [target]
     while path[-1] != source:
@@ -122,7 +126,6 @@ def distance_between(
     """
     if source == target:
         return 0.0
-    n = network.num_nodes
     dist: Dict[int, float] = {source: 0.0}
     heap: List[Tuple[float, int]] = [(0.0, source)]
     adj = network.neighbors
@@ -157,7 +160,6 @@ def search_to_nearest(
     Raises:
         GraphError: if no target node is reachable.
     """
-    n = network.num_nodes
     dist: Dict[int, float] = {source: 0.0}
     heap: List[Tuple[float, int]] = [(0.0, source)]
     adj = network.neighbors
@@ -252,7 +254,7 @@ def multi_source_costs(
         if d > dist[u]:
             continue
         if max_cost is not None and d > max_cost:
-            dist[u] = INF
+            # See shortest_path_costs: never reset dist mid-search.
             continue
         for v, cost in adj(u):
             nd = d + cost

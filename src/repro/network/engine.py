@@ -1,0 +1,711 @@
+"""The unified search engine: one entry point for the Dijkstra family.
+
+Every EBRR phase (Algorithm 2 preprocessing, the bounded T2 searches of
+the selection loop, Christofides ordering, path refinement), every
+baseline, and the multimodal journey planner used to run its own raw
+``heapq`` loop over :meth:`RoadNetwork.neighbors`.  Identical
+single-source searches were therefore recomputed across phases and
+across K/Q sweeps — exactly the redundancy the paper's filtered/lazy
+machinery exists to avoid.  :class:`SearchEngine` replaces all of that
+with a single owned, cacheable, observable substrate:
+
+* searches iterate a flat :class:`~repro.network.csr.CSRAdjacency`
+  built once per network snapshot (invalidated automatically when the
+  graph's :attr:`~repro.network.graph.RoadNetwork.version` changes);
+* full and cost-bounded SSSP rows are memoised in an LRU cache keyed
+  ``(source, max_cost)`` (multi-source rows and point-to-point paths
+  have their own keys), so a K sweep that re-orders the same selected
+  stops, or a baseline that re-traces the same OD pair, reuses the
+  earlier row instead of re-searching;
+* every call is accounted to a :class:`SearchStats` block under a
+  caller-chosen *phase* label, surfacing searches run, cache hits,
+  nodes settled, heap pushes, and truncations per logical phase (the
+  ``--profile-searches`` CLI table and
+  :attr:`~repro.core.result.EBRRResult.search_stats`).
+
+Results returned from cached entries are the cached objects themselves:
+**treat every returned list as read-only.**
+
+Algorithmic behaviour is bit-identical to the legacy free functions in
+:mod:`repro.network.dijkstra` (same neighbor order, same tie-breaking,
+same epsilon) — the equivalence test suite asserts this on grid, radial
+and sprawl generators.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import GraphError
+from .csr import CSRAdjacency
+from .graph import RoadNetwork
+
+INF = math.inf
+
+_EPSILON = 1e-9
+
+
+@dataclass
+class SearchStats:
+    """Counters for one logical phase of search work.
+
+    Attributes:
+        searches: graph searches actually executed (cache hits excluded).
+        cache_hits: requests answered from the result cache.
+        settled: nodes settled (popped and expanded) over all searches.
+        pushes: heap pushes over all searches (including seeds).
+        truncated: heap pops discarded for exceeding a cost bound.
+    """
+
+    searches: int = 0
+    cache_hits: int = 0
+    settled: int = 0
+    pushes: int = 0
+    truncated: int = 0
+
+    def copy(self) -> "SearchStats":
+        return SearchStats(
+            self.searches, self.cache_hits, self.settled, self.pushes, self.truncated
+        )
+
+    def __add__(self, other: "SearchStats") -> "SearchStats":
+        return SearchStats(
+            self.searches + other.searches,
+            self.cache_hits + other.cache_hits,
+            self.settled + other.settled,
+            self.pushes + other.pushes,
+            self.truncated + other.truncated,
+        )
+
+    def __sub__(self, other: "SearchStats") -> "SearchStats":
+        return SearchStats(
+            self.searches - other.searches,
+            self.cache_hits - other.cache_hits,
+            self.settled - other.settled,
+            self.pushes - other.pushes,
+            self.truncated - other.truncated,
+        )
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.searches or self.cache_hits or self.settled
+            or self.pushes or self.truncated
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "searches": self.searches,
+            "cache_hits": self.cache_hits,
+            "settled": self.settled,
+            "pushes": self.pushes,
+            "truncated": self.truncated,
+        }
+
+
+@dataclass
+class CacheInfo:
+    """Aggregate cache behaviour of one engine.
+
+    Attributes:
+        hits / misses: cache lookups answered / not answered.
+        evictions: entries dropped by the LRU bound.
+        rows: SSSP/multi-source/ball rows currently cached.
+        points: point-to-point paths and distances currently cached.
+        invalidations: times a graph mutation flushed everything.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    rows: int = 0
+    points: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SearchEngine:
+    """Cached, instrumented Dijkstra family over one road network.
+
+    Args:
+        network: the road network to search.
+        cache_size: LRU bound on cached *rows* (full/bounded SSSP,
+            multi-source, cost-ball results; each is O(|V|)).  The
+            point cache (paths, pairwise distances) is bounded at four
+            times this value.
+
+    One engine per network is the intended usage; obtain the shared one
+    with :func:`engine_for`.
+    """
+
+    def __init__(self, network: RoadNetwork, *, cache_size: int = 64) -> None:
+        if cache_size < 1:
+            raise GraphError(f"cache_size must be >= 1, got {cache_size}")
+        self._network = network
+        self._csr = CSRAdjacency(network)
+        self._cache_size = cache_size
+        self._rows: "OrderedDict[tuple, object]" = OrderedDict()
+        self._points: "OrderedDict[tuple, object]" = OrderedDict()
+        self._stats: Dict[str, SearchStats] = {}
+        self._info = CacheInfo()
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+
+    @property
+    def network(self) -> RoadNetwork:
+        return self._network
+
+    @property
+    def csr(self) -> CSRAdjacency:
+        """The current CSR snapshot (rebuilt here if the graph mutated)."""
+        self._sync()
+        return self._csr
+
+    def counters(self, phase: str) -> SearchStats:
+        """The live, mutable stats block for ``phase`` (created on first
+        use).  External searchers that ride on the engine's CSR (e.g.
+        the journey planner) account their work through this."""
+        stats = self._stats.get(phase)
+        if stats is None:
+            stats = self._stats[phase] = SearchStats()
+        return stats
+
+    @property
+    def stats(self) -> Dict[str, SearchStats]:
+        """Live per-phase stats (mutable; snapshot before arithmetic)."""
+        return self._stats
+
+    def snapshot(self) -> Dict[str, SearchStats]:
+        """A frozen copy of all per-phase stats, for later diffing."""
+        return {phase: stats.copy() for phase, stats in self._stats.items()}
+
+    def stats_since(
+        self, snapshot: Dict[str, SearchStats]
+    ) -> Dict[str, SearchStats]:
+        """Per-phase deltas against an earlier :meth:`snapshot`, with
+        all-zero phases dropped."""
+        zero = SearchStats()
+        delta = {
+            phase: stats - snapshot.get(phase, zero)
+            for phase, stats in self._stats.items()
+        }
+        return {phase: stats for phase, stats in delta.items() if stats}
+
+    def total_stats(self) -> SearchStats:
+        """All phases summed."""
+        total = SearchStats()
+        for stats in self._stats.values():
+            total = total + stats
+        return total
+
+    def reset_stats(self) -> None:
+        self._stats.clear()
+
+    def cache_info(self) -> CacheInfo:
+        info = replace(self._info)  # a snapshot, so before/after pairs compare
+        info.rows = len(self._rows)
+        info.points = len(self._points)
+        return info
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (stats are kept)."""
+        self._rows.clear()
+        self._points.clear()
+
+    def _sync(self) -> None:
+        if not self._csr.is_current():
+            self._csr = CSRAdjacency(self._network)
+            self._rows.clear()
+            self._points.clear()
+            self._info.invalidations += 1
+
+    def _get(self, store: OrderedDict, key: tuple, stats: SearchStats):
+        entry = store.get(key)
+        if entry is not None:
+            store.move_to_end(key)
+            self._info.hits += 1
+            stats.cache_hits += 1
+        else:
+            self._info.misses += 1
+        return entry
+
+    def _put(self, store: OrderedDict, key: tuple, value, bound: int) -> None:
+        store[key] = value
+        if len(store) > bound:
+            store.popitem(last=False)
+            self._info.evictions += 1
+
+    # ------------------------------------------------------------------
+    # The Dijkstra family
+    # ------------------------------------------------------------------
+
+    def sssp(
+        self,
+        source: int,
+        *,
+        max_cost: Optional[float] = None,
+        phase: str = "adhoc",
+        cached: bool = True,
+    ) -> List[float]:
+        """Single-source shortest path costs (cached).
+
+        Equivalent to :func:`repro.network.dijkstra.shortest_path_costs`;
+        with ``max_cost`` nodes beyond the bound are ``inf``.  The
+        returned list is shared with the cache — **read-only**.
+
+        Args:
+            source: start node.
+            max_cost: optional truncation radius.
+            phase: stats bucket to account the work to.
+            cached: disable the cache for one-off sweeps (e.g. exact
+                diameter computation) that would churn the LRU.
+        """
+        self._sync()
+        stats = self.counters(phase)
+        key = ("sssp", source, max_cost)
+        if cached:
+            row = self._get(self._rows, key, stats)
+            if row is not None:
+                return row  # type: ignore[return-value]
+            if max_cost is not None:
+                full = self._rows.get(("sssp", source, None))
+                if full is not None:
+                    # Derive the bounded row from the cached full row.
+                    self._rows.move_to_end(("sssp", source, None))
+                    self._info.hits += 1
+                    self._info.misses -= 1  # the exact-key probe above
+                    stats.cache_hits += 1
+                    derived = [d if d <= max_cost else INF for d in full]  # type: ignore[union-attr]
+                    self._put(self._rows, key, derived, self._cache_size)
+                    return derived
+        dist = self._run_sssp([source], max_cost, stats)
+        if cached:
+            self._put(self._rows, key, dist, self._cache_size)
+        return dist
+
+    def multi_source(
+        self,
+        sources: Sequence[int],
+        *,
+        max_cost: Optional[float] = None,
+        phase: str = "adhoc",
+        cached: bool = True,
+    ) -> List[float]:
+        """Cost of the cheapest path from *any* source to each node
+        (cached; equivalent to
+        :func:`repro.network.dijkstra.multi_source_costs`).  The
+        returned list is shared with the cache — **read-only**."""
+        self._sync()
+        stats = self.counters(phase)
+        source_list = list(sources)
+        if len(source_list) == 1:
+            return self.sssp(
+                source_list[0], max_cost=max_cost, phase=phase, cached=cached
+            )
+        key = ("ms", tuple(source_list), max_cost)
+        if cached:
+            row = self._get(self._rows, key, stats)
+            if row is not None:
+                return row  # type: ignore[return-value]
+        dist = self._run_sssp(source_list, max_cost, stats)
+        if cached:
+            self._put(self._rows, key, dist, self._cache_size)
+        return dist
+
+    def path(
+        self, source: int, target: int, *, phase: str = "adhoc"
+    ) -> Tuple[List[int], float]:
+        """The cheapest path between two nodes and its cost (cached;
+        equivalent to :func:`repro.network.dijkstra.shortest_path`).
+        The returned path list is shared with the cache — **read-only**.
+
+        Raises:
+            GraphError: if ``target`` is unreachable.
+        """
+        self._sync()
+        stats = self.counters(phase)
+        key = ("path", source, target)
+        entry = self._get(self._points, key, stats)
+        if entry is not None:
+            return entry  # type: ignore[return-value]
+        csr = self._csr
+        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
+        n = csr.num_nodes
+        dist = [INF] * n
+        parent = [-1] * n
+        dist[source] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        stats.searches += 1
+        stats.pushes += 1
+        settled = 0
+        pushes = 0
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist[u]:
+                continue
+            settled += 1
+            if u == target:
+                break
+            for i in range(indptr[u], indptr[u + 1]):
+                v = targets[i]
+                nd = d + costs[i]
+                if nd < dist[v]:
+                    dist[v] = nd
+                    parent[v] = u
+                    heapq.heappush(heap, (nd, v))
+                    pushes += 1
+        stats.settled += settled
+        stats.pushes += pushes
+        if dist[target] == INF:
+            raise GraphError(f"node {target} unreachable from {source}")
+        path = [target]
+        while path[-1] != source:
+            path.append(parent[path[-1]])
+        path.reverse()
+        result = (path, dist[target])
+        self._put(self._points, key, result, 4 * self._cache_size)
+        return result
+
+    def distance(
+        self,
+        source: int,
+        target: int,
+        *,
+        upper_bound: Optional[float] = None,
+        phase: str = "adhoc",
+    ) -> float:
+        """Network distance between two nodes with target early stop
+        (equivalent to :func:`repro.network.dijkstra.distance_between`).
+        Served from a cached SSSP row when one exists; ``inf`` when
+        ``upper_bound`` is given and the true distance exceeds it."""
+        if source == target:
+            return 0.0
+        self._sync()
+        stats = self.counters(phase)
+        full = self._rows.get(("sssp", source, None))
+        if full is not None:
+            self._rows.move_to_end(("sssp", source, None))
+            self._info.hits += 1
+            stats.cache_hits += 1
+            d = full[target]  # type: ignore[index]
+            if upper_bound is not None and d > upper_bound:
+                return INF
+            return d
+        key = ("dist", source, target, upper_bound)
+        entry = self._get(self._points, key, stats)
+        if entry is not None:
+            return entry  # type: ignore[return-value]
+        result = self._run_distance(source, target, upper_bound, stats)
+        self._put(self._points, key, result, 4 * self._cache_size)
+        return result
+
+    def nearest(
+        self,
+        source: int,
+        is_target: Callable[[int], bool],
+        *,
+        phase: str = "adhoc",
+    ) -> Tuple[int, float]:
+        """Settle outward from ``source`` until a node satisfying
+        ``is_target`` is found (equivalent to
+        :func:`repro.network.dijkstra.search_to_nearest`; uncached — the
+        predicate is opaque).
+
+        Raises:
+            GraphError: if no target node is reachable.
+        """
+        self._sync()
+        stats = self.counters(phase)
+        csr = self._csr
+        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
+        dist: Dict[int, float] = {source: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        stats.searches += 1
+        stats.pushes += 1
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, INF):
+                continue
+            stats.settled += 1
+            if is_target(u):
+                return u, d
+            for i in range(indptr[u], indptr[u + 1]):
+                v = targets[i]
+                nd = d + costs[i]
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+                    stats.pushes += 1
+        raise GraphError(f"no target reachable from node {source}")
+
+    def query_search(
+        self,
+        query_node: int,
+        is_existing_stop: Sequence[bool],
+        is_candidate_stop: Sequence[bool],
+        *,
+        phase: str = "adhoc",
+    ) -> Tuple[int, float, List[Tuple[int, float]]]:
+        """The per-query search of Algorithm 2 (equivalent to
+        :func:`repro.network.dijkstra.query_preprocessing_search`):
+        Dijkstra from ``query_node`` until the first settled existing
+        stop, collecting candidate stops settled on the way.  Uncached —
+        the result depends on the instance's stop masks, not only on the
+        graph.
+
+        Raises:
+            GraphError: if no existing stop is reachable.
+        """
+        self._sync()
+        stats = self.counters(phase)
+        csr = self._csr
+        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
+        dist: Dict[int, float] = {query_node: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, query_node)]
+        visited_candidates: List[Tuple[int, float]] = []
+        settled: Set[int] = set()
+        stats.searches += 1
+        stats.pushes += 1
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            stats.settled += 1
+            if is_existing_stop[u]:
+                return u, d, visited_candidates
+            if is_candidate_stop[u]:
+                visited_candidates.append((u, d))
+            for i in range(indptr[u], indptr[u + 1]):
+                v = targets[i]
+                nd = d + costs[i]
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+                    stats.pushes += 1
+        raise GraphError(
+            f"no existing bus stop reachable from query node {query_node}"
+        )
+
+    def nodes_within(
+        self,
+        source: int,
+        max_cost: float,
+        *,
+        phase: str = "adhoc",
+        cached: bool = True,
+    ) -> List[Tuple[int, float]]:
+        """All ``(node, dist)`` with network distance from ``source`` at
+        most ``max_cost`` (within epsilon), in settle order, excluding
+        ``source`` itself — the truncated ball used by refinement and
+        post-processing.  The returned list is shared with the cache —
+        **read-only**."""
+        self._sync()
+        stats = self.counters(phase)
+        key = ("within", source, max_cost)
+        if cached:
+            entry = self._get(self._rows, key, stats)
+            if entry is not None:
+                return entry  # type: ignore[return-value]
+        csr = self._csr
+        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
+        dist: Dict[int, float] = {source: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        result: List[Tuple[int, float]] = []
+        settled: Set[int] = set()
+        stats.searches += 1
+        stats.pushes += 1
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            stats.settled += 1
+            if u != source:
+                result.append((u, d))
+            for i in range(indptr[u], indptr[u + 1]):
+                v = targets[i]
+                nd = d + costs[i]
+                if nd <= max_cost + _EPSILON and nd < dist.get(v, INF):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+                    stats.pushes += 1
+        if cached:
+            self._put(self._rows, key, result, self._cache_size)
+        return result
+
+    def incremental_nearest(self, *, phase: str = "adhoc") -> "IncrementalNearest":
+        """A fresh nearest-distance-to-a-growing-set maintainer (the
+        EBRR ``dist(·, B)`` structure), accounted to ``phase``."""
+        self._sync()
+        return IncrementalNearest(self, phase)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _run_sssp(
+        self,
+        sources: Sequence[int],
+        max_cost: Optional[float],
+        stats: SearchStats,
+    ) -> List[float]:
+        csr = self._csr
+        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
+        n = csr.num_nodes
+        dist = [INF] * n
+        heap: List[Tuple[float, int]] = []
+        for s in sources:
+            if dist[s] > 0.0:
+                dist[s] = 0.0
+                heap.append((0.0, s))
+        heapq.heapify(heap)
+        stats.searches += 1
+        pushes = len(heap)
+        settled = 0
+        truncated = 0
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist[u]:
+                continue
+            if max_cost is not None and d > max_cost:
+                truncated += 1
+                continue
+            settled += 1
+            for i in range(indptr[u], indptr[u + 1]):
+                v = targets[i]
+                nd = d + costs[i]
+                if nd < dist[v]:
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+                    pushes += 1
+        if max_cost is not None:
+            for v in range(n):
+                if dist[v] > max_cost:
+                    dist[v] = INF
+        stats.settled += settled
+        stats.pushes += pushes
+        stats.truncated += truncated
+        return dist
+
+    def _run_distance(
+        self,
+        source: int,
+        target: int,
+        upper_bound: Optional[float],
+        stats: SearchStats,
+    ) -> float:
+        csr = self._csr
+        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
+        dist: Dict[int, float] = {source: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        stats.searches += 1
+        stats.pushes += 1
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, INF):
+                continue
+            if u == target:
+                stats.settled += 1
+                return d
+            if upper_bound is not None and d > upper_bound:
+                stats.truncated += 1
+                return INF
+            stats.settled += 1
+            for i in range(indptr[u], indptr[u + 1]):
+                v = targets[i]
+                nd = d + costs[i]
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+                    stats.pushes += 1
+        return INF
+
+
+class IncrementalNearest:
+    """Nearest-distance-to-a-growing-set maintenance on the engine.
+
+    Behaviourally identical to
+    :class:`repro.network.dijkstra.IncrementalNearestDistance` (the
+    equivalence suite asserts it) but runs on the engine's CSR arrays
+    and accounts its pruned relaxation searches to the engine's stats.
+    """
+
+    def __init__(self, engine: SearchEngine, phase: str) -> None:
+        self._engine = engine
+        self._phase = phase
+        self.distance: List[float] = [INF] * engine.csr.num_nodes
+        self._sources: List[int] = []
+
+    @property
+    def sources(self) -> List[int]:
+        """The sources added so far, in insertion order (a copy)."""
+        return list(self._sources)
+
+    def add_source(
+        self, source: int, *, max_cost: Optional[float] = None
+    ) -> List[int]:
+        """Add ``source`` to the set and relax distances; returns the
+        nodes whose distance improved."""
+        dist = self.distance
+        if dist[source] <= 0.0:
+            self._sources.append(source)
+            return []
+        csr = self._engine.csr
+        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
+        stats = self._engine.counters(self._phase)
+        improved: List[int] = []
+        local: Dict[int, float] = {source: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        stats.searches += 1
+        stats.pushes += 1
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > local.get(u, INF):
+                continue
+            if max_cost is not None and d > max_cost:
+                stats.truncated += 1
+                continue
+            if d >= dist[u]:
+                # everything beyond u through this path is already
+                # dominated by an earlier source
+                continue
+            dist[u] = d
+            improved.append(u)
+            stats.settled += 1
+            for i in range(indptr[u], indptr[u + 1]):
+                v = targets[i]
+                nd = d + costs[i]
+                if nd < local.get(v, INF) and nd < dist[v]:
+                    local[v] = nd
+                    heapq.heappush(heap, (nd, v))
+                    stats.pushes += 1
+        self._sources.append(source)
+        return improved
+
+    def __getitem__(self, node: int) -> float:
+        return self.distance[node]
+
+
+def engine_for(network: RoadNetwork) -> SearchEngine:
+    """The shared :class:`SearchEngine` of ``network``.
+
+    Created lazily on first call and stored on the network object, so
+    every module searching the same network — EBRR phases, baselines,
+    transit analytics, the journey planner — shares one cache and one
+    stats ledger.  The engine's lifetime is the network's.
+    """
+    engine = getattr(network, "_search_engine", None)
+    if engine is None:
+        engine = SearchEngine(network)
+        network._search_engine = engine  # type: ignore[attr-defined]
+    return engine

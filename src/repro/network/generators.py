@@ -22,7 +22,7 @@ distance" invariant the lower-bound price of Algorithm 4 needs.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -14,7 +14,7 @@ with 10^4-10^5 nodes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from ..exceptions import GraphError
 from .geometry import Point, euclidean
@@ -64,6 +64,10 @@ class RoadNetwork:
             self._adj[u].append((v, cost))
             self._adj[v].append((u, cost))
         self._edge_costs: Dict[Tuple[int, int], float] = seen
+        #: structural version, bumped by every mutation; consumers that
+        #: snapshot the graph (CSR adjacency, search caches) compare it
+        #: to detect staleness.
+        self._version: int = 0
         if validate_connected and not self.is_connected():
             raise GraphError("road network must be connected (Definition 1)")
 
@@ -75,6 +79,14 @@ class RoadNetwork:
     def num_nodes(self) -> int:
         """Number of nodes ``|V|``."""
         return len(self._coords)
+
+    @property
+    def version(self) -> int:
+        """Monotone structural version: 0 at construction, +1 per
+        mutation (:meth:`add_edge`, :meth:`set_edge_cost`).  Derived
+        snapshots (CSR adjacency, cached search results) are valid only
+        while the version they recorded matches."""
+        return self._version
 
     @property
     def num_edges(self) -> int:
@@ -135,6 +147,53 @@ class RoadNetwork:
     def total_edge_cost(self) -> float:
         """Sum of all edge costs (total road length)."""
         return sum(self._edge_costs.values())
+
+    # ------------------------------------------------------------------
+    # Mutation (bumps ``version``)
+    # ------------------------------------------------------------------
+
+    def add_edge(self, u: int, v: int, cost: float) -> None:
+        """Add a new undirected edge ``(u, v)`` with ``cost``.
+
+        Raises:
+            GraphError: on self loops, out-of-range nodes, non-positive
+                cost, or if the edge already exists (use
+                :meth:`set_edge_cost` to re-cost an edge).
+        """
+        n = self.num_nodes
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphError(f"edge ({u}, {v}) references a node outside 0..{n - 1}")
+        if u == v:
+            raise GraphError(f"self loop at node {u} is not allowed")
+        if cost <= 0:
+            raise GraphError(f"edge ({u}, {v}) has non-positive cost {cost}")
+        key = (u, v) if u < v else (v, u)
+        if key in self._edge_costs:
+            raise GraphError(f"edge ({u}, {v}) already exists")
+        self._edge_costs[key] = float(cost)
+        self._adj[u].append((v, float(cost)))
+        self._adj[v].append((u, float(cost)))
+        self._version += 1
+
+    def set_edge_cost(self, u: int, v: int, cost: float) -> None:
+        """Change the cost of the existing edge ``(u, v)``.
+
+        Raises:
+            GraphError: if the edge does not exist or ``cost <= 0``.
+        """
+        if cost <= 0:
+            raise GraphError(f"edge ({u}, {v}) has non-positive cost {cost}")
+        key = (u, v) if u < v else (v, u)
+        if key not in self._edge_costs:
+            raise GraphError(f"no edge between {u} and {v}")
+        self._edge_costs[key] = float(cost)
+        for a, b in ((u, v), (v, u)):
+            adj = self._adj[a]
+            for i, (node, _) in enumerate(adj):
+                if node == b:
+                    adj[i] = (b, float(cost))
+                    break
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Structure

@@ -12,7 +12,7 @@ functions so the core library stays numpy-only.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..exceptions import GraphError
 from .graph import RoadNetwork

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..exceptions import ConfigurationError, GraphError
 from .graph import RoadNetwork

@@ -13,7 +13,7 @@ real extracts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from ..exceptions import GraphError
 from .graph import Edge, RoadNetwork

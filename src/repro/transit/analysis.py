@@ -10,11 +10,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from ..demand.query import QuerySet
 from ..exceptions import ConfigurationError
-from ..network.dijkstra import multi_source_costs
+from ..network.engine import engine_for
 from .network import TransitNetwork
 
 
@@ -66,8 +66,8 @@ def summarize_transit(
         stops_per_route.append(route.num_stops)
         spacings.extend(route.adjacent_stop_costs(network))
     degrees = [transit.degree(s) for s in transit.existing_stops]
-    covered = multi_source_costs(
-        network, transit.existing_stops, max_cost=coverage_radius_km
+    covered = engine_for(network).multi_source(
+        transit.existing_stops, max_cost=coverage_radius_km, phase="transit"
     )
     coverage = sum(1 for d in covered if math.isfinite(d)) / network.num_nodes
     return TransitSummary(
@@ -121,8 +121,8 @@ def demand_coverage(
     if not radii_km:
         raise ConfigurationError("radii_km must be non-empty")
     ordered = sorted(radii_km)
-    dist = multi_source_costs(
-        queries.network, transit.existing_stops, max_cost=ordered[-1]
+    dist = engine_for(queries.network).multi_source(
+        transit.existing_stops, max_cost=ordered[-1], phase="transit"
     )
     total = len(queries)
     result: Dict[float, float] = {}

@@ -11,13 +11,12 @@ routes are valuable transfer points).
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..exceptions import TransitError
-from ..network.dijkstra import shortest_path
+from ..network.engine import engine_for
 from ..network.geometry import bounding_box, euclidean
 from ..network.graph import RoadNetwork
 from .network import TransitNetwork
@@ -70,7 +69,7 @@ def build_transit_network(
         if start == end:
             continue
         try:
-            path, cost = shortest_path(network, start, end)
+            path, cost = engine_for(network).path(start, end, phase="transit")
         except Exception:  # unreachable pair on exotic subgraphs
             continue
         if len(path) < 2:

@@ -22,11 +22,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..demand.query import QuerySet
-from ..exceptions import ConfigurationError, TransitError
-from ..network.dijkstra import multi_source_costs
+from ..exceptions import ConfigurationError
+from ..network.engine import engine_for
 from .network import TransitNetwork
 from .route import BusRoute
 
@@ -68,13 +68,14 @@ def estimate_boardings(
     route boards there, weighted by multiplicity.
     """
     network = queries.network
+    engine = engine_for(network)
     all_stops = set(transit.existing_stops) | set(route.stops)
-    dist = multi_source_costs(network, sorted(all_stops))
+    dist = engine.multi_source(sorted(all_stops), phase="transit")
     # For each query node, find the route stop achieving the global
     # nearest-stop distance (if any route stop does).
     per_stop = []
     for stop in route.stops:
-        per_stop.append(multi_source_costs(network, [stop]))
+        per_stop.append(engine.sssp(stop, phase="transit"))
     boardings = [0.0] * route.num_stops
     for node in queries.nodes:
         best = dist[node]

@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..exceptions import DataFormatError, TransitError
 from ..network.dimacs import KM_PER_DEGREE
-from ..network.dijkstra import shortest_path
+from ..network.engine import engine_for
 from ..network.geometry import GridIndex
 from ..network.graph import RoadNetwork
 from .network import TransitNetwork
@@ -219,8 +219,9 @@ def _dedupe(nodes: Sequence[int]) -> List[int]:
 
 
 def _stitch(network: RoadNetwork, stops: Sequence[int]) -> List[int]:
+    engine = engine_for(network)
     path: List[int] = [stops[0]]
     for a, b in zip(stops, stops[1:]):
-        leg, _ = shortest_path(network, a, b)
+        leg, _ = engine.path(a, b, phase="transit")
         path.extend(leg[1:])
     return path

@@ -22,9 +22,10 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ConfigurationError
+from ..network.engine import engine_for
 from ..network.graph import RoadNetwork
 from .network import TransitNetwork
 from .route import BusRoute
@@ -113,6 +114,9 @@ class JourneyPlanner:
             raise ConfigurationError("boarding penalty must be non-negative")
         self._transit = transit
         self._network: RoadNetwork = transit.road_network
+        # The walk layer rides on the shared engine's CSR adjacency and
+        # accounts its searches to the engine's "journey" counters.
+        self._engine = engine_for(self._network)
         self._walk_min_per_km = 60.0 / walk_speed_kmh
         self._bus_min_per_km = 60.0 / bus_speed_kmh
         self._board_min = boarding_penalty_min
@@ -169,29 +173,35 @@ class JourneyPlanner:
         """
         if origin == destination:
             return 0.0
-        n = self._network.num_nodes
+        csr = self._engine.csr
+        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
+        stats = self._engine.counters("journey")
+        stats.searches += 1
         dist: Dict[int, float] = {origin: 0.0}
         heap: List[Tuple[float, int]] = [(0.0, origin)]
-        adj = self._network.neighbors
         offset = self._ride_offset
         while heap:
             d, u = heapq.heappop(heap)
             if d > dist.get(u, INF):
                 continue
+            stats.settled += 1
             if u == destination:
                 return d
             if u < offset:
                 # walk layer
-                for v, cost_km in adj(u):
-                    nd = d + cost_km * self._walk_min_per_km
+                for i in range(indptr[u], indptr[u + 1]):
+                    v = targets[i]
+                    nd = d + costs[i] * self._walk_min_per_km
                     if nd < dist.get(v, INF):
                         dist[v] = nd
                         heapq.heappush(heap, (nd, v))
+                        stats.pushes += 1
                 for state in self._states_at_node.get(u, ()):
                     nd = d + self._board_min
                     if nd < dist.get(state, INF):
                         dist[state] = nd
                         heapq.heappush(heap, (nd, state))
+                        stats.pushes += 1
             else:
                 sid = u - offset
                 node = self._ride_node[sid]
@@ -199,6 +209,7 @@ class JourneyPlanner:
                 if d < dist.get(node, INF):
                     dist[node] = d
                     heapq.heappush(heap, (d, node))
+                    stats.pushes += 1
                 for nxt, minutes in (self._ride_next[sid], self._ride_prev[sid]):
                     if nxt >= 0:
                         nd = d + minutes
@@ -206,6 +217,7 @@ class JourneyPlanner:
                         if nd < dist.get(state, INF):
                             dist[state] = nd
                             heapq.heappush(heap, (nd, state))
+                            stats.pushes += 1
         return INF
 
     def average_travel_time(
@@ -241,30 +253,37 @@ class JourneyPlanner:
     def _search_with_parents(
         self, origin: int, destination: int
     ) -> Tuple[Dict[int, float], Dict[int, int]]:
+        csr = self._engine.csr
+        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
+        stats = self._engine.counters("journey")
+        stats.searches += 1
         dist: Dict[int, float] = {origin: 0.0}
         parent: Dict[int, int] = {}
         heap: List[Tuple[float, int]] = [(0.0, origin)]
-        adj = self._network.neighbors
         offset = self._ride_offset
         while heap:
             d, u = heapq.heappop(heap)
             if d > dist.get(u, INF):
                 continue
+            stats.settled += 1
             if u == destination:
                 break
             if u < offset:
-                for v, cost_km in adj(u):
-                    nd = d + cost_km * self._walk_min_per_km
+                for i in range(indptr[u], indptr[u + 1]):
+                    v = targets[i]
+                    nd = d + costs[i] * self._walk_min_per_km
                     if nd < dist.get(v, INF):
                         dist[v] = nd
                         parent[v] = u
                         heapq.heappush(heap, (nd, v))
+                        stats.pushes += 1
                 for state in self._states_at_node.get(u, ()):
                     nd = d + self._board_min
                     if nd < dist.get(state, INF):
                         dist[state] = nd
                         parent[state] = u
                         heapq.heappush(heap, (nd, state))
+                        stats.pushes += 1
             else:
                 sid = u - offset
                 node = self._ride_node[sid]

@@ -10,7 +10,7 @@ is what makes existing-stop evaluations O(1)-ish instead of set unions.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence
 
 from ..exceptions import TransitError
 from ..network.graph import RoadNetwork

@@ -7,7 +7,7 @@ that node; the algorithms themselves only ever use the node id.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

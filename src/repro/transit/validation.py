@@ -11,7 +11,7 @@ report instead of raising.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 from ..exceptions import ConfigurationError
 from .network import TransitNetwork
@@ -147,12 +147,14 @@ def validate_feed(
 
 def _detour_factor(transit: TransitNetwork, route) -> Optional[float]:
     """Route path cost over the shortest terminal-to-terminal cost."""
-    from ..network.dijkstra import distance_between
+    from ..network.engine import engine_for
 
     if route.num_stops < 2 or len(route.path) < 2:
         return None
     network = transit.road_network
-    direct = distance_between(network, route.path[0], route.path[-1])
+    direct = engine_for(network).distance(
+        route.path[0], route.path[-1], phase="transit"
+    )
     if direct <= 0:
         return None
     return route.length(network) / direct

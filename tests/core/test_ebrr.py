@@ -140,3 +140,58 @@ class TestEvaluateRoute:
         result = plan_route(toy_instance, _config())
         text = result.summary()
         assert "utility" in text and "stops" in text
+
+
+class TestSearchStats:
+    def test_plan_route_reports_per_phase_stats(self, small_city):
+        alpha = 25.0
+        instance = small_city.instance(alpha)
+        config = EBRRConfig(max_stops=8, max_adjacent_cost=2.0, alpha=alpha)
+        from repro.network.engine import SearchEngine
+
+        # A private engine guarantees a cold cache regardless of what
+        # earlier tests did to the network's shared engine.
+        result = plan_route(
+            instance, config, engine=SearchEngine(instance.network)
+        )
+        # Every pipeline phase ran graph searches on a fresh engine.
+        for phase in ("preprocess", "selection", "ordering", "refinement"):
+            assert phase in result.search_stats, phase
+            assert result.search_stats[phase].searches > 0
+        total = result.total_search_stats
+        assert total.settled > 0 and total.pushes > 0
+        assert total.searches == sum(
+            s.searches for s in result.search_stats.values()
+        )
+
+    def test_reused_preprocess_contributes_no_preprocess_phase(self, small_city):
+        alpha = 25.0
+        instance = small_city.instance(alpha)
+        config = EBRRConfig(max_stops=6, max_adjacent_cost=2.0, alpha=alpha)
+        pre = preprocess_queries(instance)
+        result = plan_route(instance, config, preprocess=pre)
+        assert "preprocess" not in result.search_stats
+        assert result.total_search_stats.searches > 0
+
+    def test_shared_engine_caches_ordering_rows_across_k_sweep(self, small_city):
+        alpha = 25.0
+        instance = small_city.instance(alpha)
+        pre = preprocess_queries(instance)
+        first = plan_route(
+            instance,
+            EBRRConfig(max_stops=8, max_adjacent_cost=2.0, alpha=alpha),
+            preprocess=pre,
+        )
+        second = plan_route(
+            instance,
+            EBRRConfig(max_stops=8, max_adjacent_cost=2.0, alpha=alpha),
+            preprocess=pre,
+        )
+        assert second.route.stops == first.route.stops
+        # The repeat run serves its ordering rows from the shared cache.
+        assert second.search_stats["ordering"].cache_hits > 0
+        assert (
+            second.search_stats["ordering"].settled
+            < first.search_stats["ordering"].settled
+            or first.search_stats["ordering"].settled == 0
+        )

@@ -1,0 +1,274 @@
+"""SearchEngine: equivalence with the legacy free functions, caching,
+statistics accounting, and invalidation on graph mutation."""
+
+import math
+
+import pytest
+
+from repro.network.dijkstra import (
+    IncrementalNearestDistance,
+    distance_between,
+    multi_source_costs,
+    query_preprocessing_search,
+    search_to_nearest,
+    shortest_path,
+    shortest_path_costs,
+)
+from repro.network.engine import SearchEngine, SearchStats, engine_for
+from repro.network.generators import grid_city, radial_city, sprawl_city
+from repro.network.graph import RoadNetwork
+
+
+def _cities():
+    return [
+        grid_city(5, 5, seed=1),
+        radial_city(num_boroughs=2, nodes_per_borough=60, seed=2),
+        sprawl_city(120, seed=3),
+    ]
+
+
+@pytest.fixture
+def network():
+    return grid_city(5, 5, seed=7)
+
+
+@pytest.fixture
+def engine(network):
+    return SearchEngine(network)
+
+
+# ----------------------------------------------------------------------
+# Equivalence with the legacy free functions
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("city_index", [0, 1, 2])
+def test_sssp_equals_legacy(city_index):
+    network = _cities()[city_index]
+    engine = SearchEngine(network)
+    for source in (0, network.num_nodes // 2, network.num_nodes - 1):
+        assert engine.sssp(source) == shortest_path_costs(network, source)
+
+
+@pytest.mark.parametrize("city_index", [0, 1, 2])
+def test_bounded_sssp_equals_legacy(city_index):
+    network = _cities()[city_index]
+    engine = SearchEngine(network)
+    source = network.num_nodes // 3
+    for bound in (0.0, 0.5, 2.0, 10.0):
+        assert engine.sssp(source, max_cost=bound) == shortest_path_costs(
+            network, source, max_cost=bound
+        )
+
+
+@pytest.mark.parametrize("city_index", [0, 1, 2])
+def test_multi_source_equals_legacy(city_index):
+    network = _cities()[city_index]
+    engine = SearchEngine(network)
+    sources = [0, network.num_nodes // 2, network.num_nodes - 1]
+    assert engine.multi_source(sources) == multi_source_costs(network, sources)
+    assert engine.multi_source(sources, max_cost=1.5) == multi_source_costs(
+        network, sources, max_cost=1.5
+    )
+
+
+@pytest.mark.parametrize("city_index", [0, 1, 2])
+def test_path_and_distance_equal_legacy(city_index):
+    network = _cities()[city_index]
+    engine = SearchEngine(network)
+    pairs = [(0, network.num_nodes - 1), (1, network.num_nodes // 2)]
+    for source, target in pairs:
+        legacy_path, legacy_cost = shortest_path(network, source, target)
+        got_path, got_cost = engine.path(source, target)
+        assert list(got_path) == legacy_path
+        assert got_cost == legacy_cost
+        assert engine.distance(source, target) == distance_between(
+            network, source, target
+        )
+
+
+def test_nearest_equals_legacy(network, engine):
+    targets = {3, 11, 17}
+    is_target = lambda v: v in targets  # noqa: E731
+    for source in (0, 7, 20):
+        assert engine.nearest(source, is_target) == search_to_nearest(
+            network, source, is_target
+        )
+
+
+def test_query_search_equals_legacy(network, engine):
+    n = network.num_nodes
+    is_existing = [v % 7 == 0 for v in range(n)]
+    is_candidate = [v % 3 == 1 for v in range(n)]
+    for query in (2, 9, n - 1):
+        assert engine.query_search(query, is_existing, is_candidate) == (
+            query_preprocessing_search(network, query, is_existing, is_candidate)
+        )
+
+
+def test_incremental_nearest_equals_legacy(network, engine):
+    legacy = IncrementalNearestDistance(network)
+    ours = engine.incremental_nearest()
+    for source in (4, 18, 9):
+        legacy.add_source(source)
+        ours.add_source(source)
+        assert ours.distance == legacy.distance
+    assert list(ours.sources) == list(legacy.sources)
+
+
+def test_nodes_within_ball_is_correct(network, engine):
+    source = 6
+    radius = 1.0
+    ball = engine.nodes_within(source, radius)
+    full = shortest_path_costs(network, source)
+    expected = {v for v in network.nodes() if v != source and full[v] <= radius + 1e-9}
+    assert {v for v, _ in ball} == expected
+    for v, d in ball:
+        assert d == full[v]
+
+
+# ----------------------------------------------------------------------
+# Caching
+# ----------------------------------------------------------------------
+
+
+def test_sssp_row_is_cached(engine):
+    first = engine.sssp(0)
+    info = engine.cache_info()
+    assert info.misses == 1 and info.hits == 0
+    second = engine.sssp(0)
+    assert second is first
+    assert engine.cache_info().hits == 1
+
+
+def test_bounded_row_derived_from_cached_full_row(engine):
+    engine.sssp(0)
+    stats_before = engine.total_stats()
+    bounded = engine.sssp(0, max_cost=1.0)
+    # Deriving the bounded row from the cached full row runs no search.
+    assert engine.total_stats().searches == stats_before.searches
+    assert engine.cache_info().hits >= 1
+    assert all(
+        d == math.inf or d <= 1.0 + 1e-9 for d in bounded
+    )
+
+
+def test_lru_eviction_with_tiny_cache(network):
+    engine = SearchEngine(network, cache_size=2)
+    engine.sssp(0)
+    engine.sssp(1)
+    engine.sssp(2)  # evicts the row for source 0
+    assert engine.cache_info().evictions == 1
+    row1 = engine.sssp(1)  # still resident
+    hits = engine.cache_info().hits
+    assert hits == 1
+    engine.sssp(0)  # re-miss after eviction
+    assert engine.cache_info().misses == 4
+
+
+def test_uncached_flag_bypasses_the_store(engine):
+    engine.sssp(0, cached=False)
+    info = engine.cache_info()
+    assert info.rows == 0
+    assert info.misses == 0 and info.hits == 0
+
+
+def test_clear_cache(engine):
+    engine.sssp(0)
+    engine.path(0, 5)
+    assert engine.cache_info().rows >= 1
+    engine.clear_cache()
+    info = engine.cache_info()
+    assert info.rows == 0 and info.points == 0
+
+
+# ----------------------------------------------------------------------
+# Statistics accounting
+# ----------------------------------------------------------------------
+
+
+def test_stats_accumulate_per_phase(engine):
+    engine.sssp(0, phase="preprocess")
+    engine.sssp(1, phase="selection")
+    engine.sssp(1, phase="selection")  # cache hit
+    stats = engine.stats
+    assert stats["preprocess"].searches == 1
+    # The repeated call is served from the cache: it counts as a hit,
+    # not as a search actually run.
+    assert stats["selection"].searches == 1
+    assert stats["selection"].cache_hits == 1
+    assert stats["preprocess"].settled > 0
+    assert stats["preprocess"].pushes > 0
+    total = engine.total_stats()
+    assert total.searches == 2
+    assert total.cache_hits == 1
+
+
+def test_truncated_counter_on_bounded_search(engine):
+    engine.sssp(0, max_cost=0.3, phase="bounded")
+    assert engine.stats["bounded"].truncated > 0
+
+
+def test_snapshot_delta(engine):
+    engine.sssp(0, phase="a")
+    base = engine.snapshot()
+    engine.sssp(1, phase="b")
+    delta = engine.stats_since(base)
+    assert "a" not in delta  # no new work in phase a
+    assert delta["b"].searches == 1
+
+
+def test_stats_arithmetic():
+    a = SearchStats(searches=2, cache_hits=1, settled=10, pushes=12, truncated=3)
+    b = SearchStats(searches=1, cache_hits=0, settled=4, pushes=5, truncated=1)
+    s = a + b
+    assert (s.searches, s.settled) == (3, 14)
+    d = s - b
+    assert d.as_dict() == a.as_dict()
+    assert bool(SearchStats()) is False
+    assert bool(a) is True
+
+
+def test_reset_stats(engine):
+    engine.sssp(0, phase="x")
+    engine.reset_stats()
+    assert engine.stats == {}
+    assert not engine.total_stats()
+
+
+# ----------------------------------------------------------------------
+# Invalidation on graph mutation
+# ----------------------------------------------------------------------
+
+
+def test_mutation_invalidates_cache_and_rebuilds_csr():
+    coords = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (1.0, 1.0)]
+    edges = [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]
+    network = RoadNetwork(coords, edges)
+    engine = SearchEngine(network)
+    before = engine.sssp(0)
+    assert before[3] == pytest.approx(3.0)
+    network.add_edge(0, 3, 0.5)
+    after = engine.sssp(0)
+    assert after[3] == pytest.approx(0.5)
+    assert after == shortest_path_costs(network, 0)
+    assert engine.cache_info().invalidations == 1
+
+
+def test_edge_recost_invalidates():
+    coords = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]
+    edges = [(0, 1, 1.0), (1, 2, 1.0)]
+    network = RoadNetwork(coords, edges)
+    engine = SearchEngine(network)
+    assert engine.distance(0, 2) == pytest.approx(2.0)
+    network.set_edge_cost(1, 2, 5.0)
+    assert engine.distance(0, 2) == pytest.approx(6.0)
+    assert engine.distance(0, 2) == distance_between(network, 0, 2)
+
+
+def test_engine_for_is_shared_per_network(network):
+    first = engine_for(network)
+    second = engine_for(network)
+    assert first is second
+    other = grid_city(4, 4, seed=9)
+    assert engine_for(other) is not first

@@ -111,3 +111,40 @@ def test_adding_sources_never_increases_distance(network, seed):
         for v in network.nodes():
             assert incremental.distance[v] <= previous[v] + 1e-12
         previous = list(incremental.distance)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    network=connected_networks(),
+    seed=st.integers(0, 10 ** 6),
+    max_cost=st.floats(min_value=0.0, max_value=20.0),
+)
+def test_bounded_sssp_agrees_with_unbounded_within_bound(network, seed, max_cost):
+    """The cost-bounded search must return exactly the unbounded
+    distances for nodes within the bound and inf beyond it."""
+    source = seed % network.num_nodes
+    full = shortest_path_costs(network, source)
+    bounded = shortest_path_costs(network, source, max_cost=max_cost)
+    for v in network.nodes():
+        if full[v] <= max_cost + 1e-9:
+            assert bounded[v] == full[v]
+        else:
+            assert bounded[v] == math.inf
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    network=connected_networks(),
+    seed=st.integers(0, 10 ** 6),
+    max_cost=st.floats(min_value=0.0, max_value=20.0),
+)
+def test_bounded_multi_source_agrees_with_unbounded(network, seed, max_cost):
+    n = network.num_nodes
+    sources = sorted({seed % n, (seed // 5) % n, (seed // 23) % n})
+    full = multi_source_costs(network, sources)
+    bounded = multi_source_costs(network, sources, max_cost=max_cost)
+    for v in network.nodes():
+        if full[v] <= max_cost + 1e-9:
+            assert bounded[v] == full[v]
+        else:
+            assert bounded[v] == math.inf

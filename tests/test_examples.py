@@ -5,6 +5,7 @@ user would run it) with a generous timeout.  These are the slowest
 tests in the suite; run ``pytest -m "not examples"`` to skip them.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -12,8 +13,29 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = EXAMPLES_DIR.parent / "src"
 
 EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _example_env():
+    """The child interpreter's environment.
+
+    The examples import ``repro``; when running from a source checkout
+    the package lives under ``src/``, which the child process does not
+    inherit from pytest's own import setup.  Prepending ``src`` to
+    PYTHONPATH covers the checkout case and is harmless when ``repro``
+    is pip-installed (the installed package still wins site-packages
+    resolution order only if ``src`` is absent — and when both exist
+    they are the same code).
+    """
+    env = dict(os.environ)
+    if SRC_DIR.is_dir():
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            f"{SRC_DIR}{os.pathsep}{existing}" if existing else str(SRC_DIR)
+        )
+    return env
 
 
 def test_all_examples_discovered():
@@ -30,6 +52,7 @@ def test_example_runs(name, tmp_path):
         text=True,
         timeout=420,
         cwd=tmp_path,  # artefacts (SVGs) land in the temp dir
+        env=_example_env(),
     )
     assert result.returncode == 0, (
         f"{name} failed\nstdout:\n{result.stdout[-2000:]}\n"
