@@ -79,6 +79,6 @@ def node_frequencies(trajectories: Sequence[Trajectory]) -> Dict[int, int]:
     counts a node once)."""
     counts: Counter = Counter()
     for path in trajectories:
-        for node in set(path):
+        for node in dict.fromkeys(path):
             counts[node] += 1
     return dict(counts)

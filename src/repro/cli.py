@@ -9,7 +9,9 @@ describes (adjust the input, re-plan, inspect):
 * ``sweep``   — run the effect-of-K experiment (EBRR + both baselines)
   and print the Fig. 7/8/13-style series, optionally exporting CSV;
 * ``case-study`` — plan one route on ridership-style demand and write
-  the Figs. 1/12-style artefacts (SVG map + GeoJSON route).
+  the Figs. 1/12-style artefacts (SVG map + GeoJSON route);
+* ``lint`` — run reprolint, the repo's AST-based architectural
+  invariant checker (see :mod:`repro.lint` and DESIGN.md).
 
 Real-data workflows go through the library API (see README); the CLI
 exists for instant, zero-code reproduction.
@@ -27,6 +29,7 @@ from .datasets.registry import available_cities, load_city
 from .eval.experiments import calibrated_alpha, dataset_statistics, effect_of_k
 from .eval.export import rows_to_csv
 from .eval.reporting import format_series, format_table
+from .lint.report import format_names as lint_format_names
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,6 +86,20 @@ def build_parser() -> argparse.ArgumentParser:
                       help="output SVG map path")
     case.add_argument("--geojson", type=str, default=None,
                       help="optional output GeoJSON path")
+
+    lint = sub.add_parser(
+        "lint", help="check the source against the RL001-RL006 invariants"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=lint_format_names(), default="text",
+                      help="output format (default: text)")
+    lint.add_argument("--select", type=str, default=None, metavar="IDS",
+                      help="comma-separated rule ids to run")
+    lint.add_argument("--no-config", action="store_true",
+                      help="ignore [tool.reprolint] in pyproject.toml")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rules and exit")
     return parser
 
 
@@ -97,6 +114,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "case-study":
         return _cmd_case_study(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return 2  # unreachable: argparse enforces the choices
 
 
@@ -105,6 +124,20 @@ def _cmd_stats(args) -> int:
     rows = dataset_statistics([dataset])
     print(format_table(rows, title="Dataset statistics (Table II layout)"))
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from .lint.cli import main as lint_main
+
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.select is not None:
+        argv += ["--select", args.select]
+    if args.no_config:
+        argv.append("--no-config")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
 
 
 def _cmd_plan(args) -> int:

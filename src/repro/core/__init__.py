@@ -23,6 +23,7 @@ from .config import EBRRConfig
 from .diagnostics import explain_result, selection_table
 from .ebrr import evaluate_route, plan_route
 from .multi_route import MultiRouteResult, plan_routes
+from .numeric import close, is_zero
 from .update import UpdateStats, update_preprocess
 from .exact import optimal_stop_set
 from .postprocess import PostprocessResult, postprocess_route
@@ -40,6 +41,8 @@ from .utility import BRRInstance
 
 __all__ = [
     "BRRInstance",
+    "close",
+    "is_zero",
     "EBRRConfig",
     "plan_route",
     "plan_routes",

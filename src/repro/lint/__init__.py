@@ -1,0 +1,42 @@
+"""reprolint — static enforcement of this repo's architectural invariants.
+
+PR 1 centralised every graph search behind the cached
+:class:`~repro.network.engine.SearchEngine`; correctness now rests on
+conventions (no engine bypasses, version-bumped graph mutation,
+deterministic iteration, tolerant float comparison) that code review
+alone cannot guarantee.  This package turns them into CI failures:
+
+* ``python -m repro.lint [paths]`` or ``repro lint [paths]``;
+* rules RL001–RL006 (see ``--list-rules`` and DESIGN.md);
+* output formats ``text``, ``json``, ``github`` (inline PR annotations);
+* per-line ``# reprolint: disable=RL003`` and per-file
+  ``# reprolint: disable-file=RL001`` suppressions;
+* repo policy in ``pyproject.toml`` under ``[tool.reprolint]``.
+
+The analyzer is stdlib-only (``ast`` + optional ``tomllib``) so the
+lint gate runs on any interpreter the package supports.
+"""
+
+from .analyzer import check_paths, check_source, iter_python_files
+from .cli import main
+from .config import LintConfig, load_config
+from .registry import FileContext, Rule, all_rules, known_rule_ids, register
+from .report import render
+from .violations import META_RULE_ID, Violation
+
+__all__ = [
+    "META_RULE_ID",
+    "FileContext",
+    "LintConfig",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "check_paths",
+    "check_source",
+    "iter_python_files",
+    "known_rule_ids",
+    "load_config",
+    "main",
+    "register",
+    "render",
+]

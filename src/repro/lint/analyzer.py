@@ -1,0 +1,129 @@
+"""The analysis driver: files in, sorted violations out.
+
+One :func:`check_paths` call expands the given files/directories to
+``*.py`` files, parses each once, runs every applicable rule over the
+tree, filters through the file's inline suppressions, and returns one
+sorted violation list.  :func:`check_source` is the same pipeline for an
+in-memory snippet — the fixture tests and editor integrations use it.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, List, Optional, Sequence
+
+from .config import LintConfig
+from .registry import FileContext, all_rules
+from .suppressions import parse_suppressions
+from .violations import META_RULE_ID, Violation
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files and directories to a sorted list of ``.py`` files.
+
+    Raises:
+        FileNotFoundError: if a given path does not exist.
+    """
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                files.extend(
+                    os.path.join(dirpath, name)
+                    for name in sorted(filenames)
+                    if name.endswith(".py")
+                )
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(dict.fromkeys(files))
+
+
+def check_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    config: Optional[LintConfig] = None,
+    select: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Lint one source string.
+
+    Args:
+        source: Python source text.
+        path: path to attribute violations to (and to match rule
+            excludes against).
+        config: resolved configuration; defaults to all rules on.
+        select: restrict to these rule ids (after config filtering);
+            ``None`` means all registered rules.
+
+    Returns:
+        Sorted violations, including suppression problems and — as a
+        :data:`~repro.lint.violations.META_RULE_ID` entry — syntax
+        errors.
+    """
+    config = config or LintConfig()
+    known = all_rules()
+    rules = known
+    if select is not None:
+        wanted = set(select)
+        rules = {rid: cls for rid, cls in known.items() if rid in wanted}
+    source_lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=path,
+                line=exc.lineno or 1,
+                column=(exc.offset or 1) - 1,
+                rule_id=META_RULE_ID,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    suppressions = parse_suppressions(path, source_lines, known)
+    violations: List[Violation] = list(suppressions.problems)
+    for rule_id, rule_cls in rules.items():
+        if not config.rule_applies(rule_id, path):
+            continue
+        context = FileContext(path=path, tree=tree, source_lines=source_lines)
+        rule_cls(context).run()
+        violations.extend(
+            v for v in context.violations if not suppressions.is_suppressed(v)
+        )
+    return sorted(violations)
+
+
+def check_paths(
+    paths: Sequence[str],
+    *,
+    config: Optional[LintConfig] = None,
+    select: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Lint files and directory trees; the union of per-file results."""
+    config = config or LintConfig()
+    violations: List[Violation] = []
+    for filename in iter_python_files(paths):
+        if config.path_excluded(filename):
+            continue
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            violations.append(
+                Violation(
+                    path=filename,
+                    line=1,
+                    column=0,
+                    rule_id=META_RULE_ID,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        violations.extend(
+            check_source(source, filename, config=config, select=select)
+        )
+    return sorted(violations)

@@ -1,0 +1,80 @@
+"""The ``python -m repro.lint`` / ``repro lint`` command line.
+
+Exit codes follow CI conventions: 0 clean, 1 violations found, 2 usage
+or environment errors (bad path, unknown rule id).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from .analyzer import check_paths
+from .config import LintConfig, load_config
+from .registry import all_rules
+from .report import format_names, render
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=(
+            "reprolint: AST-based checker for this repo's architectural "
+            "invariants (engine-routed searches, cache-safe graph "
+            "mutation, deterministic iteration, tolerant float compares)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=format_names(), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select", type=str, default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all enabled)",
+    )
+    parser.add_argument(
+        "--no-config", action="store_true",
+        help="ignore [tool.reprolint] in pyproject.toml",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def list_rules() -> str:
+    lines = []
+    for rule_id, rule_cls in all_rules().items():
+        lines.append(f"{rule_id}  {rule_cls.title}")
+        lines.append(f"       {rule_cls.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    select: Optional[List[str]] = None
+    if args.select is not None:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+        unknown = sorted(set(select) - set(all_rules()))
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(unknown)}")
+            return 2
+    config = LintConfig() if args.no_config else load_config()
+    try:
+        violations = check_paths(args.paths, config=config, select=select)
+    except FileNotFoundError as exc:
+        print(str(exc))
+        return 2
+    output = render(violations, args.format)
+    if output:
+        print(output)
+    return 1 if violations else 0

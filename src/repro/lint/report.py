@@ -1,0 +1,69 @@
+"""Violation reporters: human text, JSON, and GitHub annotations."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Callable, Dict, List, Sequence
+
+from .violations import Violation
+
+
+def render_text(violations: Sequence[Violation]) -> str:
+    """``path:line:col: RLxxx message`` lines plus a tally footer."""
+    if not violations:
+        return "reprolint: clean"
+    lines = [v.format() for v in violations]
+    by_rule = Counter(v.rule_id for v in violations)
+    tally = ", ".join(f"{rule}×{count}" for rule, count in sorted(by_rule.items()))
+    lines.append(f"reprolint: {len(violations)} violation(s) ({tally})")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation]) -> str:
+    """A machine-readable document: counts plus the violation list."""
+    return json.dumps(
+        {
+            "violations": [v.as_dict() for v in violations],
+            "count": len(violations),
+            "by_rule": dict(
+                sorted(Counter(v.rule_id for v in violations).items())
+            ),
+        },
+        indent=2,
+    )
+
+
+def render_github(violations: Sequence[Violation]) -> str:
+    """GitHub Actions workflow commands — one ``::error`` per violation,
+    so findings surface inline on the PR diff."""
+    lines = []
+    for v in violations:
+        message = v.message.replace("%", "%25").replace("\n", "%0A")
+        lines.append(
+            f"::error file={v.path},line={v.line},col={v.column + 1},"
+            f"title=reprolint {v.rule_id}::{message}"
+        )
+    if not violations:
+        lines.append("::notice title=reprolint::clean")
+    return "\n".join(lines)
+
+
+REPORTERS: Dict[str, Callable[[Sequence[Violation]], str]] = {
+    "text": render_text,
+    "json": render_json,
+    "github": render_github,
+}
+
+
+def render(violations: Sequence[Violation], fmt: str = "text") -> str:
+    """Render with the named reporter.
+
+    Raises:
+        KeyError: on an unknown format name.
+    """
+    return REPORTERS[fmt](violations)
+
+
+def format_names() -> List[str]:
+    return sorted(REPORTERS)

@@ -1,0 +1,14 @@
+"""Built-in rule set: this repo's architectural invariants as code.
+
+Importing this package registers every rule (each module's classes are
+decorated with :func:`repro.lint.registry.register`).
+"""
+
+from . import (  # noqa: F401
+    rl001_engine_bypass,
+    rl002_cache_invalidation,
+    rl003_determinism,
+    rl004_float_equality,
+    rl005_mutable_defaults,
+    rl006_wall_clock,
+)

@@ -1,0 +1,77 @@
+"""RL001 — searches must flow through the SearchEngine.
+
+PR 1 routed every shortest-path computation through the cached,
+instrumented :class:`repro.network.engine.SearchEngine`.  A module that
+imports the legacy free functions from :mod:`repro.network.dijkstra`
+bypasses the cache (redundant work), the stats ledger (invisible work),
+and the version-checked CSR snapshot (possibly *stale* work).  The
+sanctioned homes of the legacy API — ``network/engine.py``,
+``network/dijkstra.py`` itself, and the package re-export — are excluded
+via ``[tool.reprolint.rule-excludes]`` / inline suppression, and tests
+may use the free functions to cross-check the engine.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..registry import Rule, register
+
+#: The legacy free-function surface of ``repro.network.dijkstra``.
+LEGACY_NAMES = frozenset(
+    {
+        "shortest_path_costs",
+        "shortest_path",
+        "distance_between",
+        "search_to_nearest",
+        "query_preprocessing_search",
+        "multi_source_costs",
+        "IncrementalNearestDistance",
+    }
+)
+
+_MODULE = "repro.network.dijkstra"
+
+
+@register
+class EngineBypassRule(Rule):
+    rule_id = "RL001"
+    title = "engine-bypass"
+    rationale = (
+        "all graph searches go through repro.network.engine.SearchEngine; "
+        "importing repro.network.dijkstra directly skips the cache, the "
+        "stats ledger, and staleness checks"
+    )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == _MODULE or alias.name.startswith(_MODULE + "."):
+                self.report(
+                    node,
+                    f"direct import of {alias.name}; use "
+                    "repro.network.engine.SearchEngine (engine_for) instead",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        # Absolute or relative spelling of the dijkstra module itself.
+        if module == _MODULE or module.split(".")[-1] == "dijkstra":
+            self.report(
+                node,
+                "import from the legacy dijkstra module; use "
+                "repro.network.engine.SearchEngine (engine_for) instead",
+            )
+        # The re-exported free functions, e.g.
+        # ``from repro.network import shortest_path_costs``.
+        elif module.split(".")[-1] == "network" or module == "repro.network":
+            legacy = sorted(
+                alias.name for alias in node.names if alias.name in LEGACY_NAMES
+            )
+            if legacy:
+                self.report(
+                    node,
+                    f"import of legacy search function(s) {', '.join(legacy)}; "
+                    "use the SearchEngine methods instead",
+                )
+        self.generic_visit(node)

@@ -1,0 +1,108 @@
+"""RL003 — result-affecting code must be deterministic.
+
+The paper's evaluation (§6) reports exact utility ratios and runtimes;
+they reproduce only if every run makes identical decisions.  Two classic
+leaks are flagged:
+
+* calls on the *global* ``random`` / ``numpy.random`` state — seedless
+  by construction from the caller's point of view.  The sanctioned
+  idiom everywhere in this repo is an explicitly seeded generator
+  (``np.random.default_rng(seed)`` / ``random.Random(seed)``) threaded
+  through as a parameter, which this rule deliberately does not flag;
+* iterating directly over a set (literal, comprehension, or ``set()``
+  call) in a ``for`` loop or comprehension — iteration order depends on
+  ``PYTHONHASHSEED`` for strings and on insertion history in general.
+  Sort it (``sorted(...)``) or deduplicate order-preservingly
+  (``dict.fromkeys(...)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Union
+
+from ..registry import Rule, register
+
+#: Constructors that *produce* a seeded generator; calling these on the
+#: random module is how determinism is achieved, not broken.
+_SANCTIONED_CONSTRUCTORS = frozenset(
+    {"Random", "SystemRandom", "default_rng", "Generator", "RandomState", "SeedSequence", "seed"}
+)
+
+_RANDOM_MODULE_NAMES = frozenset({"random"})
+_NUMPY_NAMES = frozenset({"np", "numpy"})
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "frozenset"}
+    )
+
+
+@register
+class DeterminismRule(Rule):
+    rule_id = "RL003"
+    title = "nondeterminism"
+    rationale = (
+        "unseeded global random/numpy.random calls and iteration over bare "
+        "sets make runs irreproducible; thread a seeded generator through "
+        "and sort (or dict.fromkeys) before iterating"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr not in _SANCTIONED_CONSTRUCTORS:
+            value = func.value
+            # random.shuffle(...), random.choice(...), ...
+            if isinstance(value, ast.Name) and value.id in _RANDOM_MODULE_NAMES:
+                self.report(
+                    node,
+                    f"call to global-state random.{func.attr}(); pass an "
+                    "explicitly seeded random.Random(seed) instead",
+                )
+            # np.random.normal(...), numpy.random.permutation(...), ...
+            elif (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in _NUMPY_NAMES
+            ):
+                self.report(
+                    node,
+                    f"call to global-state numpy.random.{func.attr}(); use an "
+                    "explicitly seeded np.random.default_rng(seed) instead",
+                )
+        self.generic_visit(node)
+
+    def _check_iteration(self, iterable: ast.AST) -> None:
+        if _is_set_expression(iterable):
+            self.report(
+                iterable,
+                "iteration over a bare set has hash-dependent order; wrap in "
+                "sorted(...) or deduplicate with dict.fromkeys(...)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(
+        self,
+        node: Union[ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp],
+    ) -> None:
+        for generator in node.generators:
+            self._check_iteration(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension

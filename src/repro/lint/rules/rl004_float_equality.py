@@ -1,0 +1,54 @@
+"""RL004 — no exact equality against float literals.
+
+Costs, utilities, and walk distances in this codebase are sums of many
+float edge weights; ``x == 0.0`` style guards work until a refactor
+changes summation order by one ulp.  Comparisons where any operand is a
+float *literal* are flagged — use :func:`math.isclose` or the shared
+tolerance helpers in :mod:`repro.core.numeric` (``is_zero``, ``close``).
+
+Integer-literal comparisons are not flagged (``count == 0`` is exact),
+and neither are float-to-float variable comparisons: an ``a == b``
+short-circuit for identical objects is a legitimate idiom the rule
+cannot distinguish from a tolerance bug without type information (that
+is mypy's job, not the linter's).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..registry import Rule, register
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    # Cover the negated spelling too: -0.0, -1.5 parse as UnaryOp(USub).
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and type(node.value) is float
+
+
+@register
+class FloatEqualityRule(Rule):
+    rule_id = "RL004"
+    title = "float-equality"
+    rationale = (
+        "exact ==/!= against float literals on cost/utility values breaks "
+        "under ulp-level drift; use math.isclose or repro.core.numeric "
+        "(is_zero, close)"
+    )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[i], operands[i + 1]
+            if _is_float_literal(left) or _is_float_literal(right):
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                self.report(
+                    node,
+                    f"exact float comparison ({symbol} against a float "
+                    "literal); use math.isclose or repro.core.numeric "
+                    "(is_zero / close)",
+                )
+        self.generic_visit(node)

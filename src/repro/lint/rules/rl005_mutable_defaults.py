@@ -1,0 +1,72 @@
+"""RL005 — no mutable default arguments.
+
+A ``def f(acc=[])`` default is evaluated once at definition time and
+shared across calls; in a package whose planners are re-entered across
+K/Q sweeps, state leaking between runs corrupts exactly the determinism
+the evaluation depends on.  Flagged defaults: list/dict/set displays and
+comprehensions, and calls to the bare mutable constructors
+(``list``/``dict``/``set``/``collections.*``).  Use ``None`` plus an
+in-body default, or ``dataclasses.field(default_factory=...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Union
+
+from ..registry import Rule, register
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "Counter", "OrderedDict", "defaultdict", "deque"}
+)
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(
+        node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    rule_id = "RL005"
+    title = "mutable-default-argument"
+    rationale = (
+        "mutable defaults are shared across calls and leak state between "
+        "planner runs; default to None (or field(default_factory=...))"
+    )
+
+    def _check_function(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+    ) -> None:
+        args = node.args
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_literal(default):
+                self.report(
+                    default,
+                    "mutable default argument; use None and create the "
+                    "object inside the function body",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_function(node)
+        self.generic_visit(node)

@@ -11,7 +11,7 @@ from .candidates import candidate_mask, insert_edge_midpoints, node_candidates
 from .contraction import ContractionHierarchy
 from .csr import CSRAdjacency
 from .engine import CacheInfo, IncrementalNearest, SearchEngine, SearchStats, engine_for
-from .dijkstra import (
+from .dijkstra import (  # reprolint: disable=RL001  (public re-export)
     IncrementalNearestDistance,
     distance_between,
     multi_source_costs,

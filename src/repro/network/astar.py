@@ -16,6 +16,11 @@ standard accelerations are provided as substrate:
 
 Both return exactly the Dijkstra answers (the test suite cross-checks
 them); only the explored region differs.
+
+Both ride the shared :class:`~repro.network.engine.SearchEngine`: the
+A* loop iterates the engine's CSR arrays and accounts its work to the
+``astar`` stats phase, and landmark tables are cached engine SSSP rows
+(shared, read-only), so rebuilding an index reuses earlier sweeps.
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ import math
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..exceptions import ConfigurationError, GraphError
-from .dijkstra import shortest_path_costs
+from .engine import engine_for
 from .graph import RoadNetwork
 
 Heuristic = Callable[[int], float]
@@ -65,16 +70,22 @@ def astar_path(
     """
     if heuristic is None:
         heuristic = _euclidean_heuristic(network, target)
+    engine = engine_for(network)
+    csr = engine.csr
+    indptr, targets, costs = csr.indptr, csr.targets, csr.costs
+    stats = engine.counters("astar")
     g: Dict[int, float] = {source: 0.0}
     parent: Dict[int, int] = {}
     heap: List[Tuple[float, int]] = [(heuristic(source), source)]
     settled: set = set()
-    adj = network.neighbors
+    stats.searches += 1
+    stats.pushes += 1
     while heap:
         _, u = heapq.heappop(heap)
         if u in settled:
             continue
         settled.add(u)
+        stats.settled += 1
         if u == target:
             path = [target]
             while path[-1] != source:
@@ -82,12 +93,14 @@ def astar_path(
             path.reverse()
             return path, g[target]
         gu = g[u]
-        for v, cost in adj(u):
-            ng = gu + cost
+        for i in range(indptr[u], indptr[u + 1]):
+            v = targets[i]
+            ng = gu + costs[i]
             if ng < g.get(v, math.inf):
                 g[v] = ng
                 parent[v] = u
                 heapq.heappush(heap, (ng + heuristic(v), v))
+                stats.pushes += 1
     raise GraphError(f"node {target} unreachable from {source}")
 
 
@@ -131,12 +144,17 @@ class LandmarkIndex:
         if not (0 <= seed_node < network.num_nodes):
             raise ConfigurationError(f"seed node {seed_node} outside network")
         self._network = network
+        self._engine = engine_for(network)
         self.landmarks: List[int] = []
         self._tables: List[List[float]] = []
 
         # Farthest-point placement (the seed's sweep is only used to
         # pick the first real landmark — the far end of the network).
-        sweep = shortest_path_costs(network, seed_node)
+        # Landmark tables come from the shared engine: SSSP rows are
+        # cached, so rebuilding an index (or an engine phase later
+        # searching from a landmark node) reuses them.  Cached rows are
+        # shared objects — this class only ever reads them.
+        sweep = self._engine.sssp(seed_node, phase="landmarks")
         first = max(
             network.nodes(),
             key=lambda v: sweep[v] if math.isfinite(sweep[v]) else -1.0,
@@ -157,7 +175,7 @@ class LandmarkIndex:
 
     def _add_landmark(self, node: int) -> None:
         self.landmarks.append(node)
-        self._tables.append(shortest_path_costs(self._network, node))
+        self._tables.append(self._engine.sssp(node, phase="landmarks"))
 
     def lower_bound(self, u: int, v: int) -> float:
         """``max_l |d_l(u) − d_l(v)|`` — a valid lower bound of

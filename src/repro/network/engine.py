@@ -228,7 +228,12 @@ class SearchEngine:
             self._points.clear()
             self._info.invalidations += 1
 
-    def _get(self, store: OrderedDict, key: tuple, stats: SearchStats):
+    def _get(
+        self,
+        store: "OrderedDict[tuple, object]",
+        key: tuple,
+        stats: SearchStats,
+    ) -> Optional[object]:
         entry = store.get(key)
         if entry is not None:
             store.move_to_end(key)
@@ -238,7 +243,13 @@ class SearchEngine:
             self._info.misses += 1
         return entry
 
-    def _put(self, store: OrderedDict, key: tuple, value, bound: int) -> None:
+    def _put(
+        self,
+        store: "OrderedDict[tuple, object]",
+        key: tuple,
+        value: object,
+        bound: int,
+    ) -> None:
         store[key] = value
         if len(store) > bound:
             store.popitem(last=False)

@@ -1,0 +1,107 @@
+"""CLI surfaces: ``python -m repro.lint``, ``repro lint``, reporters,
+and exit codes."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint.cli import main as lint_main
+from repro.lint.report import render
+from repro.lint.violations import Violation
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+@pytest.mark.examples
+def test_python_dash_m_repro_lint_src_exits_zero():
+    """The CI gate verbatim: ``python -m repro.lint src`` is clean."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "src"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout
+
+
+def test_lint_main_clean_repo_in_process(capsys):
+    cwd = os.getcwd()
+    os.chdir(REPO_ROOT)
+    try:
+        code = lint_main(["src"])
+    finally:
+        os.chdir(cwd)
+    assert code == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_main_reports_violations(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("from repro.network.dijkstra import shortest_path\n")
+    code = lint_main([str(bad), "--no-config"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "RL001" in out
+
+
+def test_lint_main_json_format(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("x = cost == 0.0\n")
+    code = lint_main([str(bad), "--no-config", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["count"] == 1
+    assert payload["by_rule"] == {"RL004": 1}
+    assert payload["violations"][0]["line"] == 1
+
+
+def test_lint_main_github_format(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("from time import time\n")
+    code = lint_main([str(bad), "--no-config", "--format", "github"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert out.startswith("::error file=")
+    assert "title=reprolint RL006" in out
+
+
+def test_lint_main_exit_codes(tmp_path, capsys):
+    assert lint_main(["--list-rules"]) == 0
+    assert lint_main([str(tmp_path / "missing.py")]) == 2
+    assert lint_main(["--select", "RL999", str(tmp_path)]) == 2
+    capsys.readouterr()
+
+
+def test_repro_cli_lint_subcommand(tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text("from repro.network.engine import engine_for\n")
+    assert repro_main(["lint", str(good), "--no-config"]) == 0
+    bad = tmp_path / "bad.py"
+    bad.write_text("import repro.network.dijkstra\n")
+    assert repro_main(["lint", str(bad), "--no-config"]) == 1
+    out = capsys.readouterr().out
+    assert "RL001" in out
+
+
+def test_repro_cli_lint_list_rules(capsys):
+    assert repro_main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]:
+        assert rule_id in out
+
+
+def test_render_unknown_format_raises():
+    violation = Violation("f.py", 1, 0, "RL001", "msg")
+    with pytest.raises(KeyError):
+        render([violation], "xml")

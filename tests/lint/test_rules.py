@@ -1,0 +1,234 @@
+"""Fixture-snippet tests: every rule fires on a violating snippet and
+stays silent on the compliant rewrite."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import check_source
+
+
+def lint(snippet, **kwargs):
+    return check_source(textwrap.dedent(snippet), path="snippet.py", **kwargs)
+
+
+def rule_ids(snippet, **kwargs):
+    return [v.rule_id for v in lint(snippet, **kwargs)]
+
+
+# ----------------------------------------------------------------------
+# RL001 — engine bypass
+# ----------------------------------------------------------------------
+
+RL001_POSITIVES = [
+    "from repro.network.dijkstra import shortest_path_costs\n",
+    "from .dijkstra import shortest_path_costs\n",
+    "from ..network.dijkstra import multi_source_costs\n",
+    "import repro.network.dijkstra\n",
+    "import repro.network.dijkstra as legacy\n",
+    "from repro.network import shortest_path_costs\n",
+    "from .network import IncrementalNearestDistance\n",
+]
+
+
+@pytest.mark.parametrize("snippet", RL001_POSITIVES)
+def test_rl001_fires(snippet):
+    assert rule_ids(snippet) == ["RL001"]
+
+
+def test_rl001_silent_on_engine_usage():
+    snippet = """
+        from repro.network.engine import engine_for
+
+        def plan(network, source):
+            return engine_for(network).sssp(source, phase="plan")
+    """
+    assert rule_ids(snippet) == []
+
+
+def test_rl001_silent_on_unrelated_network_import():
+    assert rule_ids("from repro.network import RoadNetwork, engine_for\n") == []
+
+
+# ----------------------------------------------------------------------
+# RL002 — cache-invalidation hazard
+# ----------------------------------------------------------------------
+
+
+def test_rl002_fires_on_foreign_writes():
+    snippet = """
+        def corrupt(network, u, v, cost):
+            network._adj[u].append((v, cost))
+            network._edge_costs[(u, v)] = cost
+            network._version += 1
+            del network._coords[u]
+    """
+    assert rule_ids(snippet) == ["RL002"] * 4
+
+
+def test_rl002_fires_through_attribute_chains():
+    snippet = """
+        class Planner:
+            def sneak(self, u, v, cost):
+                self._network._adj[u].append((v, cost))
+    """
+    assert rule_ids(snippet) == ["RL002"]
+
+
+def test_rl002_silent_on_own_state_and_reads():
+    snippet = """
+        class Clustering:
+            def __init__(self, coords):
+                self._coords = list(coords)
+                self._adj = {}
+
+            def rebuild(self):
+                self._coords.sort()
+
+        def read_only(network):
+            return len(network._adj), dict(network._edge_costs)
+    """
+    assert rule_ids(snippet) == []
+
+
+def test_rl002_silent_on_sanctioned_mutators():
+    snippet = """
+        def widen(network, u, v, cost):
+            network.add_edge(u, v, cost)
+            network.set_edge_cost(u, v, 2.0 * cost)
+    """
+    assert rule_ids(snippet) == []
+
+
+# ----------------------------------------------------------------------
+# RL003 — nondeterminism
+# ----------------------------------------------------------------------
+
+
+def test_rl003_fires_on_global_rng():
+    snippet = """
+        import random
+        import numpy as np
+
+        def jitter(xs):
+            random.shuffle(xs)
+            return xs[0] + np.random.normal()
+    """
+    assert rule_ids(snippet) == ["RL003", "RL003"]
+
+
+def test_rl003_fires_on_bare_set_iteration():
+    assert rule_ids("for node in set(path):\n    print(node)\n") == ["RL003"]
+    assert rule_ids("result = [f(x) for x in {1, 2, 3}]\n") == ["RL003"]
+
+
+def test_rl003_silent_on_seeded_generators_and_sorted_sets():
+    snippet = """
+        import random
+        import numpy as np
+
+        def sample(seed, items):
+            rng = np.random.default_rng(seed)
+            local = random.Random(seed)
+            order = sorted(set(items))
+            for node in order:
+                pass
+            return rng.normal() + local.random()
+    """
+    assert rule_ids(snippet) == []
+
+
+def test_rl003_silent_on_set_membership():
+    # Membership tests are order-independent; only iteration is flagged.
+    assert rule_ids("hit = [h for h in hours if h not in set(night)]\n") == []
+
+
+# ----------------------------------------------------------------------
+# RL004 — float equality
+# ----------------------------------------------------------------------
+
+
+def test_rl004_fires_on_float_literal_comparison():
+    assert rule_ids("ok = cost == 0.0\n") == ["RL004"]
+    assert rule_ids("bad = 1.5 != utility\n") == ["RL004"]
+    assert rule_ids("neg = walk == -0.0\n") == ["RL004"]
+
+
+def test_rl004_silent_on_tolerant_and_integer_compares():
+    snippet = """
+        import math
+        from repro.core.numeric import is_zero
+
+        def guard(cost, count):
+            return is_zero(cost) or math.isclose(cost, 1.0) or count == 0
+    """
+    assert rule_ids(snippet) == []
+
+
+def test_rl004_silent_on_ordering_compares():
+    assert rule_ids("better = cost < 0.5 or cost >= 1.0\n") == []
+
+
+# ----------------------------------------------------------------------
+# RL005 — mutable default arguments
+# ----------------------------------------------------------------------
+
+
+def test_rl005_fires_on_mutable_defaults():
+    snippet = """
+        def accumulate(x, acc=[]):
+            acc.append(x)
+            return acc
+
+        def index(key, table={}):
+            return table.setdefault(key, set())
+
+        def pick(xs, seen=set()):
+            return [x for x in xs if x not in seen]
+    """
+    assert rule_ids(snippet) == ["RL005"] * 3
+
+
+def test_rl005_silent_on_none_default():
+    snippet = """
+        def accumulate(x, acc=None):
+            if acc is None:
+                acc = []
+            acc.append(x)
+            return acc
+    """
+    assert rule_ids(snippet) == []
+
+
+# ----------------------------------------------------------------------
+# RL006 — wall-clock timing
+# ----------------------------------------------------------------------
+
+
+def test_rl006_fires_on_time_time():
+    snippet = """
+        import time
+
+        def run(f):
+            start = time.time()
+            f()
+            return time.time() - start
+    """
+    assert rule_ids(snippet) == ["RL006", "RL006"]
+
+
+def test_rl006_fires_on_from_time_import_time():
+    assert rule_ids("from time import time\n") == ["RL006"]
+
+
+def test_rl006_silent_on_perf_counter():
+    snippet = """
+        import time
+        from time import perf_counter
+
+        def run(f):
+            start = time.perf_counter()
+            f()
+            return perf_counter() - start
+    """
+    assert rule_ids(snippet) == []

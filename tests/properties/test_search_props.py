@@ -6,9 +6,10 @@ import math
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.network.astar import LandmarkIndex, astar_distance
+from repro.network.astar import LandmarkIndex, astar_distance, astar_path
 from repro.network.contraction import ContractionHierarchy
 from repro.network.dijkstra import shortest_path_costs
+from repro.network.engine import engine_for
 from repro.network.graph import RoadNetwork
 from repro.network.ksp import k_shortest_paths
 
@@ -55,6 +56,44 @@ def test_alt_matches_dijkstra(network, seed):
     costs = shortest_path_costs(network, source)
     for target in range(network.num_nodes):
         assert index.distance(source, target) == pytest.approx(costs[target])
+
+
+@settings(max_examples=20, deadline=None)
+@given(network=planar_networks(), seed=st.integers(0, 10 ** 6))
+def test_astar_engine_equivalence(network, seed):
+    """A* now rides the SearchEngine's CSR: its answers must match the
+    engine's, its work must be accounted to the 'astar' phase, and the
+    heuristic path must produce a valid path of the optimal cost."""
+    engine = engine_for(network)
+    source = seed % network.num_nodes
+    target = (seed // 13) % network.num_nodes
+    row = engine.sssp(source, phase="equivalence")
+    # The engine row is bit-identical to the legacy free function.
+    assert row == shortest_path_costs(network, source)
+    assert astar_distance(network, source, target) == pytest.approx(row[target])
+    if source != target:
+        before = engine.counters("astar").copy()
+        path, cost = astar_path(network, source, target)
+        after = engine.counters("astar")
+        assert after.searches == before.searches + 1
+        assert after.settled > before.settled
+        assert cost == pytest.approx(row[target])
+        assert path[0] == source and path[-1] == target
+        assert network.path_cost(path) == pytest.approx(cost)
+
+
+@settings(max_examples=15, deadline=None)
+@given(network=planar_networks(), seed=st.integers(0, 10 ** 6))
+def test_landmark_tables_ride_the_engine_cache(network, seed):
+    """LandmarkIndex sweeps are engine SSSP rows: bit-identical to the
+    legacy Dijkstra and shared with (not recomputed by) the cache."""
+    index = LandmarkIndex(network, num_landmarks=2, seed_node=seed % network.num_nodes)
+    engine = engine_for(network)
+    for landmark, table in zip(index.landmarks, index._tables):
+        assert table == shortest_path_costs(network, landmark)
+        # A later engine query from the same landmark is a cache hit
+        # returning the very same row object.
+        assert engine.sssp(landmark, phase="reuse") is table
 
 
 @settings(max_examples=15, deadline=None)

@@ -1,0 +1,44 @@
+"""The mypy ratchet gate.
+
+``pyproject.toml`` holds the strict module list ([[tool.mypy.overrides]]
+with ``disallow_untyped_defs``); this test runs mypy over the package
+and fails on any reported error — which, given the ratchet config, can
+only come from the strict modules.  Skipped when mypy is not installed
+(it is an optional tool, installed by the CI typecheck job).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.mark.examples
+def test_mypy_strict_modules_are_clean():
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--config-file",
+            os.path.join(REPO_ROOT, "pyproject.toml"),
+            os.path.join(REPO_ROOT, "src", "repro"),
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_py_typed_marker_ships_with_the_package():
+    import repro
+
+    package_dir = os.path.dirname(repro.__file__)
+    assert os.path.isfile(os.path.join(package_dir, "py.typed"))
