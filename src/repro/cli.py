@@ -67,6 +67,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print per-phase graph-search statistics "
                            "(searches, cache hits, settled nodes) and "
                            "the engine cache summary")
+    plan.add_argument("--workers", type=int, default=1,
+                      help="process-pool size for the Algorithm 2 fan-out "
+                           "(1 = serial; results are bit-identical)")
 
     sweep = sub.add_parser("sweep", help="effect-of-K experiment (Figs. 7/8/13)")
     add_city_args(sweep)
@@ -75,6 +78,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("-c", "--max-adjacent-cost", type=float, default=2.0)
     sweep.add_argument("--csv", type=str, default=None,
                        help="also export the rows to this CSV file")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="process-pool size: parallelizes preprocessing "
+                           "and fans the per-K EBRR runs over workers")
 
     case = sub.add_parser(
         "case-study", help="plan a route and write SVG + GeoJSON artefacts"
@@ -88,7 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="optional output GeoJSON path")
 
     lint = sub.add_parser(
-        "lint", help="check the source against the RL001-RL006 invariants"
+        "lint", help="check the source against the RL001-RL007 invariants"
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
@@ -148,6 +154,7 @@ def _cmd_plan(args) -> int:
         max_stops=args.max_stops,
         max_adjacent_cost=args.max_adjacent_cost,
         alpha=alpha,
+        workers=args.workers,
     )
     result = plan_route(instance, config)
     print(f"{dataset.name} (scale {args.scale}), alpha={alpha:.2f}")
@@ -191,7 +198,8 @@ def _cmd_sweep(args) -> int:
     dataset = load_city(args.city, scale=args.scale)
     alpha = calibrated_alpha(dataset)
     rows = effect_of_k(
-        dataset, ks, alpha=alpha, max_adjacent_cost=args.max_adjacent_cost
+        dataset, ks, alpha=alpha, max_adjacent_cost=args.max_adjacent_cost,
+        workers=args.workers,
     )
     for value, title in (
         ("walk_cost", "Walking cost vs K"),

@@ -47,6 +47,9 @@ class EBRRConfig:
             the "w/o the path refinement" variant.
         price_budget_fraction: the stopping constant of Algorithm 1
             (2/3 by default; exposed for sensitivity studies).
+        workers: process-pool size for the Algorithm 2 fan-out of
+            :mod:`repro.parallel` (``1`` = the serial path; results are
+            bit-identical either way).
     """
 
     max_stops: int
@@ -58,6 +61,7 @@ class EBRRConfig:
     use_lower_bound_price: bool = True
     refine_path: bool = True
     price_budget_fraction: float = DEFAULT_PRICE_BUDGET_FRACTION
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.max_stops < 2:
@@ -74,6 +78,10 @@ class EBRRConfig:
             raise ConfigurationError(
                 "price_budget_fraction must be in (0, 1], got "
                 f"{self.price_budget_fraction}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
             )
 
     @property

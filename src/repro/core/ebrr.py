@@ -71,7 +71,9 @@ def plan_route(
     # Line 1: preprocessing.
     start = time.perf_counter()
     if preprocess is None:
-        preprocess = preprocess_queries(instance, engine=engine)
+        preprocess = preprocess_queries(
+            instance, engine=engine, workers=config.workers
+        )
     timings["preprocess"] = time.perf_counter() - start
 
     # Lines 2-7: greedy selection. (run_selection builds its own state;

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..exceptions import ConfigurationError
 from ..network.engine import SearchEngine, engine_for
 from .utility import BRRInstance
 
@@ -64,7 +65,10 @@ class PreprocessResult:
 
 
 def preprocess_queries(
-    instance: BRRInstance, *, engine: Optional[SearchEngine] = None
+    instance: BRRInstance,
+    *,
+    engine: Optional[SearchEngine] = None,
+    workers: int = 1,
 ) -> PreprocessResult:
     """Run Algorithm 2 on ``instance``.
 
@@ -72,6 +76,11 @@ def preprocess_queries(
         instance: the BRR instance.
         engine: the search engine to run the per-query searches on;
             defaults to the instance network's shared engine.
+        workers: shard the per-query searches across this many worker
+            processes (see :mod:`repro.parallel`).  The default ``1``
+            runs today's serial loop; any value produces bit-identical
+            results, and the worker search counts are folded back into
+            ``engine``'s ``preprocess`` profile either way.
 
     Returns:
         A :class:`PreprocessResult`; see its attribute docs.
@@ -79,24 +88,47 @@ def preprocess_queries(
     Raises:
         GraphError: if some query node cannot reach any existing stop
             (the instance is malformed — Definition 5 needs ``nn(q)``).
+        ConfigurationError: if ``workers < 1`` or a candidate stop is
+            also an existing stop (the utilities of lines 11-16 would
+            silently overwrite each other).
     """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
     result = PreprocessResult()
     if engine is None:
         engine = engine_for(instance.network)
     is_existing = instance.is_existing
     is_candidate = instance.is_candidate
     counts = instance.query_counts
+    _check_disjoint_stops(instance)
 
     # Lines 1-10: one early-terminated Dijkstra per distinct query node.
-    for query_node in counts:
-        nn_stop, nn_dist, visited = engine.query_search(
-            query_node, is_existing, is_candidate, phase="preprocess"
+    if workers > 1:
+        # Deterministic fan-out: rows come back in `counts` order, so
+        # the merged dicts have the same insertion order (and the same
+        # floats) as the serial loop below.
+        from ..parallel.fanout import run_query_searches
+
+        rows, worker_stats = run_query_searches(
+            instance.network, is_existing, is_candidate, list(counts), workers=workers
         )
-        result.nn_distance[query_node] = nn_dist
-        result.searches += 1
-        result.settled_nodes += len(visited) + 1
-        for candidate, dist in visited:
-            result.rnn.setdefault(candidate, []).append((query_node, dist))
+        engine.absorb("preprocess", worker_stats)
+        for query_node, _nn_stop, nn_dist, visited in rows:
+            result.nn_distance[query_node] = nn_dist
+            result.searches += 1
+            result.settled_nodes += len(visited) + 1
+            for candidate, dist in visited:
+                result.rnn.setdefault(candidate, []).append((query_node, dist))
+    else:
+        for query_node in counts:
+            nn_stop, nn_dist, visited = engine.query_search(
+                query_node, is_existing, is_candidate, phase="preprocess"
+            )
+            result.nn_distance[query_node] = nn_dist
+            result.searches += 1
+            result.settled_nodes += len(visited) + 1
+            for candidate, dist in visited:
+                result.rnn.setdefault(candidate, []).append((query_node, dist))
 
     # Lines 11-14: initial utilities of candidate stops.
     for candidate, entries in result.rnn.items():
@@ -113,3 +145,21 @@ def preprocess_queries(
         result.initial_utility[stop] = instance.alpha * instance.transit.degree(stop)
 
     return result
+
+
+def _check_disjoint_stops(instance: BRRInstance) -> None:
+    """Defence in depth for the utility table: a node that is both a
+    candidate and an existing stop would have its walking-gain entry
+    silently overwritten by the ``α · degree`` loop above.
+    :class:`BRRInstance` validates explicit candidate sets, but masks
+    can reach here by other construction paths."""
+    overlap = [
+        node
+        for node in instance.candidates
+        if instance.is_existing[node]
+    ]
+    if overlap:
+        raise ConfigurationError(
+            "candidate stops must be disjoint from existing stops; "
+            f"overlap: {sorted(overlap)[:10]}"
+        )

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..exceptions import ConfigurationError, InfeasibleRouteError
 from ..network.engine import SearchEngine, engine_for
 from .config import EBRRConfig
+from .numeric import close
 from .preprocess import PreprocessResult
 from .price import LowerBoundPrice, price_from_distance
 from .utility import BRRInstance
@@ -241,7 +242,16 @@ def _pick_exhaustive(
         ratio = gain / price
         if config.use_threshold_pruning and ratio > threshold:
             threshold = ratio
-        if best is None or ratio > best[0] or (ratio == best[0] and stop < best[1]):
+        # The lowest-id tie-break must fire on ratios that are equal up
+        # to float noise: two stops with the same true profit can reach
+        # it via different summation orders, and an exact == here would
+        # make the winner depend on ulp-level drift.
+        if best is None:
+            best = (ratio, stop, gain, price)
+        elif close(ratio, best[0]):
+            if stop < best[1]:
+                best = (ratio, stop, gain, price)
+        elif ratio > best[0]:
             best = (ratio, stop, gain, price)
     if best is None:
         return None

@@ -47,6 +47,8 @@ def update_preprocess(
     instance: BRRInstance,
     preprocess: PreprocessResult,
     new_queries: QuerySet,
+    *,
+    workers: int = 1,
 ) -> Tuple[BRRInstance, PreprocessResult, UpdateStats]:
     """Produce the instance + preprocessing for a changed demand.
 
@@ -54,6 +56,9 @@ def update_preprocess(
         instance: the instance ``preprocess`` was computed for.
         preprocess: a full Algorithm 2 result for ``instance``.
         new_queries: the updated demand multiset (same road network).
+        workers: shard the added-node Algorithm 2 searches across this
+            many worker processes (see :mod:`repro.parallel`); ``1``
+            keeps them in-process on the shared engine.
 
     Returns:
         ``(new_instance, new_preprocess, stats)``.  The inputs are not
@@ -87,20 +92,78 @@ def update_preprocess(
         for query_node, dist in entries:
             reverse.setdefault(query_node, []).append((candidate, dist))
 
-    changed = set(old_counts) | set(new_counts)
-    for node in changed:
-        old = old_counts.get(node, 0)
+    # Pass 1 — surviving nodes: rescale contributions by the count delta
+    # and collect fully-removed nodes for one batched retirement sweep.
+    retired: List[int] = []
+    for node, old in old_counts.items():
         new = new_counts.get(node, 0)
         if old == new:
             continue
-        if old == 0:
-            # Brand-new distinct node: one Algorithm 2 search.
-            nn_stop, nn_dist, visited = engine_for(new_instance.network).query_search(
-                node,
+        delta = new - old
+        nn_dist = result.nn_distance[node]
+        for candidate, dist in reverse.get(node, []):
+            result.initial_utility[candidate] += delta * (nn_dist - dist)
+        if new == 0:
+            retired.append(node)
+            stats.removed_nodes += 1
+        else:
+            stats.rescaled_nodes += 1
+
+    # Pass 2 — batched retirement: filter each affected candidate's RNN
+    # list exactly once against the whole retired set (the per-node
+    # rebuild was quadratic in the removal size).  A candidate whose
+    # list empties has lost every contributor, so its utility is pinned
+    # to exactly 0.0 rather than left to the dust clamp below.
+    if retired:
+        retired_set = frozenset(retired)
+        affected = dict.fromkeys(
+            candidate
+            for node in retired
+            for candidate, _ in reverse.get(node, [])
+        )
+        for candidate in affected:
+            survivors = [
+                entry for entry in result.rnn[candidate] if entry[0] not in retired_set
+            ]
+            if survivors:
+                result.rnn[candidate] = survivors
+            else:
+                del result.rnn[candidate]
+                result.initial_utility[candidate] = 0.0
+        for node in retired:
+            reverse.pop(node, None)
+            del result.nn_distance[node]
+
+    # Pass 3 — brand-new distinct nodes: one Algorithm 2 search each,
+    # fanned out across workers when asked (bit-identical either way;
+    # the worker search counts land in the engine's `update` profile).
+    added = [node for node in new_counts if node not in old_counts]
+    if added:
+        engine = engine_for(new_instance.network)
+        rows: List[Tuple[int, int, float, List[Tuple[int, float]]]]
+        if workers > 1:
+            from ..parallel.fanout import run_query_searches
+
+            rows, worker_stats = run_query_searches(
+                new_instance.network,
                 new_instance.is_existing,
                 new_instance.is_candidate,
-                phase="update",
+                added,
+                workers=workers,
             )
+            engine.absorb("update", worker_stats)
+        else:
+            rows = []
+            for node in added:
+                nn_stop, nn_dist, visited = engine.query_search(
+                    node,
+                    new_instance.is_existing,
+                    new_instance.is_candidate,
+                    phase="update",
+                )
+                rows.append((node, nn_stop, nn_dist, list(visited)))
+        for node, _nn_stop, nn_dist, visited in rows:
+            new = new_counts[node]
             result.nn_distance[node] = nn_dist
             result.searches += 1
             result.settled_nodes += len(visited) + 1
@@ -113,26 +176,6 @@ def update_preprocess(
                     result.initial_utility.get(candidate, 0.0)
                     + new * (nn_dist - dist)
                 )
-            continue
-
-        # Existing node: rescale its contributions by the count delta.
-        delta = new - old
-        nn_dist = result.nn_distance[node]
-        for candidate, dist in reverse.get(node, ()):  # type: ignore[arg-type]
-            result.initial_utility[candidate] += delta * (nn_dist - dist)
-        if new == 0:
-            stats.removed_nodes += 1
-            # Retire the node's RNN entries and its nn record.
-            for candidate, _ in reverse.get(node, ()):  # type: ignore[arg-type]
-                result.rnn[candidate] = [
-                    entry for entry in result.rnn[candidate] if entry[0] != node
-                ]
-                if not result.rnn[candidate]:
-                    del result.rnn[candidate]
-            reverse.pop(node, None)
-            del result.nn_distance[node]
-        else:
-            stats.rescaled_nodes += 1
 
     # Clamp float dust: utilities are non-negative by construction.
     for candidate in list(result.initial_utility):

@@ -116,16 +116,20 @@ def effect_of_k(
     max_adjacent_cost: float = 2.0,
     planners: Optional[Sequence[RoutePlanner]] = None,
     seed: int = 0,
+    workers: int = 1,
 ) -> List[Row]:
     """One row per (K, algorithm): walking cost (Fig. 7), connectivity
-    (Fig. 8), and execution time (Fig. 13) on the full demand."""
+    (Fig. 8), and execution time (Fig. 13) on the full demand.
+    ``workers > 1`` fans the Algorithm 2 preprocessing over a process
+    pool (see :mod:`repro.parallel`); the rows are identical."""
     if planners is None:
         planners = default_planners(seed=seed)
     instance = dataset.instance(alpha)
     rows: List[Row] = []
     for k in ks:
         config = EBRRConfig(
-            max_stops=k, max_adjacent_cost=max_adjacent_cost, alpha=alpha
+            max_stops=k, max_adjacent_cost=max_adjacent_cost, alpha=alpha,
+            workers=workers,
         )
         plans = run_planners(instance, config, planners)
         for name, plan in plans.items():

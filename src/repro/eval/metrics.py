@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from typing import Sequence, Tuple
 
+from ..core.numeric import is_zero
 from ..core.utility import BRRInstance
 from ..demand.query import QuerySet
 from ..exceptions import ConfigurationError
@@ -39,7 +40,7 @@ def approximation_ratio(algorithm_utility: float, optimal_utility: float) -> flo
     """``U(B_alg) / U(B_OPT)`` (Fig. 11a); 1.0 when both are zero."""
     if optimal_utility < 0:
         raise ConfigurationError("optimal utility cannot be negative")
-    if optimal_utility == 0:
+    if is_zero(optimal_utility):
         return 1.0
     return algorithm_utility / optimal_utility
 

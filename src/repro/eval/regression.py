@@ -14,7 +14,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from ..core.numeric import is_zero
+from ..core.numeric import close, is_zero
 from ..exceptions import ConfigurationError
 
 Row = Dict[str, object]
@@ -130,7 +130,7 @@ def _index(rows: Sequence[Row], key_columns: Sequence[str]) -> Dict[Tuple, Row]:
 
 
 def _relative_change(before: float, after: float) -> float:
-    if before == after:
+    if close(before, after):
         return 0.0
     if is_zero(before):
         return math.inf if after > 0 else -math.inf

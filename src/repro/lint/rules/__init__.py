@@ -11,4 +11,5 @@ from . import (  # noqa: F401
     rl004_float_equality,
     rl005_mutable_defaults,
     rl006_wall_clock,
+    rl007_float_typed_equality,
 )

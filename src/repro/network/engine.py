@@ -210,6 +210,20 @@ class SearchEngine:
     def reset_stats(self) -> None:
         self._stats.clear()
 
+    def absorb(self, phase: str, stats: SearchStats) -> None:
+        """Fold search work executed *outside* this engine into the
+        ``phase`` counters — the fan-out contract of
+        :mod:`repro.parallel`: worker processes run their chunks on
+        private engines and ship their :class:`SearchStats` back, so the
+        owning engine's profile (``--profile-searches``) reports the
+        same totals wherever the searches actually ran."""
+        counters = self.counters(phase)
+        counters.searches += stats.searches
+        counters.cache_hits += stats.cache_hits
+        counters.settled += stats.settled
+        counters.pushes += stats.pushes
+        counters.truncated += stats.truncated
+
     def cache_info(self) -> CacheInfo:
         info = replace(self._info)  # a snapshot, so before/after pairs compare
         info.rows = len(self._rows)

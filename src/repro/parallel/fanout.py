@@ -1,0 +1,186 @@
+"""Process-pool fan-out for the Algorithm 2 query searches.
+
+Theorem 5's dominant cost is ``|Q| · T1`` — one early-terminated
+Dijkstra per distinct query node — and every one of those searches is
+independent of the others.  This module shards them across worker
+processes with a **deterministic reduce**:
+
+* the caller's node order is preserved end to end.  Nodes are split
+  into contiguous chunks; workers may *finish* in any order, but the
+  pool returns chunk results in submission order and the reduce
+  concatenates them in that order, so the merged output is bit-identical
+  to the serial loop (same floats, same RNN list order, same dict
+  insertion order);
+* each worker process builds its CSR adjacency exactly once — the pool
+  initializer receives the pickled road network (the shared
+  :class:`~repro.network.engine.SearchEngine` is excluded from the
+  pickle by :meth:`RoadNetwork.__getstate__`) and constructs a private
+  engine reused for every chunk the worker is handed;
+* every worker search is counted in a :class:`SearchStats` block that
+  travels back with its chunk, so the owning engine can
+  :meth:`~repro.network.engine.SearchEngine.absorb` the totals and keep
+  ``--profile-searches`` truthful regardless of where the searches ran.
+
+The pool prefers the ``fork`` start method (cheap on Linux — no
+re-import, copy-on-write pages); where ``fork`` is unavailable the
+platform default is used, which works because every worker entry point
+here is a module-level function with picklable arguments.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.context
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from ..network.engine import SearchEngine, SearchStats
+from ..network.graph import RoadNetwork
+
+#: One Algorithm 2 search result: ``(query_node, nn_stop, nn_dist,
+#: [(candidate, dist), ...])`` — exactly what
+#: :meth:`SearchEngine.query_search` returns, keyed by its query node.
+QuerySearchRow = Tuple[int, int, float, List[Tuple[int, float]]]
+
+#: Chunks handed to each worker per pool, for load balancing: small
+#: enough that an unlucky worker is not left holding one giant chunk,
+#: large enough that per-chunk pickling overhead stays negligible.
+CHUNKS_PER_WORKER = 4
+
+# Per-process worker state, installed once by the pool initializer.  A
+# module global is the multiprocessing idiom: the initializer runs in
+# the child process, so nothing here is ever shared between processes.
+_WORKER_ENGINE: Optional[SearchEngine] = None
+_WORKER_EXISTING: Sequence[bool] = ()
+_WORKER_CANDIDATE: Sequence[bool] = ()
+
+#: The stats phase worker engines account their searches to; the parent
+#: engine re-buckets the absorbed totals under its own phase label.
+_WORKER_PHASE = "fanout"
+
+
+def resolve_workers(workers: int) -> int:
+    """Validate a worker count (``>= 1``; 1 means serial)."""
+    count = int(workers)
+    if count < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    return count
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context used by every pool in this package:
+    ``fork`` where the platform offers it, the default otherwise."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def split_chunks(items: Sequence[int], num_chunks: int) -> List[List[int]]:
+    """Split ``items`` into at most ``num_chunks`` contiguous, near-even
+    chunks, preserving order (the deterministic shard of the reduce)."""
+    n = len(items)
+    count = max(1, min(int(num_chunks), n))
+    base, extra = divmod(n, count)
+    chunks: List[List[int]] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        chunks.append(list(items[start : start + size]))
+        start += size
+    return chunks
+
+
+def _init_query_worker(
+    network: RoadNetwork,
+    is_existing: Sequence[bool],
+    is_candidate: Sequence[bool],
+) -> None:
+    """Pool initializer: build the worker's private engine (and its CSR
+    snapshot) exactly once per process."""
+    global _WORKER_ENGINE, _WORKER_EXISTING, _WORKER_CANDIDATE
+    engine = SearchEngine(network)
+    engine.csr  # materialize the flat adjacency up front, not per chunk
+    _WORKER_ENGINE = engine
+    _WORKER_EXISTING = is_existing
+    _WORKER_CANDIDATE = is_candidate
+
+
+def _run_query_chunk(
+    nodes: Sequence[int],
+) -> Tuple[List[QuerySearchRow], SearchStats]:
+    """Worker entry point: run one chunk of Algorithm 2 searches on the
+    process-local engine; returns the rows in chunk order plus the
+    chunk's search-stats delta."""
+    engine = _WORKER_ENGINE
+    if engine is None:  # pragma: no cover - pool misuse, not reachable via API
+        raise ConfigurationError("query-search worker used before initialization")
+    before = engine.counters(_WORKER_PHASE).copy()
+    rows: List[QuerySearchRow] = []
+    for node in nodes:
+        nn_stop, nn_dist, visited = engine.query_search(
+            node, _WORKER_EXISTING, _WORKER_CANDIDATE, phase=_WORKER_PHASE
+        )
+        rows.append((node, nn_stop, nn_dist, list(visited)))
+    return rows, engine.counters(_WORKER_PHASE) - before
+
+
+def run_query_searches(
+    network: RoadNetwork,
+    is_existing: Sequence[bool],
+    is_candidate: Sequence[bool],
+    nodes: Sequence[int],
+    *,
+    workers: int,
+) -> Tuple[List[QuerySearchRow], SearchStats]:
+    """Fan the Algorithm 2 searches for ``nodes`` over a process pool.
+
+    Args:
+        network: the road network (pickled once per worker).
+        is_existing / is_candidate: the instance's stop masks.
+        nodes: the distinct query nodes, in the caller's order.
+        workers: pool size (``1`` runs the loop in-process on a private
+            engine — same outputs, no pool).
+
+    Returns:
+        ``(rows, stats)`` where ``rows`` holds one
+        :data:`QuerySearchRow` per node **in the input order** and
+        ``stats`` sums the search work of every worker.  Both are
+        bit-identical to running the serial loop.
+
+    Raises:
+        GraphError: if some query node cannot reach an existing stop
+            (propagated from the worker's search).
+    """
+    workers = resolve_workers(workers)
+    node_list = list(nodes)
+    if not node_list:
+        return [], SearchStats()
+    if workers == 1:
+        _init_query_worker(network, is_existing, is_candidate)
+        try:
+            return _run_query_chunk(node_list)
+        finally:
+            _reset_worker_state()
+    chunks = split_chunks(node_list, workers * CHUNKS_PER_WORKER)
+    rows: List[QuerySearchRow] = []
+    total = SearchStats()
+    with pool_context().Pool(
+        processes=min(workers, len(chunks)),
+        initializer=_init_query_worker,
+        initargs=(network, list(is_existing), list(is_candidate)),
+    ) as pool:
+        # Pool.map returns chunk results in submission order no matter
+        # which worker finished first: the deterministic reduce.
+        for chunk_rows, chunk_stats in pool.map(_run_query_chunk, chunks):
+            rows.extend(chunk_rows)
+            total = total + chunk_stats
+    return rows, total
+
+
+def _reset_worker_state() -> None:
+    """Drop the in-process worker engine (used by the ``workers=1``
+    fallback so a throwaway engine does not outlive the call)."""
+    global _WORKER_ENGINE, _WORKER_EXISTING, _WORKER_CANDIDATE
+    _WORKER_ENGINE = None
+    _WORKER_EXISTING = ()
+    _WORKER_CANDIDATE = ()

@@ -1,0 +1,140 @@
+"""Batched parameter sweeps over a shared Algorithm 2 preprocessing.
+
+The evaluation section of the paper varies one knob at a time — ``K``,
+``C``, the ablation switches — against a fixed problem instance, and
+every such run repeats the identical preprocessing before diverging.
+:func:`sweep_plans` computes that preprocessing once, ships it to a
+process pool together with the (engine-free) instance pickle, and fans
+the per-config :func:`~repro.core.ebrr.plan_route` calls across
+workers.  Results come back in config order regardless of which worker
+finished first, and each result's per-phase search stats are folded
+into the caller's engine so ``--profile-searches`` reports every
+search the workers actually ran.  The shared ``preprocess`` totals
+match a serial sweep exactly; cache-warmed phases (ordering,
+refinement) may record somewhat *more* work than a serial sweep,
+because workers cannot share one result cache across the grid — the
+routes themselves are identical either way.
+
+Alpha grids are supported only insofar as :func:`plan_route` allows:
+``config.alpha`` must match ``instance.alpha``, so an α sweep needs one
+instance (and one sweep call) per α value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import EBRRConfig
+from ..core.ebrr import plan_route
+from ..core.preprocess import PreprocessResult, preprocess_queries
+from ..core.result import EBRRResult
+from ..core.utility import BRRInstance
+from ..exceptions import ConfigurationError
+from ..network.engine import SearchEngine, SearchStats, engine_for
+from .fanout import pool_context, resolve_workers
+
+# Per-process sweep state, installed by the pool initializer (see
+# fanout.py for why module globals are the right shape here).
+_SWEEP_INSTANCE: Optional[BRRInstance] = None
+_SWEEP_PREPROCESS: Optional[PreprocessResult] = None
+
+SweepTask = Tuple[EBRRConfig, str]
+
+
+def _init_sweep_worker(
+    instance: BRRInstance, preprocess: PreprocessResult
+) -> None:
+    """Pool initializer: unpickle the shared instance + preprocessing
+    once per worker process."""
+    global _SWEEP_INSTANCE, _SWEEP_PREPROCESS
+    _SWEEP_INSTANCE = instance
+    _SWEEP_PREPROCESS = preprocess
+
+
+def _run_sweep_task(task: SweepTask) -> EBRRResult:
+    """Worker entry point: one full EBRR run for one config."""
+    instance, preprocess = _SWEEP_INSTANCE, _SWEEP_PREPROCESS
+    if instance is None or preprocess is None:  # pragma: no cover - pool misuse
+        raise ConfigurationError("sweep worker used before initialization")
+    config, route_id = task
+    return plan_route(instance, config, preprocess=preprocess, route_id=route_id)
+
+
+def sweep_plans(
+    instance: BRRInstance,
+    configs: Sequence[EBRRConfig],
+    *,
+    workers: int = 1,
+    preprocess: Optional[PreprocessResult] = None,
+    route_ids: Optional[Sequence[str]] = None,
+    engine: Optional[SearchEngine] = None,
+) -> List[EBRRResult]:
+    """Plan one route per config, sharing a single preprocessing.
+
+    Args:
+        instance: the BRR instance all configs run against.
+        configs: the parameter grid (e.g. one :class:`EBRRConfig` per
+            ``K`` value).  Every ``config.alpha`` must equal
+            ``instance.alpha`` (:func:`plan_route` enforces this).
+        workers: process-pool size; ``1`` (the default) runs the serial
+            loop in-process — identical results, no pool.
+        preprocess: reuse an existing Algorithm 2 result; computed once
+            here when omitted.
+        route_ids: route identifier per config; defaults to
+            ``sweep-0 .. sweep-(n-1)``.
+        engine: the engine whose ``preprocess`` profile the shared
+            preprocessing (and, for parallel runs, the workers' search
+            work) is accounted to; defaults to the network's shared one.
+
+    Returns:
+        The :class:`EBRRResult` list, index-aligned with ``configs``.
+    """
+    workers = resolve_workers(workers)
+    if route_ids is None:
+        route_ids = [f"sweep-{i}" for i in range(len(configs))]
+    if len(route_ids) != len(configs):
+        raise ConfigurationError(
+            f"route_ids has {len(route_ids)} entries for {len(configs)} configs"
+        )
+    if engine is None:
+        engine = engine_for(instance.network)
+    if preprocess is None:
+        preprocess = preprocess_queries(instance, engine=engine)
+    tasks: List[SweepTask] = list(zip(configs, route_ids))
+    if not tasks:
+        return []
+    if workers == 1:
+        return [
+            plan_route(
+                instance,
+                config,
+                preprocess=preprocess,
+                route_id=route_id,
+                engine=engine,
+            )
+            for config, route_id in tasks
+        ]
+    with pool_context().Pool(
+        processes=min(workers, len(tasks)),
+        initializer=_init_sweep_worker,
+        initargs=(instance, preprocess),
+    ) as pool:
+        results = pool.map(_run_sweep_task, tasks)
+    _fold_back_stats(engine, results)
+    return results
+
+
+def _fold_back_stats(
+    engine: SearchEngine, results: Sequence[EBRRResult]
+) -> None:
+    """Fold each worker run's per-phase search stats into the caller's
+    engine, matching what a serial sweep would have recorded there."""
+    totals: Dict[str, SearchStats] = {}
+    for result in results:
+        for phase, stats in result.search_stats.items():
+            if phase in totals:
+                totals[phase] = totals[phase] + stats
+            else:
+                totals[phase] = stats.copy()
+    for phase, stats in totals.items():
+        engine.absorb(phase, stats)

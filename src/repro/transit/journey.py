@@ -173,52 +173,8 @@ class JourneyPlanner:
         """
         if origin == destination:
             return 0.0
-        csr = self._engine.csr
-        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
-        stats = self._engine.counters("journey")
-        stats.searches += 1
-        dist: Dict[int, float] = {origin: 0.0}
-        heap: List[Tuple[float, int]] = [(0.0, origin)]
-        offset = self._ride_offset
-        while heap:
-            d, u = heapq.heappop(heap)
-            if d > dist.get(u, INF):
-                continue
-            stats.settled += 1
-            if u == destination:
-                return d
-            if u < offset:
-                # walk layer
-                for i in range(indptr[u], indptr[u + 1]):
-                    v = targets[i]
-                    nd = d + costs[i] * self._walk_min_per_km
-                    if nd < dist.get(v, INF):
-                        dist[v] = nd
-                        heapq.heappush(heap, (nd, v))
-                        stats.pushes += 1
-                for state in self._states_at_node.get(u, ()):
-                    nd = d + self._board_min
-                    if nd < dist.get(state, INF):
-                        dist[state] = nd
-                        heapq.heappush(heap, (nd, state))
-                        stats.pushes += 1
-            else:
-                sid = u - offset
-                node = self._ride_node[sid]
-                # alight (free)
-                if d < dist.get(node, INF):
-                    dist[node] = d
-                    heapq.heappush(heap, (d, node))
-                    stats.pushes += 1
-                for nxt, minutes in (self._ride_next[sid], self._ride_prev[sid]):
-                    if nxt >= 0:
-                        nd = d + minutes
-                        state = offset + nxt
-                        if nd < dist.get(state, INF):
-                            dist[state] = nd
-                            heapq.heappush(heap, (nd, state))
-                            stats.pushes += 1
-        return INF
+        dist, _ = self._run_dijkstra(origin, destination)
+        return dist.get(destination, INF)
 
     def average_travel_time(
         self, trips: Sequence[Tuple[int, int]]
@@ -241,7 +197,7 @@ class JourneyPlanner:
         """
         if origin == destination:
             return Itinerary(legs=(), minutes=0.0)
-        dist, parent = self._search_with_parents(origin, destination)
+        dist, parent = self._run_dijkstra(origin, destination)
         if destination not in dist:
             return Itinerary(legs=(), minutes=INF)
         states = [destination]
@@ -250,9 +206,18 @@ class JourneyPlanner:
         states.reverse()
         return self._decode(states, dist)
 
-    def _search_with_parents(
+    def _run_dijkstra(
         self, origin: int, destination: int
     ) -> Tuple[Dict[int, float], Dict[int, int]]:
+        """The one Dijkstra over the layered graph, shared by
+        :meth:`travel_time` and :meth:`journey`.
+
+        Every relaxation goes through :func:`_relax` below, so the two
+        public queries cannot drift apart in either their distances or
+        their search accounting again (an earlier revision of the
+        parent-tracking twin of this loop forgot to count the alight
+        push).  Stops as soon as ``destination`` settles.
+        """
         csr = self._engine.csr
         indptr, targets, costs = csr.indptr, csr.targets, csr.costs
         stats = self._engine.counters("journey")
@@ -261,6 +226,14 @@ class JourneyPlanner:
         parent: Dict[int, int] = {}
         heap: List[Tuple[float, int]] = [(0.0, origin)]
         offset = self._ride_offset
+
+        def _relax(u: int, v: int, nd: float) -> None:
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, v))
+                stats.pushes += 1
+
         while heap:
             d, u = heapq.heappop(heap)
             if d > dist.get(u, INF):
@@ -269,36 +242,20 @@ class JourneyPlanner:
             if u == destination:
                 break
             if u < offset:
+                # walk layer
                 for i in range(indptr[u], indptr[u + 1]):
-                    v = targets[i]
-                    nd = d + costs[i] * self._walk_min_per_km
-                    if nd < dist.get(v, INF):
-                        dist[v] = nd
-                        parent[v] = u
-                        heapq.heappush(heap, (nd, v))
-                        stats.pushes += 1
+                    _relax(u, targets[i], d + costs[i] * self._walk_min_per_km)
+                # board edges
                 for state in self._states_at_node.get(u, ()):
-                    nd = d + self._board_min
-                    if nd < dist.get(state, INF):
-                        dist[state] = nd
-                        parent[state] = u
-                        heapq.heappush(heap, (nd, state))
-                        stats.pushes += 1
+                    _relax(u, state, d + self._board_min)
             else:
                 sid = u - offset
-                node = self._ride_node[sid]
-                if d < dist.get(node, INF):
-                    dist[node] = d
-                    parent[node] = u
-                    heapq.heappush(heap, (d, node))
+                # alight edge (free)
+                _relax(u, self._ride_node[sid], d)
+                # ride edges along the route, both directions
                 for nxt, minutes in (self._ride_next[sid], self._ride_prev[sid]):
                     if nxt >= 0:
-                        nd = d + minutes
-                        state = offset + nxt
-                        if nd < dist.get(state, INF):
-                            dist[state] = nd
-                            parent[state] = u
-                            heapq.heappush(heap, (nd, state))
+                        _relax(u, offset + nxt, d + minutes)
         return dist, parent
 
     def _decode(

@@ -111,3 +111,28 @@ class TestMechanics:
                 assert pre.initial_utility[v] == pytest.approx(
                     instance.utility([v]), rel=1e-9
                 )
+
+
+class TestDisjointnessGuard:
+    """Regression: a node that is both candidate and existing stop used
+    to have its walking-gain utility silently clobbered by the existing
+    stops' α·degree loop.  BRRInstance rejects explicit overlaps; this
+    guard is defence in depth for any construction path that bypasses
+    that validation and hands preprocess overlapping masks."""
+
+    def test_overlapping_masks_raise(self, toy_instance):
+        from repro.exceptions import ConfigurationError
+
+        existing = toy_instance.existing_stops[0]
+        # Simulate a malformed instance built outside the validated
+        # constructor path: the masks overlap on one node.
+        toy_instance.is_candidate[existing] = True
+        toy_instance.candidates.append(existing)
+        with pytest.raises(ConfigurationError, match="disjoint"):
+            preprocess_queries(toy_instance)
+
+    def test_workers_must_be_positive(self, toy_instance):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="workers"):
+            preprocess_queries(toy_instance, workers=0)

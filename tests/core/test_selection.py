@@ -180,3 +180,54 @@ class TestBudgetAndEdgeCases:
         trace = run_selection(toy_instance, pre, _config())
         assert trace.evaluations >= len(trace.selected) - 1
         assert trace.queue_inserts >= 1
+
+
+class TestExhaustiveTieBreak:
+    """The lowest-id tie-break of `_pick_exhaustive` must fire on ratios
+    that are equal up to float noise, not only on bit-identical ones."""
+
+    class _FakeState:
+        """Duck-typed stand-in for SelectionState: `_pick_exhaustive`
+        only touches selected_set, marginal_gain, and true_price."""
+
+        def __init__(self, gains, prices):
+            self.selected_set = set()
+            self._gains = gains
+            self._prices = prices
+
+        def marginal_gain(self, stop):
+            return self._gains[stop]
+
+        def true_price(self, stop):
+            return self._prices[stop]
+
+    def _pick(self, gains, prices, order):
+        from repro.core.selection import SelectionTrace, _pick_exhaustive
+
+        state = self._FakeState(gains, prices)
+        config = _config(use_lazy_selection=False, use_threshold_pruning=False)
+        trace = SelectionTrace()
+        picked = _pick_exhaustive(state, order, config, trace)
+        assert picked is not None
+        return picked[0]
+
+    def test_exact_tie_prefers_lowest_id(self):
+        gains = {7: 6.0, 3: 6.0}
+        prices = {7: 2.0, 3: 2.0}
+        assert self._pick(gains, prices, [(6.0, 7), (6.0, 3)]) == 3
+
+    def test_ulp_noise_does_not_defeat_tie_break(self):
+        # Same true ratio computed through different summation orders:
+        # off by one ulp.  The higher id comes first in the order and is
+        # infinitesimally "larger"; the tie-break must still pick id 3.
+        noisy = (0.1 + 0.2) + 0.3   # 0.6000000000000001
+        clean = 0.1 + (0.2 + 0.3)   # 0.6
+        assert noisy != clean       # the trap is real
+        gains = {7: noisy, 3: clean}
+        prices = {7: 1.0, 3: 1.0}
+        assert self._pick(gains, prices, [(noisy, 7), (clean, 3)]) == 3
+
+    def test_genuinely_larger_ratio_still_wins(self):
+        gains = {7: 8.0, 3: 6.0}
+        prices = {7: 2.0, 3: 2.0}
+        assert self._pick(gains, prices, [(8.0, 7), (6.0, 3)]) == 7

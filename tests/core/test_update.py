@@ -124,3 +124,63 @@ class TestDownstreamUse:
         update_preprocess(toy_instance, pre, new_queries)
         assert pre.initial_utility == before_utilities
         assert {v: len(e) for v, e in pre.rnn.items()} == before_rnn_sizes
+
+
+class TestBulkRetirement:
+    """The batched retirement sweep: equivalence with from-scratch after
+    a *bulk* removal, exact-0.0 pinning of fully-retired candidates, and
+    the parallel added-node path."""
+
+    def test_bulk_removal_matches_scratch(self, small_city):
+        instance = small_city.instance(alpha=25.0)
+        pre = preprocess_queries(instance)
+        nodes = list(instance.queries.nodes)
+        survivors = sorted(set(nodes))[: max(2, len(set(nodes)) // 4)]
+        kept = [n for n in nodes if n in set(survivors)]
+        new_queries = QuerySet(instance.network, kept, name="bulk-removed")
+        new_instance, updated, stats = update_preprocess(
+            instance, pre, new_queries
+        )
+        assert stats.searches == 0
+        assert stats.removed_nodes == len(set(nodes)) - len(set(kept))
+        scratch = preprocess_queries(new_instance)
+        _assert_equivalent(new_instance, updated, scratch)
+
+    def test_retired_candidates_pinned_to_exact_zero(self, small_city):
+        """A candidate whose whole RNN set is retired must report a
+        utility of exactly 0.0 (not dust near zero): downstream
+        threshold pruning and the utility queue compare these values."""
+        instance = small_city.instance(alpha=25.0)
+        pre = preprocess_queries(instance)
+        new_queries = QuerySet(
+            instance.network, [list(instance.queries.nodes)[0]], name="one"
+        )
+        new_instance, updated, _ = update_preprocess(instance, pre, new_queries)
+        emptied = [
+            v for v in pre.rnn
+            if v not in updated.rnn and new_instance.is_candidate[v]
+        ]
+        assert emptied, "expected some candidate to lose all contributors"
+        for candidate in emptied:
+            value = updated.initial_utility[candidate]
+            assert value == 0.0
+            assert str(value) == "0.0"  # exactly +0.0, not -0.0 or dust
+
+    def test_parallel_added_nodes_match_serial(self, small_city):
+        instance = small_city.instance(alpha=25.0)
+        pre = preprocess_queries(instance)
+        used = set(instance.query_counts)
+        fresh = [v for v in instance.candidates if v not in used][:6]
+        assert len(fresh) >= 2
+        nodes = list(instance.queries.nodes) + fresh
+        new_queries = QuerySet(instance.network, nodes, name="grown")
+        _, serial, serial_stats = update_preprocess(
+            instance, pre, new_queries, workers=1
+        )
+        _, parallel, parallel_stats = update_preprocess(
+            instance, pre, new_queries, workers=2
+        )
+        assert serial_stats.added_nodes == parallel_stats.added_nodes == len(fresh)
+        assert serial.nn_distance == parallel.nn_distance
+        assert serial.rnn == parallel.rnn
+        assert serial.initial_utility == parallel.initial_utility

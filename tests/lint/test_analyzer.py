@@ -156,6 +156,7 @@ def test_registry_is_complete():
         "RL004",
         "RL005",
         "RL006",
+        "RL007",
     ]
     for rule_cls in all_rules().values():
         assert rule_cls.title and rule_cls.rationale

@@ -232,3 +232,75 @@ def test_rl006_silent_on_perf_counter():
             return perf_counter() - start
     """
     assert rule_ids(snippet) == []
+
+
+# ----------------------------------------------------------------------
+# RL007 — float-typed equality (no literal in sight)
+# ----------------------------------------------------------------------
+
+
+def test_rl007_fires_on_float_annotated_params():
+    snippet = """
+        def pick(ratio: float, best: float) -> bool:
+            return ratio == best
+    """
+    assert rule_ids(snippet) == ["RL007"]
+
+
+def test_rl007_fires_on_inferred_float_locals():
+    snippet = """
+        def gain(parts, total):
+            share = total / len(parts)
+            accumulated = 0.0
+            return share != accumulated
+    """
+    assert rule_ids(snippet) == ["RL007"]
+
+
+def test_rl007_fires_on_inline_division_compare():
+    snippet = """
+        def same_ratio(a, b, c, d):
+            return a / b == c / d
+    """
+    assert rule_ids(snippet) == ["RL007"]
+
+
+def test_rl007_silent_on_integer_compares():
+    snippet = """
+        def count_match(old, new, items):
+            total = len(items)
+            return old == new or total != 0
+    """
+    assert rule_ids(snippet) == []
+
+
+def test_rl007_leaves_float_literals_to_rl004():
+    # A float literal operand is RL004's report; RL007 must not
+    # double-report the same comparison.
+    assert rule_ids("bad = cost == 0.0\n") == ["RL004"]
+
+
+def test_rl007_silent_on_tolerant_compares():
+    snippet = """
+        import math
+        from repro.core.numeric import close
+
+        def guard(ratio: float, best: float) -> bool:
+            return close(ratio, best) or math.isclose(ratio, best)
+    """
+    assert rule_ids(snippet) == []
+
+
+def test_rl007_scopes_are_independent():
+    # The outer float name must not leak into the nested function's
+    # scope inference (the nested compare is over untyped names).
+    snippet = """
+        def outer(items):
+            share = 1.0 * len(items)
+
+            def inner(share, other):
+                return share == other
+
+            return inner(share, share)
+    """
+    assert rule_ids(snippet) == []

@@ -110,3 +110,42 @@ class TestTravelCostDecrease:
         assert travel_cost_decrease(line_transit, duplicate, trips) == (
             pytest.approx(0.0)
         )
+
+
+class TestStatsParity:
+    """`travel_time` and `journey` share one Dijkstra, so their search
+    accounting must be identical for the same OD pair (a parent-tracking
+    fork of the loop once under-counted the alight-edge pushes)."""
+
+    def _journey_delta(self, planner, run):
+        engine = planner._engine
+        before = engine.counters("journey").copy()
+        run()
+        return engine.counters("journey") - before
+
+    @pytest.mark.parametrize("pair", [(0, 5), (1, 5), (5, 0), (1, 4)])
+    def test_travel_time_and_journey_counts_equal(self, line_transit, pair):
+        origin, destination = pair
+        planner = JourneyPlanner(line_transit)
+        time_stats = self._journey_delta(
+            planner, lambda: planner.travel_time(origin, destination)
+        )
+        itinerary_stats = self._journey_delta(
+            planner, lambda: planner.journey(origin, destination)
+        )
+        assert time_stats.searches == itinerary_stats.searches == 1
+        assert time_stats.settled == itinerary_stats.settled
+        assert time_stats.pushes == itinerary_stats.pushes
+        # The alight push must actually be counted: trips that ride a
+        # bus push at least one alight edge.
+        itinerary = planner.journey(origin, destination)
+        if itinerary.num_boardings:
+            assert time_stats.pushes > 0
+
+    def test_journey_minutes_equal_travel_time(self, line_transit):
+        planner = JourneyPlanner(line_transit)
+        for origin in range(6):
+            for destination in range(6):
+                assert planner.journey(origin, destination).minutes == (
+                    pytest.approx(planner.travel_time(origin, destination))
+                )
