@@ -1,0 +1,125 @@
+"""Supplement — cost of the ``repro.obs`` instrumentation.
+
+Every EBRR phase is permanently wrapped in trace spans, so the disabled
+fast path (one module-global load + an ``is None`` check per ``span()``
+entry) is paid by *every* run, traced or not.  This bench quantifies
+that tax and gates it: the span machinery may not add more than
+``MAX_DISABLED_OVERHEAD_PCT`` to an untraced ``plan_route``.
+
+The instrumentation cannot be compiled out to measure a span-free
+baseline directly, so the disabled overhead is estimated from first
+principles: microbenchmark one disabled ``span()`` entry/exit, count
+the spans a traced run of the same workload records, and compare
+``n_spans × per_span_cost`` against the untraced wall time.  The
+enabled-mode cost is measured directly (traced vs untraced run) and
+reported for information — it is not gated, since users opt into it.
+
+Emits ``BENCH_trace_overhead.json`` for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import repro.obs as obs
+from repro.core.config import EBRRConfig
+from repro.core.ebrr import plan_route
+from repro.eval import format_table
+from repro.network.engine import SearchEngine
+from repro.obs import span
+
+from _common import BENCH_C, RESULTS_DIR, alpha_for, city, report
+
+#: The acceptance bar: disabled tracing must stay under this.
+MAX_DISABLED_OVERHEAD_PCT = 3.0
+
+#: Spins of the disabled ``span()`` microbenchmark.
+NOOP_SPINS = 200_000
+
+BENCH_K = 30
+
+
+def _noop_span_cost_s() -> float:
+    """Seconds per disabled ``span()`` entry/exit (best of 5 batches)."""
+    assert obs.current_trace() is None
+    best = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        for _ in range(NOOP_SPINS):
+            with span("noop", probe=1):
+                pass
+        best = min(best, time.perf_counter() - start)
+    return best / NOOP_SPINS
+
+
+def test_trace_overhead(experiment):
+    dataset = city("chicago")
+    alpha = alpha_for(dataset)
+    instance = dataset.instance(alpha)
+    config = EBRRConfig(max_stops=BENCH_K, max_adjacent_cost=BENCH_C, alpha=alpha)
+
+    def _plan_s() -> float:
+        engine = SearchEngine(instance.network)
+        start = time.perf_counter()
+        plan_route(instance, config, engine=engine)
+        return time.perf_counter() - start
+
+    def run():
+        per_span_s = _noop_span_cost_s()
+        untraced_s = min(_plan_s() for _ in range(3))
+        with obs.tracing() as trace:
+            traced_s = _plan_s()
+        return {
+            "per_span_s": per_span_s,
+            "untraced_s": untraced_s,
+            "traced_s": traced_s,
+            "n_spans": len(trace.spans),
+        }
+
+    row = experiment(run)
+    disabled_overhead_pct = (
+        100.0 * row["n_spans"] * row["per_span_s"] / row["untraced_s"]
+    )
+    enabled_overhead_pct = (
+        100.0 * (row["traced_s"] - row["untraced_s"]) / row["untraced_s"]
+    )
+
+    payload = {
+        "bench": "trace_overhead",
+        "dataset": "chicago",
+        "K": BENCH_K,
+        "spans_per_run": row["n_spans"],
+        "noop_span_ns": row["per_span_s"] * 1e9,
+        "untraced_s": row["untraced_s"],
+        "traced_s": row["traced_s"],
+        "disabled_overhead_pct": disabled_overhead_pct,
+        "enabled_overhead_pct": enabled_overhead_pct,
+        "max_disabled_overhead_pct": MAX_DISABLED_OVERHEAD_PCT,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_trace_overhead.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    text = format_table(
+        [
+            {
+                "spans": row["n_spans"],
+                "noop_span_ns": row["per_span_s"] * 1e9,
+                "untraced_s": row["untraced_s"],
+                "traced_s": row["traced_s"],
+                "disabled_pct": disabled_overhead_pct,
+                "enabled_pct": enabled_overhead_pct,
+            }
+        ],
+        title=(
+            f"repro.obs overhead on plan_route (Chicago, K={BENCH_K}) — "
+            f"disabled gate < {MAX_DISABLED_OVERHEAD_PCT:.0f}%"
+        ),
+        float_digits=4,
+    )
+    report(text, "trace_overhead.txt")
+
+    assert row["n_spans"] > 0
+    assert disabled_overhead_pct < MAX_DISABLED_OVERHEAD_PCT

@@ -26,7 +26,6 @@ formulation does not have.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
@@ -36,6 +35,7 @@ from ..core.ebrr import evaluate_route
 from ..core.utility import BRRInstance
 from ..exceptions import ConfigurationError
 from ..network.geometry import GridIndex
+from ..obs import span, stopwatch
 from ..transit.builder import place_stops_along_path
 from ..transit.route import BusRoute
 from .base import BaselinePlan, RoutePlanner
@@ -98,23 +98,22 @@ class ETAPre(RoutePlanner):
 
     def plan(self, instance: BRRInstance, config: EBRRConfig) -> BaselinePlan:
         timings: Dict[str, float] = {}
-        start = time.perf_counter()
-        pre = self._preprocess(instance)
-        timings["preprocess"] = time.perf_counter() - start
+        with span("baseline.eta_pre"):
+            with stopwatch(timings, "preprocess"), span("preprocess"):
+                pre = self._preprocess(instance)
 
-        query_start = time.perf_counter()
-        rng = np.random.default_rng(self._seed + 1)
-        candidates = self._generate_candidates(instance, pre, config, rng)
-        best_route: Optional[BusRoute] = None
-        best_score = -float("inf")
-        for route in candidates:
-            score = self._score(instance, pre, route)
-            if score > best_score:
-                best_score = score
-                best_route = route
-        if best_route is None:
-            raise ConfigurationError("ETA-Pre produced no candidate routes")
-        timings["query"] = time.perf_counter() - query_start
+            with stopwatch(timings, "query"), span("query"):
+                rng = np.random.default_rng(self._seed + 1)
+                candidates = self._generate_candidates(instance, pre, config, rng)
+                best_route: Optional[BusRoute] = None
+                best_score = -float("inf")
+                for route in candidates:
+                    score = self._score(instance, pre, route)
+                    if score > best_score:
+                        best_score = score
+                        best_route = route
+                if best_route is None:
+                    raise ConfigurationError("ETA-Pre produced no candidate routes")
         timings["total"] = timings["query"]  # paper convention: query time
         metrics = evaluate_route(instance, best_route)
         return BaselinePlan(route=best_route, metrics=metrics, timings=timings)

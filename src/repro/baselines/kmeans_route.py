@@ -22,7 +22,6 @@ snapping by *Euclidean* nearness reproduces that inaccuracy faithfully.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -33,6 +32,7 @@ from ..core.utility import BRRInstance
 from ..exceptions import ConfigurationError
 from ..network.engine import engine_for
 from ..network.geometry import GridIndex
+from ..obs import span, stopwatch
 from ..transit.route import BusRoute
 from .base import BaselinePlan, RoutePlanner
 
@@ -63,26 +63,28 @@ class KMeansRoute(RoutePlanner):
 
     def plan(self, instance: BRRInstance, config: EBRRConfig) -> BaselinePlan:
         timings: Dict[str, float] = {}
-        start = time.perf_counter()
-        coords = instance.network.coordinates()
-        points = np.asarray(
-            [coords[v] for v in instance.queries.nodes], dtype=float
-        )
-        k = min(config.max_stops, len(np.unique(points, axis=0)))
-        if k < 2:
-            raise ConfigurationError("k-means needs at least two distinct demand points")
-        centroids = _lloyd(
-            points, k, self._max_iterations, self._tolerance, self._seed
-        )
-        stops = self._snap(instance, centroids)
-        if len(stops) < 2:
-            raise ConfigurationError("k-means produced fewer than two stops")
-        ordered = _nearest_neighbor_order(
-            [coords[s] for s in stops], stops
-        )
-        path = _stitch(instance, ordered)
-        route = BusRoute("kmeans", ordered, path)
-        timings["total"] = timings["query"] = time.perf_counter() - start
+        with stopwatch(timings, "query"), span("baseline.kmeans"):
+            coords = instance.network.coordinates()
+            points = np.asarray(
+                [coords[v] for v in instance.queries.nodes], dtype=float
+            )
+            k = min(config.max_stops, len(np.unique(points, axis=0)))
+            if k < 2:
+                raise ConfigurationError(
+                    "k-means needs at least two distinct demand points"
+                )
+            centroids = _lloyd(
+                points, k, self._max_iterations, self._tolerance, self._seed
+            )
+            stops = self._snap(instance, centroids)
+            if len(stops) < 2:
+                raise ConfigurationError("k-means produced fewer than two stops")
+            ordered = _nearest_neighbor_order(
+                [coords[s] for s in stops], stops
+            )
+            path = _stitch(instance, ordered)
+            route = BusRoute("kmeans", ordered, path)
+        timings["total"] = timings["query"]
         metrics = evaluate_route(instance, route)
         return BaselinePlan(route=route, metrics=metrics, timings=timings)
 

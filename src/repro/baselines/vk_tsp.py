@@ -27,7 +27,6 @@ already exists — the behaviour the paper's effectiveness plots show.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
@@ -36,6 +35,7 @@ from ..core.config import EBRRConfig
 from ..core.ebrr import evaluate_route
 from ..core.utility import BRRInstance
 from ..exceptions import ConfigurationError
+from ..obs import span, stopwatch
 from ..transit.builder import place_stops_along_path
 from ..transit.route import BusRoute
 from .base import BaselinePlan, RoutePlanner
@@ -74,18 +74,19 @@ class VkTSP(RoutePlanner):
 
     def plan(self, instance: BRRInstance, config: EBRRConfig) -> BaselinePlan:
         timings: Dict[str, float] = {}
-        start = time.perf_counter()
-        index = self._preprocess(instance)
-        timings["preprocess"] = time.perf_counter() - start
+        with span("baseline.vk_tsp"):
+            with stopwatch(timings, "preprocess"), span("preprocess"):
+                index = self._preprocess(instance)
 
-        query_start = time.perf_counter()
-        path = self._grow(instance, index, config)
-        stops = place_stops_along_path(instance.network, path, self._spacing)
-        stops = _cap_stops(stops, config.max_stops)
-        if len(stops) < 2:
-            raise ConfigurationError("vk-TSP produced a degenerate route")
-        route = BusRoute("vk_tsp", stops, path)
-        timings["query"] = time.perf_counter() - query_start
+            with stopwatch(timings, "query"), span("query"):
+                path = self._grow(instance, index, config)
+                stops = place_stops_along_path(
+                    instance.network, path, self._spacing
+                )
+                stops = _cap_stops(stops, config.max_stops)
+                if len(stops) < 2:
+                    raise ConfigurationError("vk-TSP produced a degenerate route")
+                route = BusRoute("vk_tsp", stops, path)
         timings["total"] = timings["query"]
         metrics = evaluate_route(instance, route)
         return BaselinePlan(route=route, metrics=metrics, timings=timings)

@@ -11,7 +11,10 @@ describes (adjust the input, re-plan, inspect):
 * ``case-study`` — plan one route on ridership-style demand and write
   the Figs. 1/12-style artefacts (SVG map + GeoJSON route);
 * ``lint`` — run reprolint, the repo's AST-based architectural
-  invariant checker (see :mod:`repro.lint` and DESIGN.md).
+  invariant checker (see :mod:`repro.lint` and DESIGN.md);
+* ``trace`` — inspect a Chrome trace written by ``plan --trace`` or
+  ``sweep --trace`` (``trace summarize FILE`` prints the deterministic
+  text tree; the JSON itself loads in chrome://tracing or Perfetto).
 
 Real-data workflows go through the library API (see README); the CLI
 exists for instant, zero-code reproduction.
@@ -70,6 +73,10 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--workers", type=int, default=1,
                       help="process-pool size for the Algorithm 2 fan-out "
                            "(1 = serial; results are bit-identical)")
+    plan.add_argument("--trace", type=str, default=None, metavar="PATH",
+                      help="record a trace of the run and write it in "
+                           "Chrome trace-event format (open in "
+                           "chrome://tracing or Perfetto)")
 
     sweep = sub.add_parser("sweep", help="effect-of-K experiment (Figs. 7/8/13)")
     add_city_args(sweep)
@@ -81,6 +88,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=1,
                        help="process-pool size: parallelizes preprocessing "
                            "and fans the per-K EBRR runs over workers")
+    sweep.add_argument("--trace", type=str, default=None, metavar="PATH",
+                       help="record a trace of the sweep and write it in "
+                            "Chrome trace-event format")
 
     case = sub.add_parser(
         "case-study", help="plan a route and write SVG + GeoJSON artefacts"
@@ -94,7 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="optional output GeoJSON path")
 
     lint = sub.add_parser(
-        "lint", help="check the source against the RL001-RL007 invariants"
+        "lint", help="check the source against the RL001-RL008 invariants"
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
@@ -106,6 +116,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="ignore [tool.reprolint] in pyproject.toml")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the registered rules and exit")
+
+    trace = sub.add_parser(
+        "trace", help="inspect a recorded Chrome trace file"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_sub.add_parser(
+        "summarize", help="print the deterministic text summary tree"
+    )
+    trace_summarize.add_argument("file", help="Chrome trace JSON file")
+    trace_summarize.add_argument(
+        "--max-depth", type=int, default=6,
+        help="deepest span level shown (default: 6)",
+    )
     return parser
 
 
@@ -122,6 +145,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_case_study(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return 2  # unreachable: argparse enforces the choices
 
 
@@ -146,7 +171,33 @@ def _cmd_lint(args) -> int:
     return lint_main(argv)
 
 
+def _cmd_trace(args) -> int:
+    from .obs import load_chrome_trace, summarize
+
+    try:
+        spans, metrics = load_chrome_trace(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    print(summarize(spans, metrics, max_depth=args.max_depth))
+    return 0
+
+
+def _write_trace(trace, path: str) -> None:
+    from .obs import write_chrome_trace
+
+    write_chrome_trace(trace, path)
+    lanes = {span.lane for span in trace.spans}
+    print(
+        f"trace written to {path} ({len(trace.spans)} spans, "
+        f"{len(lanes)} lane{'s' if len(lanes) != 1 else ''}); "
+        "open in chrome://tracing or https://ui.perfetto.dev"
+    )
+
+
 def _cmd_plan(args) -> int:
+    from .obs import tracing
+
     dataset = load_city(args.city, scale=args.scale)
     alpha = args.alpha if args.alpha is not None else calibrated_alpha(dataset)
     instance = dataset.instance(alpha)
@@ -156,7 +207,12 @@ def _cmd_plan(args) -> int:
         alpha=alpha,
         workers=args.workers,
     )
-    result = plan_route(instance, config)
+    if args.trace:
+        with tracing() as trace:
+            result = plan_route(instance, config)
+        _write_trace(trace, args.trace)
+    else:
+        result = plan_route(instance, config)
     print(f"{dataset.name} (scale {args.scale}), alpha={alpha:.2f}")
     print(result.summary())
     print("stops:", " -> ".join(str(s) for s in result.route.stops))
@@ -197,10 +253,21 @@ def _cmd_sweep(args) -> int:
         return 2
     dataset = load_city(args.city, scale=args.scale)
     alpha = calibrated_alpha(dataset)
-    rows = effect_of_k(
-        dataset, ks, alpha=alpha, max_adjacent_cost=args.max_adjacent_cost,
-        workers=args.workers,
-    )
+    if args.trace:
+        from .obs import tracing
+
+        with tracing() as trace:
+            rows = effect_of_k(
+                dataset, ks, alpha=alpha,
+                max_adjacent_cost=args.max_adjacent_cost,
+                workers=args.workers,
+            )
+        _write_trace(trace, args.trace)
+    else:
+        rows = effect_of_k(
+            dataset, ks, alpha=alpha, max_adjacent_cost=args.max_adjacent_cost,
+            workers=args.workers,
+        )
     for value, title in (
         ("walk_cost", "Walking cost vs K"),
         ("connectivity", "Connectivity vs K"),

@@ -30,6 +30,7 @@ import math
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..exceptions import ConfigurationError
+from ..obs import span
 from .price import virtual_edge_price
 
 #: weight of a virtual edge: (price, raw distance) compared lexicographically
@@ -75,15 +76,17 @@ def christofides_order(
         raise ConfigurationError("distance matrix size must match stops")
     if m <= 2:
         return list(stops)
-    weights = _weights(distances, max_adjacent_cost)
+    with span("christofides", stops=m) as order_span:
+        weights = _weights(distances, max_adjacent_cost)
 
-    mst = _prim_mst(m, weights)
-    odd = _odd_degree_vertices(m, mst)
-    matching = _greedy_matching_with_improvement(odd, weights)
-    multigraph_edges = mst + matching
-    circuit = _euler_circuit(m, multigraph_edges)
-    cycle = _shortcut(circuit)
-    path = _open_cycle(cycle, weights)
+        mst = _prim_mst(m, weights)
+        odd = _odd_degree_vertices(m, mst)
+        matching = _greedy_matching_with_improvement(odd, weights)
+        multigraph_edges = mst + matching
+        circuit = _euler_circuit(m, multigraph_edges)
+        cycle = _shortcut(circuit)
+        path = _open_cycle(cycle, weights)
+        order_span.set(odd_vertices=len(odd))
     return [stops[i] for i in path]
 
 

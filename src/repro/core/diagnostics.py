@@ -10,11 +10,25 @@ Theorems 3/4.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from ..obs import PLAN_PHASES, phase_timings
 from .bounds import approximation_bound, audit_stop_budget
 from .result import EBRRResult
 from .utility import BRRInstance
+
+
+def trace_phase_timings(result: EBRRResult) -> Dict[str, float]:
+    """Per-phase seconds sourced from the run's trace spans.
+
+    The report used to keep its own timing sink, which could drift from
+    what ``--trace`` exported; both now read the same measured spans.
+    Falls back to ``result.timings`` for results built without spans
+    (e.g. deserialized from an older run).
+    """
+    if result.spans:
+        return phase_timings(result.spans)
+    return dict(result.timings)
 
 
 def selection_table(instance: BRRInstance, result: EBRRResult) -> List[dict]:
@@ -92,12 +106,10 @@ def explain_result(instance: BRRInstance, result: EBRRResult) -> str:
     )
     lines.append("")
 
-    share = {
-        phase: result.timings.get(phase, 0.0)
-        for phase in ("preprocess", "selection", "ordering", "refinement")
-    }
-    total = max(result.timings.get("total", 0.0), 1e-12)
-    lines.append("phase timings:")
+    timings = trace_phase_timings(result)
+    share = {phase: timings.get(phase, 0.0) for phase in PLAN_PHASES}
+    total = max(timings.get("total", 0.0), 1e-12)
+    lines.append("phase timings (from trace spans):")
     for phase, seconds in share.items():
         lines.append(
             f"  {phase:<11} {seconds:8.4f}s  ({100 * seconds / total:5.1f}%)"

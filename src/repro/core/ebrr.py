@@ -13,11 +13,11 @@ only when refinement is disabled for the ablation).
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..exceptions import InfeasibleRouteError
 from ..network.engine import SearchEngine, engine_for
+from ..obs import Trace, current_trace, extract_run, phase_timings
 from ..transit.route import BusRoute
 from .christofides import christofides_order
 from .config import EBRRConfig
@@ -65,40 +65,63 @@ def plan_route(
     if engine is None:
         engine = engine_for(instance.network)
     stats_base = engine.snapshot()
-    timings: Dict[str, float] = {}
-    total_start = time.perf_counter()
 
-    # Line 1: preprocessing.
-    start = time.perf_counter()
-    if preprocess is None:
-        preprocess = preprocess_queries(
-            instance, engine=engine, workers=config.workers
-        )
-    timings["preprocess"] = time.perf_counter() - start
+    # All phases run under trace spans; the timings dict is *derived*
+    # from the measured spans afterwards (one clock pair per phase — the
+    # diagnostics report and a trace export cannot disagree).  When no
+    # global trace is enabled the spans land in a private per-run
+    # buffer, kept on the result either way.
+    obs_trace = current_trace()
+    if obs_trace is None:
+        obs_trace = Trace()
+    run_base = len(obs_trace.spans)
+    with obs_trace.begin(
+        "plan_route",
+        {
+            "route_id": route_id,
+            "K": config.max_stops,
+            "C": config.max_adjacent_cost,
+            "alpha": config.alpha,
+        },
+    ):
+        # Line 1: preprocessing.
+        with obs_trace.begin("preprocess", {"reused": preprocess is not None}):
+            if preprocess is None:
+                preprocess = preprocess_queries(
+                    instance, engine=engine, workers=config.workers
+                )
 
-    # Lines 2-7: greedy selection. (run_selection builds its own state;
-    # we rebuild an identical one afterwards for refinement bookkeeping.)
-    start = time.perf_counter()
-    trace, state = _run_selection_with_state(instance, preprocess, config, engine)
-    timings["selection"] = time.perf_counter() - start
+        # Lines 2-7: greedy selection. (run_selection builds its own
+        # state; we rebuild an identical one afterwards for refinement
+        # bookkeeping.)
+        with obs_trace.begin("selection") as selection_span:
+            trace, state = _run_selection_with_state(
+                instance, preprocess, config, engine
+            )
+            selection_span.set(
+                selected=len(trace.selected), evaluations=trace.evaluations
+            )
 
-    # Line 8: Christofides visiting order.
-    start = time.perf_counter()
-    order = _order_stops(trace.selected, config, engine)
-    timings["ordering"] = time.perf_counter() - start
+        # Line 8: Christofides visiting order.
+        with obs_trace.begin("ordering", {"stops": len(trace.selected)}):
+            order = _order_stops(trace.selected, config, engine)
 
-    # Line 9: path refinement (or the bare order for the ablation).
-    start = time.perf_counter()
-    if config.refine_path:
-        stops, path = refine_path(state, order, config)
-    else:
-        stops, path = _bare_route(engine, order)
-    timings["refinement"] = time.perf_counter() - start
+        # Line 9: path refinement (or the bare order for the ablation).
+        with obs_trace.begin("refinement", {"refine": config.refine_path}):
+            if config.refine_path:
+                stops, path = refine_path(state, order, config)
+            else:
+                stops, path = _bare_route(engine, order)
 
-    route = BusRoute(route_id, stops, path)
-    timings["total"] = time.perf_counter() - total_start
+        route = BusRoute(route_id, stops, path)
+    run_spans = extract_run(obs_trace, run_base)
+    timings = phase_timings(run_spans)
     metrics = evaluate_route(instance, route)
     violations = _constraint_violations(instance, route, config)
+    search_stats = engine.stats_since(stats_base)
+    active = current_trace()
+    if active is not None:
+        active.metrics.absorb_search_profile(search_stats)
     return EBRRResult(
         route=route,
         metrics=metrics,
@@ -106,7 +129,8 @@ def plan_route(
         timings=timings,
         config=config,
         constraint_violations=violations,
-        search_stats=engine.stats_since(stats_base),
+        search_stats=search_stats,
+        spans=run_spans,
     )
 
 

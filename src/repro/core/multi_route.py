@@ -15,12 +15,12 @@ network expansion.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..demand.query import QuerySet
 from ..exceptions import ConfigurationError, InfeasibleRouteError
+from ..obs import now, span
 from ..transit.network import TransitNetwork
 from ..transit.route import BusRoute
 from .config import EBRRConfig
@@ -83,36 +83,38 @@ def plan_routes(
     """
     if num_routes < 1:
         raise ConfigurationError(f"num_routes must be >= 1, got {num_routes}")
-    start = time.perf_counter()
+    start = now()
     result = MultiRouteResult()
     current_transit = transit
     current_candidates = list(candidates) if candidates is not None else None
-    for round_index in range(num_routes):
-        instance = BRRInstance(
-            current_transit,
-            queries,
-            candidates=current_candidates,
-            alpha=config.alpha,
-        )
-        try:
-            round_result = plan_route(
-                instance, config, route_id=f"{route_id_prefix}_{round_index}"
+    with span("multi_route", num_routes=num_routes) as multi_span:
+        for round_index in range(num_routes):
+            instance = BRRInstance(
+                current_transit,
+                queries,
+                candidates=current_candidates,
+                alpha=config.alpha,
             )
-        except InfeasibleRouteError:
-            break
-        if (
-            round_index > 0
-            and round_result.metrics.utility <= min_marginal_utility
-        ):
-            break
-        result.routes.append(round_result.route)
-        result.per_route.append(round_result)
-        current_transit = current_transit.with_route(round_result.route)
-        if current_candidates is not None:
-            used = set(round_result.route.stops)
-            current_candidates = [v for v in current_candidates if v not in used]
-            if not current_candidates:
+            try:
+                round_result = plan_route(
+                    instance, config, route_id=f"{route_id_prefix}_{round_index}"
+                )
+            except InfeasibleRouteError:
                 break
+            if (
+                round_index > 0
+                and round_result.metrics.utility <= min_marginal_utility
+            ):
+                break
+            result.routes.append(round_result.route)
+            result.per_route.append(round_result)
+            current_transit = current_transit.with_route(round_result.route)
+            if current_candidates is not None:
+                used = set(round_result.route.stops)
+                current_candidates = [v for v in current_candidates if v not in used]
+                if not current_candidates:
+                    break
+        multi_span.set(planned=len(result.routes))
 
     result.final_transit = current_transit
     if result.routes:
@@ -129,5 +131,5 @@ def plan_routes(
             if final_instance.is_candidate[s]
         ]
         result.total_walk_decrease = final_instance.walk_decrease(set(new_stops))
-    result.total_elapsed_s = time.perf_counter() - start
+    result.total_elapsed_s = now() - start
     return result

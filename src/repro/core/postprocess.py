@@ -20,12 +20,12 @@ returned as a new route plus the full road path rebuilt leg by leg.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ConfigurationError
 from ..network.engine import engine_for
+from ..obs import now, span
 from ..transit.route import BusRoute
 from .config import EBRRConfig
 from .ebrr import evaluate_route
@@ -92,41 +92,43 @@ def postprocess_route(
     if radius <= 0:
         raise ConfigurationError("neighborhood_cost must be positive")
 
-    start = time.perf_counter()
-    search = _LocalSearch(instance, config, radius)
-    stops = list(route.stops)
-    initial_utility = instance.utility(stops)
+    with span("postprocess", max_rounds=max_rounds) as post_span:
+        start = now()
+        search = _LocalSearch(instance, config, radius)
+        stops = list(route.stops)
+        initial_utility = instance.utility(stops)
 
-    moves = 0
-    rounds = 0
-    for _ in range(max_rounds):
-        rounds += 1
-        improved = search.one_round(stops)
-        moves += improved
-        if improved == 0:
-            break
+        moves = 0
+        rounds = 0
+        for _ in range(max_rounds):
+            rounds += 1
+            improved = search.one_round(stops)
+            moves += improved
+            if improved == 0:
+                break
+        post_span.set(moves=moves, rounds=rounds)
 
-    if moves == 0:
-        metrics = evaluate_route(instance, route)
+        if moves == 0:
+            metrics = evaluate_route(instance, route)
+            return PostprocessResult(
+                route=route,
+                metrics=metrics,
+                initial_utility=initial_utility,
+                moves_applied=0,
+                rounds=rounds,
+                elapsed_s=now() - start,
+            )
+
+        new_route = _rebuild_route(instance, route.route_id + "+post", stops)
+        metrics = evaluate_route(instance, new_route)
         return PostprocessResult(
-            route=route,
+            route=new_route,
             metrics=metrics,
             initial_utility=initial_utility,
-            moves_applied=0,
+            moves_applied=moves,
             rounds=rounds,
-            elapsed_s=time.perf_counter() - start,
+            elapsed_s=now() - start,
         )
-
-    new_route = _rebuild_route(instance, route.route_id + "+post", stops)
-    metrics = evaluate_route(instance, new_route)
-    return PostprocessResult(
-        route=new_route,
-        metrics=metrics,
-        initial_utility=initial_utility,
-        moves_applied=moves,
-        rounds=rounds,
-        elapsed_s=time.perf_counter() - start,
-    )
 
 
 class _LocalSearch:

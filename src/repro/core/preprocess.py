@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..exceptions import ConfigurationError
 from ..network.engine import SearchEngine, engine_for
+from ..obs import span
 from .utility import BRRInstance
 
 
@@ -103,46 +104,51 @@ def preprocess_queries(
     _check_disjoint_stops(instance)
 
     # Lines 1-10: one early-terminated Dijkstra per distinct query node.
-    if workers > 1:
-        # Deterministic fan-out: rows come back in `counts` order, so
-        # the merged dicts have the same insertion order (and the same
-        # floats) as the serial loop below.
-        from ..parallel.fanout import run_query_searches
+    with span("preprocess.searches", queries=len(counts), workers=workers):
+        if workers > 1:
+            # Deterministic fan-out: rows come back in `counts` order, so
+            # the merged dicts have the same insertion order (and the same
+            # floats) as the serial loop below.
+            from ..parallel.fanout import run_query_searches
 
-        rows, worker_stats = run_query_searches(
-            instance.network, is_existing, is_candidate, list(counts), workers=workers
-        )
-        engine.absorb("preprocess", worker_stats)
-        for query_node, _nn_stop, nn_dist, visited in rows:
-            result.nn_distance[query_node] = nn_dist
-            result.searches += 1
-            result.settled_nodes += len(visited) + 1
-            for candidate, dist in visited:
-                result.rnn.setdefault(candidate, []).append((query_node, dist))
-    else:
-        for query_node in counts:
-            nn_stop, nn_dist, visited = engine.query_search(
-                query_node, is_existing, is_candidate, phase="preprocess"
+            rows, worker_stats = run_query_searches(
+                instance.network, is_existing, is_candidate, list(counts),
+                workers=workers,
             )
-            result.nn_distance[query_node] = nn_dist
-            result.searches += 1
-            result.settled_nodes += len(visited) + 1
-            for candidate, dist in visited:
-                result.rnn.setdefault(candidate, []).append((query_node, dist))
+            engine.absorb("preprocess", worker_stats)
+            for query_node, _nn_stop, nn_dist, visited in rows:
+                result.nn_distance[query_node] = nn_dist
+                result.searches += 1
+                result.settled_nodes += len(visited) + 1
+                for candidate, dist in visited:
+                    result.rnn.setdefault(candidate, []).append((query_node, dist))
+        else:
+            for query_node in counts:
+                nn_stop, nn_dist, visited = engine.query_search(
+                    query_node, is_existing, is_candidate, phase="preprocess"
+                )
+                result.nn_distance[query_node] = nn_dist
+                result.searches += 1
+                result.settled_nodes += len(visited) + 1
+                for candidate, dist in visited:
+                    result.rnn.setdefault(candidate, []).append((query_node, dist))
 
-    # Lines 11-14: initial utilities of candidate stops.
-    for candidate, entries in result.rnn.items():
-        gain = 0.0
-        for query_node, dist in entries:
-            gain += counts[query_node] * (result.nn_distance[query_node] - dist)
-        result.initial_utility[candidate] = gain
-    # Candidates never visited by any search have zero walking gain.
-    for candidate in instance.candidates:
-        result.initial_utility.setdefault(candidate, 0.0)
+    with span("preprocess.utilities"):
+        # Lines 11-14: initial utilities of candidate stops.
+        for candidate, entries in result.rnn.items():
+            gain = 0.0
+            for query_node, dist in entries:
+                gain += counts[query_node] * (result.nn_distance[query_node] - dist)
+            result.initial_utility[candidate] = gain
+        # Candidates never visited by any search have zero walking gain.
+        for candidate in instance.candidates:
+            result.initial_utility.setdefault(candidate, 0.0)
 
-    # Lines 15-16: initial utilities of existing stops.
-    for stop in instance.existing_stops:
-        result.initial_utility[stop] = instance.alpha * instance.transit.degree(stop)
+        # Lines 15-16: initial utilities of existing stops.
+        for stop in instance.existing_stops:
+            result.initial_utility[stop] = (
+                instance.alpha * instance.transit.degree(stop)
+            )
 
     return result
 

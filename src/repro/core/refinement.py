@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import InfeasibleRouteError
+from ..obs import span
 from .config import EBRRConfig
 from .selection import SelectionState
 
@@ -55,22 +56,24 @@ def refine_path(
         raise InfeasibleRouteError("cannot refine an empty visiting order")
     c = config.max_adjacent_cost
 
-    stops: List[int] = [order[0]]
-    used: Set[int] = {order[0]}
-    segments: List[List[int]] = []  # road path per consecutive stop pair
+    with span("refinement.refine", order=len(order)) as refine_span:
+        stops: List[int] = [order[0]]
+        used: Set[int] = {order[0]}
+        segments: List[List[int]] = []  # road path per consecutive stop pair
 
-    for target in order[1:]:
-        if target in used:
-            continue
-        leg_stops, leg_segments = _link(state, stops[-1], target, used, c)
-        for stop in leg_stops:
-            _commit(state, stop)
-            used.add(stop)
-        stops.extend(leg_stops)
-        segments.extend(leg_segments)
+        for target in order[1:]:
+            if target in used:
+                continue
+            leg_stops, leg_segments = _link(state, stops[-1], target, used, c)
+            for stop in leg_stops:
+                _commit(state, stop)
+                used.add(stop)
+            stops.extend(leg_stops)
+            segments.extend(leg_segments)
 
-    stops, segments = _match_stop_count(state, stops, segments, used, config)
-    path = _stitch(segments, stops)
+        stops, segments = _match_stop_count(state, stops, segments, used, config)
+        path = _stitch(segments, stops)
+        refine_span.set(stops=len(stops), path_nodes=len(path))
     return stops, path
 
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..network.engine import SearchStats
+from ..obs import Span
 from ..transit.route import BusRoute
 from .config import EBRRConfig
 from .selection import SelectionTrace
@@ -54,6 +55,11 @@ class EBRRResult:
             phase names as ``timings``.  Zero-work phases are omitted;
             a reused preprocessing, for example, contributes no
             ``preprocess`` entry.
+        spans: this run's trace spans (self-contained: the
+            ``plan_route`` root at index 0, parents internal), recorded
+            by :mod:`repro.obs` whether or not a global trace was
+            enabled.  ``timings`` is derived from these spans, so the
+            diagnostics report and any trace export agree exactly.
     """
 
     route: BusRoute
@@ -63,6 +69,7 @@ class EBRRResult:
     config: EBRRConfig
     constraint_violations: List[str] = field(default_factory=list)
     search_stats: Dict[str, SearchStats] = field(default_factory=dict)
+    spans: List[Span] = field(default_factory=list)
 
     @property
     def total_search_stats(self) -> SearchStats:

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ConfigurationError, InfeasibleRouteError
 from ..network.engine import SearchEngine, engine_for
+from ..obs import span
 from .config import EBRRConfig
 from .numeric import close
 from .preprocess import PreprocessResult
@@ -191,15 +192,21 @@ def run_selection(
     trace.selected.append(seed)
 
     budget = config.price_budget
-    while trace.total_price < budget:
-        picked = _pick_most_profitable(state, utility_order, config, trace)
-        if picked is None:
-            break  # every remaining stop exhausted (tiny instances)
-        stop, gain, price = picked
-        trace.gains.append(gain)
-        trace.prices.append(price)
-        state.select(stop)
-        trace.selected.append(stop)
+    with span("selection.loop", budget=budget) as loop_span:
+        while trace.total_price < budget:
+            picked = _pick_most_profitable(state, utility_order, config, trace)
+            if picked is None:
+                break  # every remaining stop exhausted (tiny instances)
+            stop, gain, price = picked
+            trace.gains.append(gain)
+            trace.prices.append(price)
+            state.select(stop)
+            trace.selected.append(stop)
+        loop_span.set(
+            selected=len(trace.selected),
+            evaluations=trace.evaluations,
+            queue_inserts=trace.queue_inserts,
+        )
     return trace
 
 

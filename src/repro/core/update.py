@@ -22,6 +22,7 @@ from typing import Dict, List, Tuple
 
 from ..demand.query import QuerySet
 from ..network.engine import engine_for
+from ..obs import span
 from .preprocess import PreprocessResult
 from .utility import BRRInstance
 
@@ -66,6 +67,26 @@ def update_preprocess(
         :func:`repro.core.preprocess.preprocess_queries` from scratch on
         the new instance (the test suite asserts this).
     """
+    with span("update", workers=workers) as update_span:
+        new_instance, result, stats = _apply_update(
+            instance, preprocess, new_queries, workers=workers
+        )
+        update_span.set(
+            rescaled=stats.rescaled_nodes,
+            removed=stats.removed_nodes,
+            added=stats.added_nodes,
+            searches=stats.searches,
+        )
+    return new_instance, result, stats
+
+
+def _apply_update(
+    instance: BRRInstance,
+    preprocess: PreprocessResult,
+    new_queries: QuerySet,
+    *,
+    workers: int,
+) -> Tuple[BRRInstance, PreprocessResult, UpdateStats]:
     new_instance = BRRInstance(
         instance.transit,
         new_queries,

@@ -19,6 +19,7 @@ from ..datasets.small import SmallExtract
 from ..demand.partition import by_regions, vertical_bands
 from ..demand.query import QuerySet
 from ..exceptions import ConfigurationError
+from ..obs import span
 from ..transit.journey import travel_cost_decrease
 from .metrics import approximation_ratio, uncovered_demand_coverage
 from .runner import default_planners, run_planners
@@ -131,7 +132,8 @@ def effect_of_k(
             max_stops=k, max_adjacent_cost=max_adjacent_cost, alpha=alpha,
             workers=workers,
         )
-        plans = run_planners(instance, config, planners)
+        with span("effect_of_k", dataset=dataset.name, K=k):
+            plans = run_planners(instance, config, planners)
         for name, plan in plans.items():
             rows.append(
                 {
@@ -186,7 +188,8 @@ def effect_of_q(
         instance = dataset.instance(part_alpha, queries=part)
         for planner in planners:
             planner.invalidate_cache()
-        plans = run_planners(instance, config, planners)
+        with span("effect_of_q", dataset=dataset.name, partition=part.name):
+            plans = run_planners(instance, config, planners)
         for name, plan in plans.items():
             rows.append(
                 {

@@ -14,6 +14,7 @@ from ..core.config import EBRRConfig
 from ..core.ebrr import plan_route
 from ..core.preprocess import PreprocessResult, preprocess_queries
 from ..core.utility import BRRInstance
+from ..obs import span
 
 
 class EBRRPlanner(RoutePlanner):
@@ -74,4 +75,8 @@ def run_planners(
     Returns:
         ``{planner.name: plan}`` in input order (dicts preserve it).
     """
-    return {planner.name: planner.plan(instance, config) for planner in planners}
+    plans: Dict[str, BaselinePlan] = {}
+    for planner in planners:
+        with span("run_planners.plan", planner=planner.name):
+            plans[planner.name] = planner.plan(instance, config)
+    return plans

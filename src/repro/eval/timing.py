@@ -1,26 +1,13 @@
-"""Tiny timing utilities for the experiment harness."""
+"""Timing utilities for the experiment harness.
+
+These are thin, API-stable wrappers around :mod:`repro.obs.clock` —
+the repository's single timing implementation.  New code should import
+from :mod:`repro.obs` directly; these names stay for the existing
+harness call sites and external users.
+"""
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, Tuple, TypeVar
+from ..obs.clock import now, stopwatch, timed
 
-T = TypeVar("T")
-
-
-@contextmanager
-def stopwatch(sink: Dict[str, float], key: str) -> Iterator[None]:
-    """Context manager that records elapsed seconds into ``sink[key]``."""
-    start = time.perf_counter()
-    try:
-        yield
-    finally:
-        sink[key] = time.perf_counter() - start
-
-
-def timed(func: Callable[[], T]) -> Tuple[T, float]:
-    """Run ``func`` once; return ``(result, elapsed_seconds)``."""
-    start = time.perf_counter()
-    result = func()
-    return result, time.perf_counter() - start
+__all__ = ["now", "stopwatch", "timed"]

@@ -12,4 +12,5 @@ from . import (  # noqa: F401
     rl005_mutable_defaults,
     rl006_wall_clock,
     rl007_float_typed_equality,
+    rl008_raw_perf_counter,
 )

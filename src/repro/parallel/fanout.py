@@ -36,6 +36,8 @@ from typing import List, Optional, Sequence, Tuple
 from ..exceptions import ConfigurationError
 from ..network.engine import SearchEngine, SearchStats
 from ..network.graph import RoadNetwork
+from ..obs import current_trace, span
+from ..obs.collect import TraceShard, begin_worker_trace, drain_shard, merge_shard
 
 #: One Algorithm 2 search result: ``(query_node, nn_stop, nn_dist,
 #: [(candidate, dist), ...])`` — exactly what
@@ -53,6 +55,10 @@ CHUNKS_PER_WORKER = 4
 _WORKER_ENGINE: Optional[SearchEngine] = None
 _WORKER_EXISTING: Sequence[bool] = ()
 _WORKER_CANDIDATE: Sequence[bool] = ()
+# Whether this process runs as a *tracing pool worker* (set only by the
+# pool initializer, never by the in-process ``workers=1`` path — the
+# parent's own enabled trace must never be drained as a shard).
+_WORKER_TRACING = False
 
 #: The stats phase worker engines account their searches to; the parent
 #: engine re-buckets the absorbed totals under its own phase label.
@@ -94,34 +100,53 @@ def _init_query_worker(
     network: RoadNetwork,
     is_existing: Sequence[bool],
     is_candidate: Sequence[bool],
+    tracing: bool = False,
 ) -> None:
     """Pool initializer: build the worker's private engine (and its CSR
-    snapshot) exactly once per process."""
-    global _WORKER_ENGINE, _WORKER_EXISTING, _WORKER_CANDIDATE
+    snapshot) exactly once per process; install a worker trace when the
+    parent is tracing."""
+    global _WORKER_ENGINE, _WORKER_EXISTING, _WORKER_CANDIDATE, _WORKER_TRACING
     engine = SearchEngine(network)
     engine.csr  # materialize the flat adjacency up front, not per chunk
     _WORKER_ENGINE = engine
     _WORKER_EXISTING = is_existing
     _WORKER_CANDIDATE = is_candidate
+    _WORKER_TRACING = tracing
+    if tracing:
+        begin_worker_trace()
 
 
 def _run_query_chunk(
     nodes: Sequence[int],
-) -> Tuple[List[QuerySearchRow], SearchStats]:
+) -> Tuple[List[QuerySearchRow], SearchStats, Optional[TraceShard]]:
     """Worker entry point: run one chunk of Algorithm 2 searches on the
-    process-local engine; returns the rows in chunk order plus the
-    chunk's search-stats delta."""
+    process-local engine; returns the rows in chunk order, the chunk's
+    search-stats delta, and — when the parent is tracing — the trace
+    shard recorded for this chunk.
+
+    The shard ships only operational ``fanout.*`` counters.  Search
+    counters stay out on purpose: the ``SearchStats`` delta below is
+    absorbed by the parent engine, and the parent's ``plan_route``
+    records the ``search.*`` metrics exactly once from it — double
+    recording here would break the serial/parallel metric parity.
+    """
     engine = _WORKER_ENGINE
     if engine is None:  # pragma: no cover - pool misuse, not reachable via API
         raise ConfigurationError("query-search worker used before initialization")
     before = engine.counters(_WORKER_PHASE).copy()
     rows: List[QuerySearchRow] = []
-    for node in nodes:
-        nn_stop, nn_dist, visited = engine.query_search(
-            node, _WORKER_EXISTING, _WORKER_CANDIDATE, phase=_WORKER_PHASE
-        )
-        rows.append((node, nn_stop, nn_dist, list(visited)))
-    return rows, engine.counters(_WORKER_PHASE) - before
+    with span("fanout.chunk", nodes=len(nodes)):
+        for node in nodes:
+            nn_stop, nn_dist, visited = engine.query_search(
+                node, _WORKER_EXISTING, _WORKER_CANDIDATE, phase=_WORKER_PHASE
+            )
+            rows.append((node, nn_stop, nn_dist, list(visited)))
+    active = current_trace()
+    if active is not None:
+        active.metrics.counter("fanout.chunks").inc()
+        active.metrics.counter("fanout.chunk_searches").inc(len(nodes))
+    shard = drain_shard() if _WORKER_TRACING else None
+    return rows, engine.counters(_WORKER_PHASE) - before, shard
 
 
 def run_query_searches(
@@ -155,32 +180,49 @@ def run_query_searches(
     node_list = list(nodes)
     if not node_list:
         return [], SearchStats()
+    parent_trace = current_trace()
     if workers == 1:
-        _init_query_worker(network, is_existing, is_candidate)
-        try:
-            return _run_query_chunk(node_list)
-        finally:
-            _reset_worker_state()
+        # In-process fallback: the chunk span (and fanout counters) land
+        # directly in the parent's trace; nothing to drain or merge.
+        with span("fanout", nodes=len(node_list), workers=1):
+            _init_query_worker(network, is_existing, is_candidate)
+            try:
+                rows, stats, _ = _run_query_chunk(node_list)
+            finally:
+                _reset_worker_state()
+        return rows, stats
     chunks = split_chunks(node_list, workers * CHUNKS_PER_WORKER)
     rows: List[QuerySearchRow] = []
     total = SearchStats()
-    with pool_context().Pool(
-        processes=min(workers, len(chunks)),
-        initializer=_init_query_worker,
-        initargs=(network, list(is_existing), list(is_candidate)),
-    ) as pool:
-        # Pool.map returns chunk results in submission order no matter
-        # which worker finished first: the deterministic reduce.
-        for chunk_rows, chunk_stats in pool.map(_run_query_chunk, chunks):
-            rows.extend(chunk_rows)
-            total = total + chunk_stats
+    with span(
+        "fanout", nodes=len(node_list), workers=workers, chunks=len(chunks)
+    ) as fan_span:
+        fan_index = fan_span.span.index if parent_trace is not None else None
+        with pool_context().Pool(
+            processes=min(workers, len(chunks)),
+            initializer=_init_query_worker,
+            initargs=(
+                network,
+                list(is_existing),
+                list(is_candidate),
+                parent_trace is not None,
+            ),
+        ) as pool:
+            # Pool.map returns chunk results in submission order no matter
+            # which worker finished first: the deterministic reduce.
+            for chunk_rows, chunk_stats, shard in pool.map(_run_query_chunk, chunks):
+                rows.extend(chunk_rows)
+                total = total + chunk_stats
+                if shard is not None and parent_trace is not None:
+                    merge_shard(parent_trace, shard, parent=fan_index)
     return rows, total
 
 
 def _reset_worker_state() -> None:
     """Drop the in-process worker engine (used by the ``workers=1``
     fallback so a throwaway engine does not outlive the call)."""
-    global _WORKER_ENGINE, _WORKER_EXISTING, _WORKER_CANDIDATE
+    global _WORKER_ENGINE, _WORKER_EXISTING, _WORKER_CANDIDATE, _WORKER_TRACING
     _WORKER_ENGINE = None
     _WORKER_EXISTING = ()
     _WORKER_CANDIDATE = ()
+    _WORKER_TRACING = False

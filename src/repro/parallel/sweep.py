@@ -31,33 +31,49 @@ from ..core.result import EBRRResult
 from ..core.utility import BRRInstance
 from ..exceptions import ConfigurationError
 from ..network.engine import SearchEngine, SearchStats, engine_for
+from ..obs import current_trace, span
+from ..obs.collect import TraceShard, begin_worker_trace, drain_shard, merge_shard
 from .fanout import pool_context, resolve_workers
 
 # Per-process sweep state, installed by the pool initializer (see
 # fanout.py for why module globals are the right shape here).
 _SWEEP_INSTANCE: Optional[BRRInstance] = None
 _SWEEP_PREPROCESS: Optional[PreprocessResult] = None
+_SWEEP_TRACING = False
 
 SweepTask = Tuple[EBRRConfig, str]
 
 
 def _init_sweep_worker(
-    instance: BRRInstance, preprocess: PreprocessResult
+    instance: BRRInstance,
+    preprocess: PreprocessResult,
+    tracing: bool = False,
 ) -> None:
     """Pool initializer: unpickle the shared instance + preprocessing
-    once per worker process."""
-    global _SWEEP_INSTANCE, _SWEEP_PREPROCESS
+    once per worker process; install a worker trace when the parent is
+    tracing."""
+    global _SWEEP_INSTANCE, _SWEEP_PREPROCESS, _SWEEP_TRACING
     _SWEEP_INSTANCE = instance
     _SWEEP_PREPROCESS = preprocess
+    _SWEEP_TRACING = tracing
+    if tracing:
+        begin_worker_trace()
 
 
-def _run_sweep_task(task: SweepTask) -> EBRRResult:
-    """Worker entry point: one full EBRR run for one config."""
+def _run_sweep_task(task: SweepTask) -> Tuple[EBRRResult, Optional[TraceShard]]:
+    """Worker entry point: one full EBRR run for one config.
+
+    With tracing on, the run's spans and metrics (``plan_route`` records
+    its ``search.*`` profile into the worker trace) come back as a
+    shard; the parent merges shards verbatim, so sweep metric totals are
+    exactly what the workers measured — never re-recorded.
+    """
     instance, preprocess = _SWEEP_INSTANCE, _SWEEP_PREPROCESS
     if instance is None or preprocess is None:  # pragma: no cover - pool misuse
         raise ConfigurationError("sweep worker used before initialization")
     config, route_id = task
-    return plan_route(instance, config, preprocess=preprocess, route_id=route_id)
+    result = plan_route(instance, config, preprocess=preprocess, route_id=route_id)
+    return result, (drain_shard() if _SWEEP_TRACING else None)
 
 
 def sweep_plans(
@@ -104,22 +120,31 @@ def sweep_plans(
     if not tasks:
         return []
     if workers == 1:
-        return [
-            plan_route(
-                instance,
-                config,
-                preprocess=preprocess,
-                route_id=route_id,
-                engine=engine,
-            )
-            for config, route_id in tasks
-        ]
-    with pool_context().Pool(
-        processes=min(workers, len(tasks)),
-        initializer=_init_sweep_worker,
-        initargs=(instance, preprocess),
-    ) as pool:
-        results = pool.map(_run_sweep_task, tasks)
+        with span("sweep", configs=len(tasks), workers=1):
+            return [
+                plan_route(
+                    instance,
+                    config,
+                    preprocess=preprocess,
+                    route_id=route_id,
+                    engine=engine,
+                )
+                for config, route_id in tasks
+            ]
+    parent_trace = current_trace()
+    results: List[EBRRResult] = []
+    with span("sweep", configs=len(tasks), workers=workers) as sweep_span:
+        sweep_index = sweep_span.span.index if parent_trace is not None else None
+        with pool_context().Pool(
+            processes=min(workers, len(tasks)),
+            initializer=_init_sweep_worker,
+            initargs=(instance, preprocess, parent_trace is not None),
+        ) as pool:
+            # map preserves task order, so shards merge deterministically.
+            for result, shard in pool.map(_run_sweep_task, tasks):
+                results.append(result)
+                if shard is not None and parent_trace is not None:
+                    merge_shard(parent_trace, shard, parent=sweep_index)
     _fold_back_stats(engine, results)
     return results
 

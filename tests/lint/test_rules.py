@@ -222,6 +222,7 @@ def test_rl006_fires_on_from_time_import_time():
 
 
 def test_rl006_silent_on_perf_counter():
+    # Raw perf_counter is RL008's report, not RL006's.
     snippet = """
         import time
         from time import perf_counter
@@ -231,7 +232,7 @@ def test_rl006_silent_on_perf_counter():
             f()
             return perf_counter() - start
     """
-    assert rule_ids(snippet) == []
+    assert rule_ids(snippet, select=["RL006"]) == []
 
 
 # ----------------------------------------------------------------------
@@ -304,3 +305,56 @@ def test_rl007_scopes_are_independent():
             return inner(share, share)
     """
     assert rule_ids(snippet) == []
+
+
+# ----------------------------------------------------------------------
+# RL008 — raw perf_counter outside repro.obs
+# ----------------------------------------------------------------------
+
+
+def test_rl008_fires_on_raw_perf_counter():
+    snippet = """
+        import time
+
+        def run(f):
+            start = time.perf_counter()
+            f()
+            return time.perf_counter() - start
+    """
+    assert rule_ids(snippet) == ["RL008", "RL008"]
+
+
+def test_rl008_fires_on_from_time_import_perf_counter():
+    assert rule_ids("from time import perf_counter\n") == ["RL008"]
+
+
+def test_rl008_silent_on_obs_primitives():
+    snippet = """
+        from repro.obs import now, span, stopwatch
+
+        def run(f, sink):
+            with stopwatch(sink, "query"), span("query"):
+                f()
+            return now()
+    """
+    assert rule_ids(snippet) == []
+
+
+def test_rl008_exempts_the_sanctioned_clock_module():
+    snippet = "import time\nstart = time.perf_counter()\n"
+    assert (
+        check_source(snippet, path="src/repro/obs/clock.py", select=["RL008"])
+        == []
+    )
+    assert (
+        check_source(snippet, path="src/repro/eval/timing.py", select=["RL008"])
+        == []
+    )
+
+
+def test_rl008_fires_outside_the_exempt_paths():
+    snippet = "import time\nstart = time.perf_counter()\n"
+    violations = check_source(
+        snippet, path="src/repro/core/ebrr.py", select=["RL008"]
+    )
+    assert [v.rule_id for v in violations] == ["RL008"]

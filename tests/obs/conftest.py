@@ -1,0 +1,55 @@
+"""Shared fixtures for the obs tests: a deterministic clock and a
+canonical small trace used by the exporter golden tests."""
+
+import pytest
+
+from repro.obs import Trace
+
+
+class FakeClock:
+    """A controllable monotonic clock: ``tick`` advances, calls read."""
+
+    def __init__(self, start=0.0):
+        self.t = float(start)
+
+    def tick(self, seconds):
+        self.t += seconds
+
+    def __call__(self):
+        return self.t
+
+
+def build_reference_trace(clock=None):
+    """The canonical deterministic trace the golden files snapshot:
+    two plan-like roots, nesting, attributes, and a few metrics."""
+    if clock is None:
+        clock = FakeClock()
+    trace = Trace(lane="main", clock=clock)
+    with trace.begin("plan_route", {"route_id": "r0", "K": 5}):
+        clock.tick(0.001)
+        with trace.begin("preprocess"):
+            clock.tick(0.25)
+            with trace.begin("preprocess.searches", {"queries": 7}):
+                clock.tick(0.5)
+        with trace.begin("selection") as selection:
+            clock.tick(0.125)
+            selection.set(selected=3)
+        clock.tick(0.001)
+    with trace.begin("postprocess", {"max_rounds": 2}):
+        clock.tick(0.0625)
+    trace.metrics.counter("search.total.searches").inc(7)
+    trace.metrics.counter("search.total.settled").inc(91)
+    trace.metrics.gauge("engine.cache_rows").set(12)
+    trace.metrics.histogram("chunk.nodes").observe(3)
+    trace.metrics.histogram("chunk.nodes").observe(4)
+    return trace
+
+
+@pytest.fixture
+def fake_clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def reference_trace():
+    return build_reference_trace()

@@ -1,0 +1,133 @@
+"""The cross-process shard contract: drain deltas, merge re-indexing."""
+
+import pickle
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import Trace, span
+from repro.obs.collect import (
+    TraceShard,
+    begin_worker_trace,
+    drain_shard,
+    merge_shard,
+    worker_lane,
+)
+
+from .conftest import FakeClock
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_state():
+    """Worker-trace helpers mutate process globals; leave none behind."""
+    yield
+    obs.disable()
+    obs.set_default_lane("main")
+
+
+class TestWorkerTrace:
+    def test_begin_worker_trace_installs_lane_and_enables(self):
+        trace = begin_worker_trace()
+        assert obs.current_trace() is trace
+        assert trace.lane == worker_lane()
+        assert trace.lane.startswith("worker-")
+        with span("chunk"):
+            pass
+        assert trace.spans[0].lane == worker_lane()
+
+    def test_drain_returns_none_without_worker_trace(self):
+        assert obs.current_trace() is None
+        assert drain_shard() is None
+
+    def test_drain_rejects_open_spans(self):
+        trace = begin_worker_trace()
+        handle = trace.begin("still-open")
+        with pytest.raises(RuntimeError):
+            drain_shard()
+        handle.__exit__(None, None, None)
+
+    def test_drain_ships_only_the_delta(self):
+        trace = begin_worker_trace()
+        with span("task-1"):
+            pass
+        trace.metrics.counter("work").inc(3)
+        trace.metrics.histogram("sizes").observe(5.0)
+        first = drain_shard()
+        assert [s.name for s in first.spans] == ["task-1"]
+        assert first.metrics["counters"]["work"] == 3
+        assert first.metrics["histograms"]["sizes"]["count"] == 1
+
+        with span("task-2"):
+            pass
+        trace.metrics.counter("work").inc(2)
+        second = drain_shard()
+        # Spans and metrics shipped before do not ship again.
+        assert [s.name for s in second.spans] == ["task-2"]
+        assert second.spans[0].index == 0
+        assert second.metrics["counters"]["work"] == 2
+        assert "sizes" not in second.metrics.get("histograms", {})
+
+        third = drain_shard()
+        assert third.spans == []
+        assert third.metrics["counters"] == {}
+
+    def test_shards_pickle(self):
+        begin_worker_trace()
+        with span("task", nodes=4):
+            pass
+        shard = drain_shard()
+        clone = pickle.loads(pickle.dumps(shard))
+        assert clone.lane == shard.lane
+        assert [s.name for s in clone.spans] == ["task"]
+        assert clone.spans[0].attrs == {"nodes": 4}
+
+
+class TestMergeShard:
+    def _shard(self, names_and_parents, lane="worker-9"):
+        worker = Trace(lane=lane, clock=FakeClock())
+        for name, parent in names_and_parents:
+            s = worker.begin(name).span
+            worker.finish(s)
+            s.parent = parent
+        return TraceShard(lane=lane, spans=worker.spans, metrics={})
+
+    def test_merge_reindexes_and_adopts_roots(self, fake_clock):
+        parent_trace = Trace(clock=fake_clock)
+        with parent_trace.begin("fanout") as fan:
+            fan_index = fan.span.index
+        shard = self._shard([("chunk", None), ("search", 0)])
+        merge_shard(parent_trace, shard, parent=fan_index)
+        chunk = parent_trace.spans[1]
+        search = parent_trace.spans[2]
+        assert chunk.name == "chunk"
+        assert chunk.parent == fan_index  # shard root adopted
+        assert search.parent == chunk.index  # internal link re-offset
+        assert chunk.lane == "worker-9" and search.lane == "worker-9"
+
+    def test_merge_without_parent_keeps_shard_roots(self, fake_clock):
+        parent_trace = Trace(clock=fake_clock)
+        shard = self._shard([("chunk", None)])
+        merge_shard(parent_trace, shard)
+        assert parent_trace.spans[0].parent is None
+
+    def test_merge_folds_metrics(self, fake_clock):
+        parent_trace = Trace(clock=fake_clock)
+        parent_trace.metrics.counter("work").inc(1)
+        shard = TraceShard(
+            lane="worker-9", spans=[], metrics={"counters": {"work": 4}}
+        )
+        merge_shard(parent_trace, shard)
+        assert parent_trace.metrics.counter("work").value == 5
+
+    def test_merged_timestamps_are_not_rebased(self, fake_clock):
+        # Worker clocks share the parent's monotonic timebase; merge
+        # must keep span starts exactly where the worker measured them.
+        worker_clock = FakeClock(start=100.0)
+        worker = Trace(lane="worker-9", clock=worker_clock)
+        with worker.begin("chunk"):
+            worker_clock.tick(1.0)
+        shard = TraceShard(lane="worker-9", spans=worker.spans, metrics={})
+        parent_trace = Trace(clock=fake_clock)
+        merge_shard(parent_trace, shard)
+        assert parent_trace.spans[0].start == 100.0
+        assert parent_trace.spans[0].duration == 1.0

@@ -1,0 +1,136 @@
+"""Exporters: golden snapshots, schema validation, round-trips.
+
+The golden files under ``tests/obs/golden/`` snapshot the exact exporter
+output for the deterministic reference trace (fake clock, fixed
+metrics).  A deliberate format change regenerates them with::
+
+    PYTHONPATH=src python -m tests.obs.test_export regenerate
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    chrome_trace,
+    load_chrome_trace,
+    summarize,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+from .conftest import build_reference_trace
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def render_chrome(trace):
+    return json.dumps(chrome_trace(trace), indent=1, sort_keys=True) + "\n"
+
+
+class TestGolden:
+    def test_chrome_trace_matches_golden(self, reference_trace):
+        expected = (GOLDEN / "chrome_trace.json").read_text()
+        assert render_chrome(reference_trace) == expected
+
+    def test_summary_matches_golden(self, reference_trace):
+        expected = (GOLDEN / "summary.txt").read_text()
+        assert summarize(reference_trace.spans, reference_trace.metrics) + "\n" == expected
+
+
+class TestChromeTrace:
+    def test_validates_own_output(self, reference_trace):
+        assert validate_chrome_trace(chrome_trace(reference_trace)) == []
+
+    def test_round_trip_preserves_tree_and_metrics(self, reference_trace, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(reference_trace, path)
+        spans, metrics = load_chrome_trace(path)
+        assert [s.name for s in spans] == [s.name for s in reference_trace.spans]
+        assert [s.parent for s in spans] == [s.parent for s in reference_trace.spans]
+        assert [s.lane for s in spans] == [s.lane for s in reference_trace.spans]
+        for loaded, original in zip(spans, reference_trace.spans):
+            assert loaded.start == pytest.approx(original.start, abs=1e-9)
+            assert loaded.duration == pytest.approx(original.duration, abs=1e-9)
+        assert metrics == reference_trace.metrics.as_dict()
+
+    def test_summarize_agrees_between_live_and_loaded(self, reference_trace, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(reference_trace, path)
+        spans, metrics = load_chrome_trace(path)
+        assert summarize(spans, metrics) == summarize(
+            reference_trace.spans, reference_trace.metrics
+        )
+
+    def test_lane_metadata_one_thread_per_lane(self, reference_trace):
+        obj = chrome_trace(reference_trace)
+        thread_names = [
+            e["args"]["name"]
+            for e in obj["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert thread_names == ["main"]
+        assert obj["metadata"]["lanes"] == ["main"]
+
+    @pytest.mark.parametrize(
+        "corrupt, problem",
+        [
+            ([], "top level"),
+            ({"traceEvents": {}}, "must be a list"),
+            ({"traceEvents": [{"ph": "Q"}]}, "ph must be"),
+            (
+                {"traceEvents": [{"ph": "X", "name": "a", "pid": 0, "tid": 0,
+                                  "ts": -1, "dur": 0, "args": {"span": 0}}]},
+                "ts must be",
+            ),
+            (
+                {"traceEvents": [{"ph": "X", "name": "a", "pid": 0, "tid": 0,
+                                  "ts": 0, "dur": 0, "args": {}}]},
+                "args.span",
+            ),
+            (
+                {"traceEvents": [{"ph": "X", "name": "a", "pid": 0, "tid": 0,
+                                  "ts": 0, "dur": 0,
+                                  "args": {"span": 0, "parent": 7}}]},
+                "dangling parent",
+            ),
+        ],
+    )
+    def test_validator_rejects_corruption(self, corrupt, problem):
+        errors = validate_chrome_trace(corrupt)
+        assert errors and any(problem in e for e in errors)
+
+    def test_load_rejects_invalid_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"traceEvents": "nope"}')
+        with pytest.raises(ValueError):
+            load_chrome_trace(str(path))
+
+
+class TestJsonl:
+    def test_lines_parse_and_cover_spans_and_metrics(self, reference_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(reference_trace, str(path))
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = [r["type"] for r in records]
+        assert kinds[0] == "meta"
+        assert kinds.count("span") == len(reference_trace.spans)
+        metric_names = {r["name"] for r in records if r["type"] == "metric"}
+        assert "search.total.searches" in metric_names
+
+
+def regenerate():
+    GOLDEN.mkdir(exist_ok=True)
+    trace = build_reference_trace()
+    (GOLDEN / "chrome_trace.json").write_text(render_chrome(trace))
+    (GOLDEN / "summary.txt").write_text(
+        summarize(trace.spans, trace.metrics) + "\n"
+    )
+    print(f"golden files regenerated under {GOLDEN}")
+
+
+if __name__ == "__main__" and "regenerate" in sys.argv:
+    regenerate()

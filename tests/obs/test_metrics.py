@@ -1,0 +1,101 @@
+"""The typed metrics registry: semantics, serialization, merging."""
+
+import pytest
+
+from repro.network.engine import SearchStats
+from repro.obs import SEARCH_STAT_FIELDS, MetricsRegistry
+
+
+class TestKinds:
+    def test_counter_accumulates_and_rejects_decrease(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("searches")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        assert registry.counter("searches") is counter  # get-or-create
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("rows").set(5)
+        registry.gauge("rows").set(3)
+        assert registry.gauge("rows").value == 3
+
+    def test_histogram_summary_statistics(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("chunk")
+        for value in (4.0, 1.0, 7.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 12.0
+        assert histogram.min == 1.0
+        assert histogram.max == 7.0
+        assert histogram.mean == 4.0
+
+    def test_empty_registry_is_falsy(self):
+        registry = MetricsRegistry()
+        assert not registry
+        registry.counter("x").inc()
+        assert registry
+
+
+class TestSearchStatsAbsorption:
+    def test_absorb_records_phase_and_total(self):
+        registry = MetricsRegistry()
+        stats = SearchStats(searches=3, cache_hits=1, settled=40, pushes=50)
+        registry.absorb_search_stats("preprocess", stats)
+        registry.absorb_search_stats("selection", stats)
+        assert registry.counter("search.preprocess.searches").value == 3
+        assert registry.counter("search.selection.settled").value == 40
+        assert registry.counter("search.total.searches").value == 6
+        assert registry.counter("search.total.pushes").value == 100
+
+    def test_absorb_profile_covers_every_field(self):
+        registry = MetricsRegistry()
+        profile = {"ordering": SearchStats(searches=2, settled=9, pushes=11)}
+        registry.absorb_search_profile(profile)
+        for field in SEARCH_STAT_FIELDS:
+            assert f"search.ordering.{field}" in registry.counters
+
+
+class TestSerialization:
+    def test_as_dict_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(2.0)
+        registry.histogram("h").observe(4.0)
+        clone = MetricsRegistry.from_dict(registry.as_dict())
+        assert clone.as_dict() == registry.as_dict()
+
+    def test_as_dict_is_sorted_and_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.counter("alpha").inc()
+        assert list(registry.as_dict()["counters"]) == ["alpha", "zeta"]
+
+    def test_merge_semantics(self):
+        ours = MetricsRegistry()
+        ours.counter("c").inc(2)
+        ours.gauge("g").set(1)
+        ours.histogram("h").observe(1.0)
+        theirs = MetricsRegistry()
+        theirs.counter("c").inc(3)
+        theirs.counter("new").inc(1)
+        theirs.gauge("g").set(9)
+        theirs.histogram("h").observe(5.0)
+        ours.merge(theirs)
+        assert ours.counter("c").value == 5
+        assert ours.counter("new").value == 1
+        assert ours.gauge("g").value == 9  # last write wins
+        h = ours.histogram("h")
+        assert (h.count, h.total, h.min, h.max) == (2, 6.0, 1.0, 5.0)
+
+    def test_names_spans_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.gauge("a").set(0)
+        registry.histogram("c").observe(1)
+        assert list(registry.names()) == ["a", "b", "c"]

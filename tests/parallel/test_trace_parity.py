@@ -1,0 +1,126 @@
+"""Cross-process trace collection: a ``--workers N`` run must produce
+one coherent trace — spans from every worker lane, and ``search.*``
+metric totals *exactly* equal to the serial run (same integers, not
+approximately)."""
+
+import pytest
+
+import repro.obs as obs
+from repro.core.config import EBRRConfig
+from repro.core.ebrr import plan_route
+from repro.core.utility import BRRInstance
+from repro.demand.generators import hotspot_demand
+from repro.network.engine import SearchEngine
+from repro.network.generators import grid_city
+from repro.parallel import sweep_plans
+from repro.transit.builder import build_transit_network
+
+pytestmark = pytest.mark.parallel
+
+
+def _instance(seed=3):
+    network = grid_city(8, 8, seed=seed)
+    transit = build_transit_network(
+        network, num_routes=4, seed=seed + 1, stop_spacing_km=0.8
+    )
+    queries = hotspot_demand(
+        network, 300, num_hotspots=4, transit=transit, seed=seed + 2
+    )
+    return BRRInstance(transit, queries, alpha=5.0)
+
+
+def _traced_plan(instance, workers):
+    # A fresh engine per run: a shared one would serve later runs from
+    # cache and skew the search counters the parity assertion compares.
+    engine = SearchEngine(instance.network)
+    config = EBRRConfig(
+        max_stops=10, max_adjacent_cost=2.0, alpha=5.0, workers=workers
+    )
+    with obs.tracing() as trace:
+        result = plan_route(instance, config, engine=engine)
+    return trace, result
+
+
+def _search_totals(trace):
+    return {
+        name: value
+        for name, value in trace.metrics.as_dict()["counters"].items()
+        if name.startswith("search.")
+    }
+
+
+class TestPlanRouteFoldBack:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_metric_totals_identical_to_serial(self, workers):
+        instance = _instance()
+        serial_trace, serial_result = _traced_plan(instance, workers=1)
+        par_trace, par_result = _traced_plan(instance, workers=workers)
+        assert _search_totals(par_trace) == _search_totals(serial_trace)
+        assert par_result.route.stops == serial_result.route.stops
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_trace_has_worker_lanes(self, workers):
+        trace, _ = _traced_plan(_instance(), workers=workers)
+        lanes = {span.lane for span in trace.spans}
+        assert "main" in lanes
+        worker_lanes = {l for l in lanes if l.startswith("worker-")}
+        assert worker_lanes, f"no worker lanes in {sorted(lanes)}"
+        chunk_lanes = {
+            span.lane for span in trace.spans if span.name == "fanout.chunk"
+        }
+        assert chunk_lanes <= worker_lanes
+
+    def test_worker_spans_hang_under_the_fanout_span(self):
+        trace, _ = _traced_plan(_instance(), workers=2)
+        by_index = {span.index: span for span in trace.spans}
+        fanout = next(s for s in trace.spans if s.name == "fanout")
+        for chunk in (s for s in trace.spans if s.name == "fanout.chunk"):
+            assert by_index[chunk.parent] is fanout
+
+    def test_merged_trace_exports_valid_chrome_json(self):
+        trace, _ = _traced_plan(_instance(), workers=2)
+        obj = obs.chrome_trace(trace)
+        assert obs.validate_chrome_trace(obj) == []
+        lanes = obj["metadata"]["lanes"]
+        assert lanes[0] == "main" and len(lanes) >= 2
+
+    def test_serial_run_ships_no_shards(self):
+        trace, _ = _traced_plan(_instance(), workers=1)
+        assert {span.lane for span in trace.spans} == {"main"}
+        assert any(span.name == "preprocess.searches" for span in trace.spans)
+
+
+class TestSweepFoldBack:
+    def test_sweep_shards_carry_worker_plan_spans(self):
+        instance = _instance()
+        configs = [
+            EBRRConfig(max_stops=k, max_adjacent_cost=2.0, alpha=5.0)
+            for k in (6, 8, 10, 12)
+        ]
+        with obs.tracing() as trace:
+            results = sweep_plans(instance, configs, workers=2)
+        assert len(results) == 4
+        lanes = {span.lane for span in trace.spans}
+        assert any(l.startswith("worker-") for l in lanes)
+        plan_spans = [s for s in trace.spans if s.name == "plan_route"]
+        assert len(plan_spans) == 4  # one per config, shipped home
+        sweep_span = next(s for s in trace.spans if s.name == "sweep")
+        by_index = {s.index: s for s in trace.spans}
+        for plan_span in plan_spans:
+            assert by_index[plan_span.parent] is sweep_span
+        assert obs.validate_chrome_trace(obs.chrome_trace(trace)) == []
+
+    def test_sweep_trace_metrics_match_result_stats(self):
+        # The trace totals must equal the sum over the results' own
+        # search_stats — the workers recorded them, shards shipped them,
+        # nothing was double-counted on merge.
+        instance = _instance()
+        configs = [
+            EBRRConfig(max_stops=k, max_adjacent_cost=2.0, alpha=5.0)
+            for k in (6, 10)
+        ]
+        with obs.tracing() as trace:
+            results = sweep_plans(instance, configs, workers=2)
+        expected = sum(r.total_search_stats.searches for r in results)
+        counters = trace.metrics.as_dict()["counters"]
+        assert counters["search.total.searches"] == expected

@@ -92,3 +92,45 @@ class TestCommands:
 
         doc = json.loads(geojson.read_text())
         assert doc["type"] == "FeatureCollection"
+
+
+class TestTrace:
+    def test_plan_trace_writes_valid_chrome_json(self, capsys, tmp_path):
+        from repro.obs import load_chrome_trace
+
+        target = tmp_path / "plan-trace.json"
+        code = main(
+            ["plan", "--city", "orlando", "--scale", "0.05", "-k", "5",
+             "--trace", str(target)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert target.exists()
+        assert "trace written to" in out
+        spans, metrics = load_chrome_trace(str(target))
+        names = {s.name for s in spans}
+        assert "plan_route" in names and "preprocess" in names
+        assert metrics["counters"]["search.total.searches"] > 0
+
+    def test_trace_summarize_round_trip(self, capsys, tmp_path):
+        target = tmp_path / "plan-trace.json"
+        assert main(
+            ["plan", "--city", "orlando", "--scale", "0.05", "-k", "5",
+             "--trace", str(target)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary:" in out
+        assert "plan_route" in out
+        assert "search.total.searches" in out
+
+    def test_trace_summarize_missing_file(self, capsys, tmp_path):
+        assert main(["trace", "summarize", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_trace_summarize_rejects_invalid_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": "nope"}')
+        assert main(["trace", "summarize", str(bad)]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
