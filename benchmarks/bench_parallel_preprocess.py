@@ -8,15 +8,19 @@ contract (bit-identical outputs, identical ``preprocess`` profile
 totals), and emits a machine-readable ``BENCH_parallel.json`` for CI.
 
 The speedup assertion is gated on the cores actually available: the
-fan-out cannot beat serial on a single-core box (the JSON records
-``cpu_limited: true`` there), while on ≥4 cores 4 workers must clear
-1.5× — the acceptance bar of the parallel substrate.
+fan-out cannot beat serial on a single-core box, while on ≥4 cores 4
+workers must clear 1.5× — the acceptance bar of the parallel substrate.
+A core-starved downgrade is **loud**: the JSON records
+``"gate": "skipped"`` (vs ``"passed"``) next to ``cpu_limited: true``
+and a warning goes to stderr, so a single-core runner can never be
+mistaken for a passing run.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sys
 import time
 
 from repro.core.preprocess import preprocess_queries
@@ -83,6 +87,18 @@ def test_parallel_preprocess_speedup(experiment):
     speedups = {w: serial_s / row["timings"][w] for w in WORKER_GRID}
     cpu_limited = cores < 4
 
+    # The gate outcome is recorded explicitly: a single-core runner must
+    # not look like a passing run.  "skipped" in the JSON plus a stderr
+    # warning makes the downgrade loud for both humans and CI parsers.
+    gate = "skipped" if cpu_limited else "passed"
+    if cpu_limited:
+        print(
+            f"WARNING: bench_parallel_preprocess speedup gate SKIPPED — "
+            f"only {cores} core(s) available (need >= 4); "
+            f"re-record BENCH_parallel.json on a multicore runner",
+            file=sys.stderr,
+        )
+
     payload = {
         "bench": "parallel_preprocess",
         "dataset": "chicago",
@@ -90,6 +106,7 @@ def test_parallel_preprocess_speedup(experiment):
         "distinct_queries": distinct,
         "available_cores": cores,
         "cpu_limited": cpu_limited,
+        "gate": gate,
         "serial_s": serial_s,
         "workers": {
             str(w): {"time_s": row["timings"][w], "speedup": speedups[w]}
@@ -125,6 +142,7 @@ def test_parallel_preprocess_speedup(experiment):
     assert distinct >= MIN_DISTINCT_QUERIES, distinct
     assert row["equal"]
     assert row["profiles_equal"]
-    # The speedup bar only applies where the hardware can deliver it.
-    if not cpu_limited:
+    # The speedup bar only applies where the hardware can deliver it —
+    # but a skipped gate is recorded (and shouted) above, never silent.
+    if gate == "passed":
         assert speedups[4] >= REQUIRED_SPEEDUP_AT_4, payload

@@ -33,6 +33,7 @@ from .eval.experiments import calibrated_alpha, dataset_statistics, effect_of_k
 from .eval.export import rows_to_csv
 from .eval.reporting import format_series, format_table
 from .lint.report import format_names as lint_format_names
+from .network.engine import available_kernels
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--workers", type=int, default=1,
                       help="process-pool size for the Algorithm 2 fan-out "
                            "(1 = serial; results are bit-identical)")
+    plan.add_argument("--kernel", choices=available_kernels(), default=None,
+                      help="search-kernel backend (default: $REPRO_KERNEL, "
+                           "then 'python'; results are bit-identical — "
+                           "'vectorized' is the fast numpy backend for "
+                           "full-scale cities)")
     plan.add_argument("--trace", type=str, default=None, metavar="PATH",
                       help="record a trace of the run and write it in "
                            "Chrome trace-event format (open in "
@@ -88,6 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=1,
                        help="process-pool size: parallelizes preprocessing "
                            "and fans the per-K EBRR runs over workers")
+    sweep.add_argument("--kernel", choices=available_kernels(), default=None,
+                       help="search-kernel backend for every planner run "
+                            "(rows are bit-identical across backends)")
     sweep.add_argument("--trace", type=str, default=None, metavar="PATH",
                        help="record a trace of the sweep and write it in "
                             "Chrome trace-event format")
@@ -104,7 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="optional output GeoJSON path")
 
     lint = sub.add_parser(
-        "lint", help="check the source against the RL001-RL008 invariants"
+        "lint", help="check the source against the RL001-RL009 invariants"
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
@@ -206,6 +215,7 @@ def _cmd_plan(args) -> int:
         max_adjacent_cost=args.max_adjacent_cost,
         alpha=alpha,
         workers=args.workers,
+        kernel=args.kernel,
     )
     if args.trace:
         with tracing() as trace:
@@ -228,7 +238,9 @@ def _cmd_plan(args) -> int:
         print()
         if not args.explain:  # --explain already embeds the phase table
             print(search_stats_table(result))
-        info = engine_for(instance.network).cache_info()
+        engine = engine_for(instance.network)
+        print(f"search kernel: {engine.kernel_name}")
+        info = engine.cache_info()
         print(
             f"engine cache: {info.hits} hits / {info.misses} misses "
             f"(hit rate {info.hit_rate:.1%}), {info.rows} rows and "
@@ -260,13 +272,13 @@ def _cmd_sweep(args) -> int:
             rows = effect_of_k(
                 dataset, ks, alpha=alpha,
                 max_adjacent_cost=args.max_adjacent_cost,
-                workers=args.workers,
+                workers=args.workers, kernel=args.kernel,
             )
         _write_trace(trace, args.trace)
     else:
         rows = effect_of_k(
             dataset, ks, alpha=alpha, max_adjacent_cost=args.max_adjacent_cost,
-            workers=args.workers,
+            workers=args.workers, kernel=args.kernel,
         )
     for value, title in (
         ("walk_cost", "Walking cost vs K"),

@@ -50,6 +50,12 @@ class EBRRConfig:
         workers: process-pool size for the Algorithm 2 fan-out of
             :mod:`repro.parallel` (``1`` = the serial path; results are
             bit-identical either way).
+        kernel: search-kernel backend name (``"python"``,
+            ``"vectorized"``); ``None`` defers to the ``REPRO_KERNEL``
+            environment variable, then the default.  Backends are
+            bit-identical by contract, so this is purely a speed knob.
+            The name is a plain string so the config pickles unchanged
+            into :mod:`repro.parallel` workers.
     """
 
     max_stops: int
@@ -62,6 +68,7 @@ class EBRRConfig:
     refine_path: bool = True
     price_budget_fraction: float = DEFAULT_PRICE_BUDGET_FRACTION
     workers: int = 1
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_stops < 2:
@@ -83,6 +90,16 @@ class EBRRConfig:
             raise ConfigurationError(
                 f"workers must be >= 1, got {self.workers}"
             )
+        if self.kernel is not None:
+            # Imported lazily: config is a leaf module and the engine
+            # owns the kernel registry (RL009 confines the package).
+            from ..network.engine import available_kernels
+
+            if self.kernel not in available_kernels():
+                raise ConfigurationError(
+                    f"unknown search kernel {self.kernel!r}; available: "
+                    f"{', '.join(available_kernels())}"
+                )
 
     @property
     def price_budget(self) -> float:

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from ..exceptions import InfeasibleRouteError
-from ..network.engine import SearchEngine, engine_for
+from ..network.engine import KERNEL_IDS, SearchEngine, engine_for
 from ..obs import Trace, current_trace, extract_run, phase_timings
 from ..transit.route import BusRoute
 from .christofides import christofides_order
@@ -63,7 +63,9 @@ def plan_route(
             "same alpha"
         )
     if engine is None:
-        engine = engine_for(instance.network)
+        engine = engine_for(instance.network, kernel=config.kernel)
+    elif config.kernel is not None:
+        engine.set_kernel(config.kernel)
     stats_base = engine.snapshot()
 
     # All phases run under trace spans; the timings dict is *derived*
@@ -122,6 +124,11 @@ def plan_route(
     active = current_trace()
     if active is not None:
         active.metrics.absorb_search_profile(search_stats)
+        # Which backend ran the searches, as a stable numeric id (gauges
+        # are floats); KERNEL_IDS maps it back to the name.
+        active.metrics.gauge("search.kernel").set(
+            KERNEL_IDS[engine.kernel_name]
+        )
     return EBRRResult(
         route=route,
         metrics=metrics,

@@ -113,7 +113,7 @@ def preprocess_queries(
 
             rows, worker_stats = run_query_searches(
                 instance.network, is_existing, is_candidate, list(counts),
-                workers=workers,
+                workers=workers, kernel=engine.kernel_name,
             )
             engine.absorb("preprocess", worker_stats)
             for query_node, _nn_stop, nn_dist, visited in rows:

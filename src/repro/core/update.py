@@ -171,6 +171,7 @@ def _apply_update(
                 new_instance.is_candidate,
                 added,
                 workers=workers,
+                kernel=engine.kernel_name,
             )
             engine.absorb("update", worker_stats)
         else:

@@ -118,11 +118,14 @@ def effect_of_k(
     planners: Optional[Sequence[RoutePlanner]] = None,
     seed: int = 0,
     workers: int = 1,
+    kernel: Optional[str] = None,
 ) -> List[Row]:
     """One row per (K, algorithm): walking cost (Fig. 7), connectivity
     (Fig. 8), and execution time (Fig. 13) on the full demand.
     ``workers > 1`` fans the Algorithm 2 preprocessing over a process
-    pool (see :mod:`repro.parallel`); the rows are identical."""
+    pool (see :mod:`repro.parallel`); the rows are identical.
+    ``kernel`` picks the search backend (also identical rows — it is a
+    speed knob; see :mod:`repro.network.kernels`)."""
     if planners is None:
         planners = default_planners(seed=seed)
     instance = dataset.instance(alpha)
@@ -130,7 +133,7 @@ def effect_of_k(
     for k in ks:
         config = EBRRConfig(
             max_stops=k, max_adjacent_cost=max_adjacent_cost, alpha=alpha,
-            workers=workers,
+            workers=workers, kernel=kernel,
         )
         with span("effect_of_k", dataset=dataset.name, K=k):
             plans = run_planners(instance, config, planners)

@@ -13,4 +13,5 @@ from . import (  # noqa: F401
     rl006_wall_clock,
     rl007_float_typed_equality,
     rl008_raw_perf_counter,
+    rl009_kernel_confinement,
 )

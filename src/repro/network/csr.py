@@ -11,6 +11,15 @@ The neighbor order inside each row is **exactly** the order of
 legacy free functions in :mod:`repro.network.dijkstra` bit for bit,
 which the equivalence test suite relies on.
 
+One snapshot serves **both** kernel backends.  The python kernel reads
+the list views positionally (plain list indexing is CPython's fastest
+per-element access, and it keeps every cost a native ``float`` — numpy
+indexing would box ``np.float64`` scalars into the heaps and the
+results); the vectorized kernel reads the numpy views (``np_indptr`` /
+``np_targets`` / ``np_costs``), which are materialised from the lists
+at most once per snapshot and cached on it, so backends share one
+build and one :meth:`is_current` invalidation path.
+
 A snapshot records the network's :attr:`~RoadNetwork.version`;
 :meth:`CSRAdjacency.is_current` tells callers (the engine) when a graph
 mutation has invalidated it.
@@ -18,9 +27,12 @@ mutation has invalidated it.
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from .graph import RoadNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    import numpy
 
 
 class CSRAdjacency:
@@ -35,7 +47,15 @@ class CSRAdjacency:
         version: the network version this snapshot was built from.
     """
 
-    __slots__ = ("indptr", "targets", "costs", "num_nodes", "version", "_network")
+    __slots__ = (
+        "indptr",
+        "targets",
+        "costs",
+        "num_nodes",
+        "version",
+        "_network",
+        "_np_views",
+    )
 
     def __init__(self, network: RoadNetwork) -> None:
         n = network.num_nodes
@@ -53,11 +73,44 @@ class CSRAdjacency:
         self.num_nodes = n
         self.version = network.version
         self._network = network
+        self._np_views: Optional[
+            Tuple["numpy.ndarray", "numpy.ndarray", "numpy.ndarray"]
+        ] = None
 
     @property
     def network(self) -> RoadNetwork:
         """The network this snapshot was built from."""
         return self._network
+
+    def _numpy_views(
+        self,
+    ) -> Tuple["numpy.ndarray", "numpy.ndarray", "numpy.ndarray"]:
+        views = self._np_views
+        if views is None:
+            import numpy as np
+
+            views = (
+                np.asarray(self.indptr, dtype=np.int64),
+                np.asarray(self.targets, dtype=np.int32),
+                np.asarray(self.costs, dtype=np.float64),
+            )
+            self._np_views = views
+        return views
+
+    @property
+    def np_indptr(self) -> "numpy.ndarray":
+        """``indptr`` as an int64 array (built once, cached)."""
+        return self._numpy_views()[0]
+
+    @property
+    def np_targets(self) -> "numpy.ndarray":
+        """``targets`` as an int32 array (built once, cached)."""
+        return self._numpy_views()[1]
+
+    @property
+    def np_costs(self) -> "numpy.ndarray":
+        """``costs`` as a float64 array (built once, cached)."""
+        return self._numpy_views()[2]
 
     @property
     def num_directed_edges(self) -> int:

@@ -1,4 +1,4 @@
-"""The Dijkstra search family used throughout EBRR.
+"""Legacy free-function surface of the Dijkstra search family.
 
 The paper leans on three properties of Dijkstra's algorithm:
 
@@ -10,17 +10,27 @@ The paper leans on three properties of Dijkstra's algorithm:
   incrementally by running one pruned search per newly added stop
   instead of re-running all-pairs searches.
 
-All functions operate on :class:`~repro.network.graph.RoadNetwork` and
-use dense lists indexed by node id for speed.
+The algorithms themselves now live in the kernel backends under
+:mod:`repro.network.kernels`, orchestrated by
+:class:`~repro.network.engine.SearchEngine`.  This module keeps the
+original free-function API as thin wrappers over the network's shared
+engine (:func:`~repro.network.engine.engine_for`): results are
+bit-identical to the historical standalone loops — same neighbor
+order, same tie-breaking — and the work is accounted to the engine's
+``adhoc`` phase and served from its cache when possible.  Unlike the
+engine methods, every list returned here is a private copy the caller
+may mutate, matching the legacy contract.
+
+New code should call the engine directly (reprolint RL001 nudges it
+to); these wrappers exist for the established surface and for scripts.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
-from ..exceptions import GraphError
+from .engine import IncrementalNearest, engine_for
 from .graph import RoadNetwork
 
 INF = math.inf
@@ -44,32 +54,7 @@ def shortest_path_costs(
         A list ``dist`` with ``dist[v]`` the cost of the cheapest path
         ``source -> v`` (``inf`` if unreached / beyond ``max_cost``).
     """
-    n = network.num_nodes
-    dist = [INF] * n
-    dist[source] = 0.0
-    heap: List[Tuple[float, int]] = [(0.0, source)]
-    adj = network.neighbors
-    while heap:
-        d, u = heapq.heappop(heap)
-        if d > dist[u]:
-            continue
-        if max_cost is not None and d > max_cost:
-            # Beyond the bound: skip expansion.  Do NOT reset dist[u]
-            # here — pops are non-decreasing, so resetting to INF lets
-            # stale heap entries for u sneak past the staleness check
-            # above and redo the bound test; the final sweep below
-            # masks every out-of-bound node exactly once.
-            continue
-        for v, cost in adj(u):
-            nd = d + cost
-            if nd < dist[v]:
-                dist[v] = nd
-                heapq.heappush(heap, (nd, v))
-    if max_cost is not None:
-        for v in range(n):
-            if dist[v] > max_cost:
-                dist[v] = INF
-    return dist
+    return list(engine_for(network).sssp(source, max_cost=max_cost))
 
 
 def shortest_path(
@@ -85,31 +70,8 @@ def shortest_path(
         GraphError: if ``target`` is unreachable (cannot happen on a
             connected network but kept for subgraph callers).
     """
-    n = network.num_nodes
-    dist = [INF] * n
-    parent = [-1] * n
-    dist[source] = 0.0
-    heap: List[Tuple[float, int]] = [(0.0, source)]
-    adj = network.neighbors
-    while heap:
-        d, u = heapq.heappop(heap)
-        if d > dist[u]:
-            continue
-        if u == target:
-            break
-        for v, cost in adj(u):
-            nd = d + cost
-            if nd < dist[v]:
-                dist[v] = nd
-                parent[v] = u
-                heapq.heappush(heap, (nd, v))
-    if dist[target] == INF:
-        raise GraphError(f"node {target} unreachable from {source}")
-    path = [target]
-    while path[-1] != source:
-        path.append(parent[path[-1]])
-    path.reverse()
-    return path, dist[target]
+    path, cost = engine_for(network).path(source, target)
+    return list(path), cost
 
 
 def distance_between(
@@ -124,25 +86,7 @@ def distance_between(
     Returns ``inf`` when ``upper_bound`` is given and the true distance
     exceeds it.
     """
-    if source == target:
-        return 0.0
-    dist: Dict[int, float] = {source: 0.0}
-    heap: List[Tuple[float, int]] = [(0.0, source)]
-    adj = network.neighbors
-    while heap:
-        d, u = heapq.heappop(heap)
-        if d > dist.get(u, INF):
-            continue
-        if u == target:
-            return d
-        if upper_bound is not None and d > upper_bound:
-            return INF
-        for v, cost in adj(u):
-            nd = d + cost
-            if nd < dist.get(v, INF):
-                dist[v] = nd
-                heapq.heappush(heap, (nd, v))
-    return INF
+    return engine_for(network).distance(source, target, upper_bound=upper_bound)
 
 
 def search_to_nearest(
@@ -160,21 +104,7 @@ def search_to_nearest(
     Raises:
         GraphError: if no target node is reachable.
     """
-    dist: Dict[int, float] = {source: 0.0}
-    heap: List[Tuple[float, int]] = [(0.0, source)]
-    adj = network.neighbors
-    while heap:
-        d, u = heapq.heappop(heap)
-        if d > dist.get(u, INF):
-            continue
-        if is_target(u):
-            return u, d
-        for v, cost in adj(u):
-            nd = d + cost
-            if nd < dist.get(v, INF):
-                dist[v] = nd
-                heapq.heappush(heap, (nd, v))
-    raise GraphError(f"no target reachable from node {source}")
+    return engine_for(network).nearest(source, is_target)
 
 
 def query_preprocessing_search(
@@ -205,27 +135,8 @@ def query_preprocessing_search(
     Raises:
         GraphError: if no existing stop is reachable from ``query_node``.
     """
-    dist: Dict[int, float] = {query_node: 0.0}
-    heap: List[Tuple[float, int]] = [(0.0, query_node)]
-    visited_candidates: List[Tuple[int, float]] = []
-    settled: Set[int] = set()
-    adj = network.neighbors
-    while heap:
-        d, u = heapq.heappop(heap)
-        if u in settled:
-            continue
-        settled.add(u)
-        if is_existing_stop[u]:
-            return u, d, visited_candidates
-        if is_candidate_stop[u]:
-            visited_candidates.append((u, d))
-        for v, cost in adj(u):
-            nd = d + cost
-            if nd < dist.get(v, INF):
-                dist[v] = nd
-                heapq.heappush(heap, (nd, v))
-    raise GraphError(
-        f"no existing bus stop reachable from query node {query_node}"
+    return engine_for(network).query_search(
+        query_node, is_existing_stop, is_candidate_stop
     )
 
 
@@ -240,35 +151,10 @@ def multi_source_costs(
     Equivalent to Dijkstra from a virtual super-source connected to all
     ``sources`` with zero-cost edges.
     """
-    n = network.num_nodes
-    dist = [INF] * n
-    heap: List[Tuple[float, int]] = []
-    for s in sources:
-        if dist[s] > 0.0:
-            dist[s] = 0.0
-            heap.append((0.0, s))
-    heapq.heapify(heap)
-    adj = network.neighbors
-    while heap:
-        d, u = heapq.heappop(heap)
-        if d > dist[u]:
-            continue
-        if max_cost is not None and d > max_cost:
-            # See shortest_path_costs: never reset dist mid-search.
-            continue
-        for v, cost in adj(u):
-            nd = d + cost
-            if nd < dist[v]:
-                dist[v] = nd
-                heapq.heappush(heap, (nd, v))
-    if max_cost is not None:
-        for v in range(n):
-            if dist[v] > max_cost:
-                dist[v] = INF
-    return dist
+    return list(engine_for(network).multi_source(sources, max_cost=max_cost))
 
 
-class IncrementalNearestDistance:
+class IncrementalNearestDistance(IncrementalNearest):
     """Nearest-distance-to-a-growing-set maintenance.
 
     Maintains ``dist_to_set[v] = min over s in S of dist(v, s)`` for a
@@ -281,55 +167,12 @@ class IncrementalNearestDistance:
     EBRR uses this to keep the distance from every candidate stop to the
     current solution set ``B`` (needed by the price function) without
     re-running searches.
+
+    This is the legacy network-keyed constructor for
+    :class:`~repro.network.engine.IncrementalNearest` (the two
+    implementations were deduplicated onto the engine); prefer
+    :meth:`SearchEngine.incremental_nearest` in new code.
     """
 
     def __init__(self, network: RoadNetwork) -> None:
-        self._network = network
-        self.distance: List[float] = [INF] * network.num_nodes
-        self._sources: List[int] = []
-
-    @property
-    def sources(self) -> List[int]:
-        """The sources added so far, in insertion order (a copy)."""
-        return list(self._sources)
-
-    def add_source(self, source: int, *, max_cost: Optional[float] = None) -> List[int]:
-        """Add ``source`` to the set and relax distances.
-
-        Args:
-            source: the new set member.
-            max_cost: optional truncation radius for the relaxation.
-
-        Returns:
-            The list of nodes whose distance improved.
-        """
-        dist = self.distance
-        if dist[source] <= 0.0:
-            self._sources.append(source)
-            return []
-        improved: List[int] = []
-        local: Dict[int, float] = {source: 0.0}
-        heap: List[Tuple[float, int]] = [(0.0, source)]
-        adj = self._network.neighbors
-        while heap:
-            d, u = heapq.heappop(heap)
-            if d > local.get(u, INF):
-                continue
-            if max_cost is not None and d > max_cost:
-                continue
-            if d >= dist[u]:
-                # everything beyond u through this path is already
-                # dominated by an earlier source
-                continue
-            dist[u] = d
-            improved.append(u)
-            for v, cost in adj(u):
-                nd = d + cost
-                if nd < local.get(v, INF) and nd < dist[v]:
-                    local[v] = nd
-                    heapq.heappush(heap, (nd, v))
-        self._sources.append(source)
-        return improved
-
-    def __getitem__(self, node: int) -> float:
-        return self.distance[node]
+        super().__init__(engine_for(network), "adhoc")

@@ -21,7 +21,15 @@ with a single owned, cacheable, observable substrate:
   caller-chosen *phase* label, surfacing searches run, cache hits,
   nodes settled, heap pushes, and truncations per logical phase (the
   ``--profile-searches`` CLI table and
-  :attr:`~repro.core.result.EBRRResult.search_stats`).
+  :attr:`~repro.core.result.EBRRResult.search_stats`);
+* the *algorithms* live one layer down, in the pluggable backends of
+  :mod:`repro.network.kernels`: the engine owns caching, stats and
+  snapshot invalidation and delegates every primitive search to a
+  :class:`~repro.network.kernels.base.SearchKernel` (``python`` heapq
+  reference or numpy ``vectorized``), selected by name via
+  ``EBRRConfig.kernel`` / ``--kernel`` / ``$REPRO_KERNEL``.  Backends
+  are bit-identical by contract, so :meth:`SearchEngine.set_kernel`
+  swaps mid-run without invalidating caches.
 
 Results returned from cached entries are the cached objects themselves:
 **treat every returned list as read-only.**
@@ -30,19 +38,43 @@ Algorithmic behaviour is bit-identical to the legacy free functions in
 :mod:`repro.network.dijkstra` (same neighbor order, same tie-breaking,
 same epsilon) — the equivalence test suite asserts this on grid, radial
 and sprawl generators.
+
+This module is the only importer of :mod:`repro.network.kernels`
+(reprolint RL009); it re-exports :func:`available_kernels`,
+:func:`resolve_kernel` and :data:`KERNEL_IDS` for config/CLI/metrics
+use.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..exceptions import GraphError
 from .csr import CSRAdjacency
 from .graph import RoadNetwork
+from .kernels import (
+    DEFAULT_KERNEL,
+    KERNEL_IDS,
+    SearchKernel,
+    available_kernels,
+    resolve_kernel,
+)
+
+__all__ = [
+    "SearchStats",
+    "CacheInfo",
+    "SearchEngine",
+    "IncrementalNearest",
+    "engine_for",
+    "DEFAULT_KERNEL",
+    "KERNEL_IDS",
+    "SearchKernel",
+    "available_kernels",
+    "resolve_kernel",
+]
 
 INF = math.inf
 
@@ -56,9 +88,14 @@ class SearchStats:
     Attributes:
         searches: graph searches actually executed (cache hits excluded).
         cache_hits: requests answered from the result cache.
-        settled: nodes settled (popped and expanded) over all searches.
-        pushes: heap pushes over all searches (including seeds).
-        truncated: heap pops discarded for exceeding a cost bound.
+        settled: nodes settled over all searches (backend-independent:
+            both kernels count the same node sets).
+        pushes: frontier insertions over all searches, including seeds.
+            This is the one *backend-defined* counter — heap pushes for
+            the python kernel, scatter-min improvements for the
+            vectorized one (see ``kernels.base``).
+        truncated: nodes discarded for exceeding a cost bound
+            (backend-independent).
     """
 
     searches: int = 0
@@ -140,17 +177,28 @@ class SearchEngine:
             multi-source, cost-ball results; each is O(|V|)).  The
             point cache (paths, pairwise distances) is bounded at four
             times this value.
+        kernel: search backend — a registered name (``"python"``,
+            ``"vectorized"``), a :class:`SearchKernel` instance, or
+            ``None`` to fall back to ``$REPRO_KERNEL`` then the
+            default.
 
     One engine per network is the intended usage; obtain the shared one
     with :func:`engine_for`.
     """
 
-    def __init__(self, network: RoadNetwork, *, cache_size: int = 64) -> None:
+    def __init__(
+        self,
+        network: RoadNetwork,
+        *,
+        cache_size: int = 64,
+        kernel: Union[str, SearchKernel, None] = None,
+    ) -> None:
         if cache_size < 1:
             raise GraphError(f"cache_size must be >= 1, got {cache_size}")
         self._network = network
         self._csr = CSRAdjacency(network)
         self._cache_size = cache_size
+        self._kernel: SearchKernel = resolve_kernel(kernel)
         self._rows: "OrderedDict[tuple, object]" = OrderedDict()
         self._points: "OrderedDict[tuple, object]" = OrderedDict()
         self._stats: Dict[str, SearchStats] = {}
@@ -169,6 +217,26 @@ class SearchEngine:
         """The current CSR snapshot (rebuilt here if the graph mutated)."""
         self._sync()
         return self._csr
+
+    @property
+    def kernel(self) -> SearchKernel:
+        """The active search backend."""
+        return self._kernel
+
+    @property
+    def kernel_name(self) -> str:
+        """Registry name of the active backend (``"python"``, ...)."""
+        return self._kernel.name
+
+    def set_kernel(self, kernel: Union[str, SearchKernel]) -> None:
+        """Swap the search backend.
+
+        Cached results are deliberately **kept**: the relaxation-order
+        contract (``kernels.base``) makes backends bit-identical, so a
+        row computed by one kernel is exactly the row the other would
+        compute — the cross-backend equivalence suite enforces this.
+        """
+        self._kernel = resolve_kernel(kernel)
 
     def counters(self, phase: str) -> SearchStats:
         """The live, mutable stats block for ``phase`` (created on first
@@ -312,7 +380,7 @@ class SearchEngine:
                     derived = [d if d <= max_cost else INF for d in full]  # type: ignore[union-attr]
                     self._put(self._rows, key, derived, self._cache_size)
                     return derived
-        dist = self._run_sssp([source], max_cost, stats)
+        dist = self._kernel.sssp(self._csr, [source], max_cost, stats)
         if cached:
             self._put(self._rows, key, dist, self._cache_size)
         return dist
@@ -341,7 +409,7 @@ class SearchEngine:
             row = self._get(self._rows, key, stats)
             if row is not None:
                 return row  # type: ignore[return-value]
-        dist = self._run_sssp(source_list, max_cost, stats)
+        dist = self._kernel.sssp(self._csr, source_list, max_cost, stats)
         if cached:
             self._put(self._rows, key, dist, self._cache_size)
         return dist
@@ -362,41 +430,7 @@ class SearchEngine:
         entry = self._get(self._points, key, stats)
         if entry is not None:
             return entry  # type: ignore[return-value]
-        csr = self._csr
-        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
-        n = csr.num_nodes
-        dist = [INF] * n
-        parent = [-1] * n
-        dist[source] = 0.0
-        heap: List[Tuple[float, int]] = [(0.0, source)]
-        stats.searches += 1
-        stats.pushes += 1
-        settled = 0
-        pushes = 0
-        while heap:
-            d, u = heapq.heappop(heap)
-            if d > dist[u]:
-                continue
-            settled += 1
-            if u == target:
-                break
-            for i in range(indptr[u], indptr[u + 1]):
-                v = targets[i]
-                nd = d + costs[i]
-                if nd < dist[v]:
-                    dist[v] = nd
-                    parent[v] = u
-                    heapq.heappush(heap, (nd, v))
-                    pushes += 1
-        stats.settled += settled
-        stats.pushes += pushes
-        if dist[target] == INF:
-            raise GraphError(f"node {target} unreachable from {source}")
-        path = [target]
-        while path[-1] != source:
-            path.append(parent[path[-1]])
-        path.reverse()
-        result = (path, dist[target])
+        result = self._kernel.path(self._csr, source, target, stats)
         self._put(self._points, key, result, 4 * self._cache_size)
         return result
 
@@ -429,7 +463,7 @@ class SearchEngine:
         entry = self._get(self._points, key, stats)
         if entry is not None:
             return entry  # type: ignore[return-value]
-        result = self._run_distance(source, target, upper_bound, stats)
+        result = self._kernel.distance(self._csr, source, target, upper_bound, stats)
         self._put(self._points, key, result, 4 * self._cache_size)
         return result
 
@@ -450,27 +484,7 @@ class SearchEngine:
         """
         self._sync()
         stats = self.counters(phase)
-        csr = self._csr
-        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
-        dist: Dict[int, float] = {source: 0.0}
-        heap: List[Tuple[float, int]] = [(0.0, source)]
-        stats.searches += 1
-        stats.pushes += 1
-        while heap:
-            d, u = heapq.heappop(heap)
-            if d > dist.get(u, INF):
-                continue
-            stats.settled += 1
-            if is_target(u):
-                return u, d
-            for i in range(indptr[u], indptr[u + 1]):
-                v = targets[i]
-                nd = d + costs[i]
-                if nd < dist.get(v, INF):
-                    dist[v] = nd
-                    heapq.heappush(heap, (nd, v))
-                    stats.pushes += 1
-        raise GraphError(f"no target reachable from node {source}")
+        return self._kernel.nearest(self._csr, source, is_target, stats)
 
     def query_search(
         self,
@@ -492,33 +506,8 @@ class SearchEngine:
         """
         self._sync()
         stats = self.counters(phase)
-        csr = self._csr
-        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
-        dist: Dict[int, float] = {query_node: 0.0}
-        heap: List[Tuple[float, int]] = [(0.0, query_node)]
-        visited_candidates: List[Tuple[int, float]] = []
-        settled: Set[int] = set()
-        stats.searches += 1
-        stats.pushes += 1
-        while heap:
-            d, u = heapq.heappop(heap)
-            if u in settled:
-                continue
-            settled.add(u)
-            stats.settled += 1
-            if is_existing_stop[u]:
-                return u, d, visited_candidates
-            if is_candidate_stop[u]:
-                visited_candidates.append((u, d))
-            for i in range(indptr[u], indptr[u + 1]):
-                v = targets[i]
-                nd = d + costs[i]
-                if nd < dist.get(v, INF):
-                    dist[v] = nd
-                    heapq.heappush(heap, (nd, v))
-                    stats.pushes += 1
-        raise GraphError(
-            f"no existing bus stop reachable from query node {query_node}"
+        return self._kernel.query_search(
+            self._csr, query_node, is_existing_stop, is_candidate_stop, stats
         )
 
     def nodes_within(
@@ -541,29 +530,7 @@ class SearchEngine:
             entry = self._get(self._rows, key, stats)
             if entry is not None:
                 return entry  # type: ignore[return-value]
-        csr = self._csr
-        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
-        dist: Dict[int, float] = {source: 0.0}
-        heap: List[Tuple[float, int]] = [(0.0, source)]
-        result: List[Tuple[int, float]] = []
-        settled: Set[int] = set()
-        stats.searches += 1
-        stats.pushes += 1
-        while heap:
-            d, u = heapq.heappop(heap)
-            if u in settled:
-                continue
-            settled.add(u)
-            stats.settled += 1
-            if u != source:
-                result.append((u, d))
-            for i in range(indptr[u], indptr[u + 1]):
-                v = targets[i]
-                nd = d + costs[i]
-                if nd <= max_cost + _EPSILON and nd < dist.get(v, INF):
-                    dist[v] = nd
-                    heapq.heappush(heap, (nd, v))
-                    stats.pushes += 1
+        result = self._kernel.nodes_within(self._csr, source, max_cost, stats)
         if cached:
             self._put(self._rows, key, result, self._cache_size)
         return result
@@ -573,87 +540,6 @@ class SearchEngine:
         EBRR ``dist(·, B)`` structure), accounted to ``phase``."""
         self._sync()
         return IncrementalNearest(self, phase)
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-
-    def _run_sssp(
-        self,
-        sources: Sequence[int],
-        max_cost: Optional[float],
-        stats: SearchStats,
-    ) -> List[float]:
-        csr = self._csr
-        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
-        n = csr.num_nodes
-        dist = [INF] * n
-        heap: List[Tuple[float, int]] = []
-        for s in sources:
-            if dist[s] > 0.0:
-                dist[s] = 0.0
-                heap.append((0.0, s))
-        heapq.heapify(heap)
-        stats.searches += 1
-        pushes = len(heap)
-        settled = 0
-        truncated = 0
-        while heap:
-            d, u = heapq.heappop(heap)
-            if d > dist[u]:
-                continue
-            if max_cost is not None and d > max_cost:
-                truncated += 1
-                continue
-            settled += 1
-            for i in range(indptr[u], indptr[u + 1]):
-                v = targets[i]
-                nd = d + costs[i]
-                if nd < dist[v]:
-                    dist[v] = nd
-                    heapq.heappush(heap, (nd, v))
-                    pushes += 1
-        if max_cost is not None:
-            for v in range(n):
-                if dist[v] > max_cost:
-                    dist[v] = INF
-        stats.settled += settled
-        stats.pushes += pushes
-        stats.truncated += truncated
-        return dist
-
-    def _run_distance(
-        self,
-        source: int,
-        target: int,
-        upper_bound: Optional[float],
-        stats: SearchStats,
-    ) -> float:
-        csr = self._csr
-        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
-        dist: Dict[int, float] = {source: 0.0}
-        heap: List[Tuple[float, int]] = [(0.0, source)]
-        stats.searches += 1
-        stats.pushes += 1
-        while heap:
-            d, u = heapq.heappop(heap)
-            if d > dist.get(u, INF):
-                continue
-            if u == target:
-                stats.settled += 1
-                return d
-            if upper_bound is not None and d > upper_bound:
-                stats.truncated += 1
-                return INF
-            stats.settled += 1
-            for i in range(indptr[u], indptr[u + 1]):
-                v = targets[i]
-                nd = d + costs[i]
-                if nd < dist.get(v, INF):
-                    dist[v] = nd
-                    heapq.heappush(heap, (nd, v))
-                    stats.pushes += 1
-        return INF
 
 
 class IncrementalNearest:
@@ -686,34 +572,10 @@ class IncrementalNearest:
             self._sources.append(source)
             return []
         csr = self._engine.csr
-        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
         stats = self._engine.counters(self._phase)
-        improved: List[int] = []
-        local: Dict[int, float] = {source: 0.0}
-        heap: List[Tuple[float, int]] = [(0.0, source)]
-        stats.searches += 1
-        stats.pushes += 1
-        while heap:
-            d, u = heapq.heappop(heap)
-            if d > local.get(u, INF):
-                continue
-            if max_cost is not None and d > max_cost:
-                stats.truncated += 1
-                continue
-            if d >= dist[u]:
-                # everything beyond u through this path is already
-                # dominated by an earlier source
-                continue
-            dist[u] = d
-            improved.append(u)
-            stats.settled += 1
-            for i in range(indptr[u], indptr[u + 1]):
-                v = targets[i]
-                nd = d + costs[i]
-                if nd < local.get(v, INF) and nd < dist[v]:
-                    local[v] = nd
-                    heapq.heappush(heap, (nd, v))
-                    stats.pushes += 1
+        improved = self._engine.kernel.incremental_relax(
+            csr, source, dist, max_cost, stats
+        )
         self._sources.append(source)
         return improved
 
@@ -721,16 +583,27 @@ class IncrementalNearest:
         return self.distance[node]
 
 
-def engine_for(network: RoadNetwork) -> SearchEngine:
+def engine_for(
+    network: RoadNetwork,
+    *,
+    kernel: Union[str, SearchKernel, None] = None,
+) -> SearchEngine:
     """The shared :class:`SearchEngine` of ``network``.
 
     Created lazily on first call and stored on the network object, so
     every module searching the same network — EBRR phases, baselines,
     transit analytics, the journey planner — shares one cache and one
     stats ledger.  The engine's lifetime is the network's.
+
+    A non-``None`` ``kernel`` switches the shared engine's backend (via
+    :meth:`SearchEngine.set_kernel`, so caches survive — backends are
+    bit-identical by contract); ``None`` leaves the existing engine's
+    backend untouched.
     """
     engine = getattr(network, "_search_engine", None)
     if engine is None:
-        engine = SearchEngine(network)
+        engine = SearchEngine(network, kernel=kernel)
         network._search_engine = engine  # type: ignore[attr-defined]
+    elif kernel is not None:
+        engine.set_kernel(kernel)
     return engine

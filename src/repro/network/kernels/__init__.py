@@ -1,0 +1,79 @@
+"""Pluggable search-kernel backends for :class:`SearchEngine`.
+
+This package is the algorithmic substrate of the search layer: the
+engine owns caching, per-phase stats and snapshot invalidation, and
+delegates every primitive search to a :class:`SearchKernel` backend.
+``python`` is the reference heapq implementation; ``vectorized`` is the
+numpy CSR frontier-relaxation backend for full-scale cities.  Both obey
+the relaxation-order contract documented in :mod:`.base` — results are
+bit-identical, so backends are interchangeable mid-run without
+invalidating engine caches.
+
+Architecture note: nothing outside ``network/engine.py`` may import
+from this package (reprolint rule RL009, the RL001 story one layer
+down).  Callers pick a backend by *name* — via ``EBRRConfig.kernel``,
+``--kernel``, or the ``REPRO_KERNEL`` environment variable — and the
+engine re-exports :func:`available_kernels` / :func:`resolve_kernel`
+for anything that needs to validate a name.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Type, Union
+
+from ...exceptions import ConfigurationError
+from .base import SearchKernel
+from .python import PythonKernel
+from .vectorized import VectorizedKernel
+
+__all__ = [
+    "SearchKernel",
+    "PythonKernel",
+    "VectorizedKernel",
+    "DEFAULT_KERNEL",
+    "ENV_VAR",
+    "KERNEL_IDS",
+    "available_kernels",
+    "resolve_kernel",
+]
+
+#: Environment variable consulted when no explicit kernel is given.
+ENV_VAR = "REPRO_KERNEL"
+
+DEFAULT_KERNEL = "python"
+
+_FACTORIES: Dict[str, Type[SearchKernel]] = {
+    PythonKernel.name: PythonKernel,
+    VectorizedKernel.name: VectorizedKernel,
+}
+
+#: Stable numeric ids for the ``search.kernel`` metrics gauge.
+KERNEL_IDS: Dict[str, int] = {name: i for i, name in enumerate(sorted(_FACTORIES))}
+
+
+def available_kernels() -> List[str]:
+    """Names of the registered backends, sorted."""
+    return sorted(_FACTORIES)
+
+
+def resolve_kernel(spec: Union[str, SearchKernel, None]) -> SearchKernel:
+    """Turn a kernel spec into a backend instance.
+
+    ``None`` falls back to ``$REPRO_KERNEL``, then to the default; a
+    string is looked up in the registry; anything else is assumed to be
+    a kernel instance already and returned as-is (the escape hatch for
+    experiments — named backends are the supported surface).
+    """
+    if spec is None:
+        spec = os.environ.get(ENV_VAR) or DEFAULT_KERNEL
+    if not isinstance(spec, str):
+        return spec
+    try:
+        factory = _FACTORIES[spec]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown search kernel {spec!r}; available: "
+            f"{', '.join(available_kernels())}"
+        ) from None
+    return factory()

@@ -1,0 +1,146 @@
+"""The ``SearchKernel`` protocol: the primitive-search contract.
+
+A kernel is the *algorithmic substrate* under
+:class:`~repro.network.engine.SearchEngine`: it runs the primitive
+searches (full/bounded SSSP, multi-source, point-to-point distance and
+path, nearest-by-predicate, the Algorithm 2 query search, cost balls,
+and the incremental nearest-set relaxation) over one
+:class:`~repro.network.csr.CSRAdjacency` snapshot and accounts its work
+to a caller-supplied :class:`~repro.network.engine.SearchStats` block.
+Everything *above* the kernel — the LRU caches, the per-phase stats
+ledger, snapshot invalidation, the public API — lives in the engine and
+is backend-independent.
+
+The relaxation-order contract
+-----------------------------
+
+Every backend must produce results **bit-identical** to the reference
+:class:`~repro.network.kernels.python.PythonKernel` on any CSR snapshot
+with strictly positive edge costs:
+
+* **distances**: each returned distance is the same IEEE-754 double the
+  reference heapq Dijkstra computes.  This is stronger than "equal up
+  to epsilon": the set of candidate values relaxed into a node must be
+  the same float set (``dist[u] + cost(u, v)`` with the *final* value
+  of ``dist[u]``), so the minimum is the same bit pattern;
+* **predecessor tie-breaks**: where a predecessor is exposed (the
+  ``path`` primitive), ties resolve to the predecessor that settles
+  first in the reference order — non-decreasing ``(distance, node
+  id)``;
+* **settle order**: ordered outputs (``nodes_within``) list nodes in
+  the reference settle order, i.e. sorted by ``(distance, node id)``;
+* **counters**: ``searches``, ``settled`` and ``truncated`` are
+  identical to the reference backend — they count *nodes*, not
+  implementation steps, and the node sets are fixed by the contract.
+  ``pushes`` is the one backend-defined counter: it measures frontier
+  insertions under the backend's own relaxation schedule (heap pushes
+  for the heapq backend, scatter-min improvements for the vectorized
+  one) and is documented as a work measure, not an invariant.
+
+The cross-backend equivalence property suite
+(``tests/properties/test_kernel_equivalence.py``) asserts the contract
+on all three synthetic city families.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Protocol, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..csr import CSRAdjacency
+    from ..engine import SearchStats
+
+
+class SearchKernel(Protocol):
+    """The primitive searches every backend implements.
+
+    All methods take the CSR snapshot and the stats block explicitly —
+    kernels are stateless and shareable across engines; per-network
+    state (caches, snapshots, counters) belongs to the engine.
+    """
+
+    #: Registry name of the backend (``python``, ``vectorized``).
+    name: str
+
+    def sssp(
+        self,
+        csr: "CSRAdjacency",
+        sources: Sequence[int],
+        max_cost: Optional[float],
+        stats: "SearchStats",
+    ) -> List[float]:
+        """Single- or multi-source shortest-path costs; ``inf`` beyond
+        ``max_cost`` when a bound is given."""
+        ...
+
+    def path(
+        self,
+        csr: "CSRAdjacency",
+        source: int,
+        target: int,
+        stats: "SearchStats",
+    ) -> Tuple[List[int], float]:
+        """Cheapest ``source -> target`` path and its cost; raises
+        :class:`~repro.exceptions.GraphError` when unreachable."""
+        ...
+
+    def distance(
+        self,
+        csr: "CSRAdjacency",
+        source: int,
+        target: int,
+        upper_bound: Optional[float],
+        stats: "SearchStats",
+    ) -> float:
+        """Point-to-point distance with target early stop; ``inf`` when
+        ``upper_bound`` is exceeded."""
+        ...
+
+    def nearest(
+        self,
+        csr: "CSRAdjacency",
+        source: int,
+        is_target: Callable[[int], bool],
+        stats: "SearchStats",
+    ) -> Tuple[int, float]:
+        """First settled node satisfying ``is_target`` and its distance;
+        raises :class:`~repro.exceptions.GraphError` when none is
+        reachable."""
+        ...
+
+    def query_search(
+        self,
+        csr: "CSRAdjacency",
+        query_node: int,
+        is_existing_stop: Sequence[bool],
+        is_candidate_stop: Sequence[bool],
+        stats: "SearchStats",
+    ) -> Tuple[int, float, List[Tuple[int, float]]]:
+        """The per-query search of Algorithm 2: settle outward until the
+        first existing stop, collecting candidate stops on the way."""
+        ...
+
+    def nodes_within(
+        self,
+        csr: "CSRAdjacency",
+        source: int,
+        max_cost: float,
+        stats: "SearchStats",
+    ) -> List[Tuple[int, float]]:
+        """All ``(node, dist)`` within ``max_cost`` (plus epsilon) of
+        ``source``, in settle order, excluding ``source``."""
+        ...
+
+    def incremental_relax(
+        self,
+        csr: "CSRAdjacency",
+        source: int,
+        distance: List[float],
+        max_cost: Optional[float],
+        stats: "SearchStats",
+    ) -> List[int]:
+        """One pruned relaxation of the incremental nearest-set
+        structure: fold ``source`` into ``distance`` (mutated in place),
+        returning the nodes whose distance improved, in settle order.
+        The caller guarantees ``distance[source] > 0``."""
+        ...

@@ -1,0 +1,298 @@
+"""The reference backend: pure-Python ``heapq`` Dijkstra loops.
+
+These are the loops that previously lived inline in
+:class:`~repro.network.engine.SearchEngine` (and before that as the
+free functions of :mod:`repro.network.dijkstra`), moved here verbatim.
+They iterate the CSR snapshot's *list* views positionally — plain list
+indexing is the fastest per-element access CPython offers, and it keeps
+every distance a native ``float`` (indexing the numpy views instead
+would box ``np.float64`` scalars into the heap and the results, ~3-5x
+slower and type-leaky).  Both backends read the same single
+:class:`~repro.network.csr.CSRAdjacency` build; see its docstring.
+
+This backend *defines* the relaxation-order contract of
+:class:`~repro.network.kernels.base.SearchKernel`: the vectorized
+backend (and any future one) must match it bit for bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ...exceptions import GraphError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..csr import CSRAdjacency
+    from ..engine import SearchStats
+
+INF = math.inf
+
+#: Tolerance for the cost-ball bound of ``nodes_within`` (matches the
+#: engine's historical epsilon; part of the cross-backend contract).
+EPSILON = 1e-9
+
+
+class PythonKernel:
+    """Cache-free, stats-accounted heapq Dijkstra family over a CSR."""
+
+    name = "python"
+
+    def sssp(
+        self,
+        csr: "CSRAdjacency",
+        sources: Sequence[int],
+        max_cost: Optional[float],
+        stats: "SearchStats",
+    ) -> List[float]:
+        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
+        n = csr.num_nodes
+        dist = [INF] * n
+        heap: List[Tuple[float, int]] = []
+        for s in sources:
+            if dist[s] > 0.0:
+                dist[s] = 0.0
+                heap.append((0.0, s))
+        heapq.heapify(heap)
+        stats.searches += 1
+        pushes = len(heap)
+        settled = 0
+        truncated = 0
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist[u]:
+                continue
+            if max_cost is not None and d > max_cost:
+                # Beyond the bound: skip expansion.  Do NOT reset
+                # dist[u] here — pops are non-decreasing, so resetting
+                # to INF lets stale heap entries for u sneak past the
+                # staleness check above and redo the bound test; the
+                # final sweep below masks every out-of-bound node
+                # exactly once.
+                truncated += 1
+                continue
+            settled += 1
+            for i in range(indptr[u], indptr[u + 1]):
+                v = targets[i]
+                nd = d + costs[i]
+                if nd < dist[v]:
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+                    pushes += 1
+        if max_cost is not None:
+            for v in range(n):
+                if dist[v] > max_cost:
+                    dist[v] = INF
+        stats.settled += settled
+        stats.pushes += pushes
+        stats.truncated += truncated
+        return dist
+
+    def path(
+        self,
+        csr: "CSRAdjacency",
+        source: int,
+        target: int,
+        stats: "SearchStats",
+    ) -> Tuple[List[int], float]:
+        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
+        n = csr.num_nodes
+        dist = [INF] * n
+        parent = [-1] * n
+        dist[source] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        stats.searches += 1
+        stats.pushes += 1
+        settled = 0
+        pushes = 0
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist[u]:
+                continue
+            settled += 1
+            if u == target:
+                break
+            for i in range(indptr[u], indptr[u + 1]):
+                v = targets[i]
+                nd = d + costs[i]
+                if nd < dist[v]:
+                    dist[v] = nd
+                    parent[v] = u
+                    heapq.heappush(heap, (nd, v))
+                    pushes += 1
+        stats.settled += settled
+        stats.pushes += pushes
+        if dist[target] == INF:
+            raise GraphError(f"node {target} unreachable from {source}")
+        path = [target]
+        while path[-1] != source:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return path, dist[target]
+
+    def distance(
+        self,
+        csr: "CSRAdjacency",
+        source: int,
+        target: int,
+        upper_bound: Optional[float],
+        stats: "SearchStats",
+    ) -> float:
+        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
+        dist: Dict[int, float] = {source: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        stats.searches += 1
+        stats.pushes += 1
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, INF):
+                continue
+            if u == target:
+                stats.settled += 1
+                return d
+            if upper_bound is not None and d > upper_bound:
+                stats.truncated += 1
+                return INF
+            stats.settled += 1
+            for i in range(indptr[u], indptr[u + 1]):
+                v = targets[i]
+                nd = d + costs[i]
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+                    stats.pushes += 1
+        return INF
+
+    def nearest(
+        self,
+        csr: "CSRAdjacency",
+        source: int,
+        is_target: Callable[[int], bool],
+        stats: "SearchStats",
+    ) -> Tuple[int, float]:
+        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
+        dist: Dict[int, float] = {source: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        stats.searches += 1
+        stats.pushes += 1
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, INF):
+                continue
+            stats.settled += 1
+            if is_target(u):
+                return u, d
+            for i in range(indptr[u], indptr[u + 1]):
+                v = targets[i]
+                nd = d + costs[i]
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+                    stats.pushes += 1
+        raise GraphError(f"no target reachable from node {source}")
+
+    def query_search(
+        self,
+        csr: "CSRAdjacency",
+        query_node: int,
+        is_existing_stop: Sequence[bool],
+        is_candidate_stop: Sequence[bool],
+        stats: "SearchStats",
+    ) -> Tuple[int, float, List[Tuple[int, float]]]:
+        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
+        dist: Dict[int, float] = {query_node: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, query_node)]
+        visited_candidates: List[Tuple[int, float]] = []
+        settled: Set[int] = set()
+        stats.searches += 1
+        stats.pushes += 1
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            stats.settled += 1
+            if is_existing_stop[u]:
+                return u, d, visited_candidates
+            if is_candidate_stop[u]:
+                visited_candidates.append((u, d))
+            for i in range(indptr[u], indptr[u + 1]):
+                v = targets[i]
+                nd = d + costs[i]
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+                    stats.pushes += 1
+        raise GraphError(
+            f"no existing bus stop reachable from query node {query_node}"
+        )
+
+    def nodes_within(
+        self,
+        csr: "CSRAdjacency",
+        source: int,
+        max_cost: float,
+        stats: "SearchStats",
+    ) -> List[Tuple[int, float]]:
+        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
+        dist: Dict[int, float] = {source: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        result: List[Tuple[int, float]] = []
+        settled: Set[int] = set()
+        stats.searches += 1
+        stats.pushes += 1
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            stats.settled += 1
+            if u != source:
+                result.append((u, d))
+            for i in range(indptr[u], indptr[u + 1]):
+                v = targets[i]
+                nd = d + costs[i]
+                if nd <= max_cost + EPSILON and nd < dist.get(v, INF):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+                    stats.pushes += 1
+        return result
+
+    def incremental_relax(
+        self,
+        csr: "CSRAdjacency",
+        source: int,
+        distance: List[float],
+        max_cost: Optional[float],
+        stats: "SearchStats",
+    ) -> List[int]:
+        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
+        dist = distance
+        improved: List[int] = []
+        local: Dict[int, float] = {source: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        stats.searches += 1
+        stats.pushes += 1
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > local.get(u, INF):
+                continue
+            if max_cost is not None and d > max_cost:
+                stats.truncated += 1
+                continue
+            if d >= dist[u]:
+                # everything beyond u through this path is already
+                # dominated by an earlier source
+                continue
+            dist[u] = d
+            improved.append(u)
+            stats.settled += 1
+            for i in range(indptr[u], indptr[u + 1]):
+                v = targets[i]
+                nd = d + costs[i]
+                if nd < local.get(v, INF) and nd < dist[v]:
+                    local[v] = nd
+                    heapq.heappush(heap, (nd, v))
+                    stats.pushes += 1
+        return improved

@@ -101,12 +101,15 @@ def _init_query_worker(
     is_existing: Sequence[bool],
     is_candidate: Sequence[bool],
     tracing: bool = False,
+    kernel: Optional[str] = None,
 ) -> None:
     """Pool initializer: build the worker's private engine (and its CSR
     snapshot) exactly once per process; install a worker trace when the
-    parent is tracing."""
+    parent is tracing.  ``kernel`` is the parent engine's backend name
+    (a plain string, so it pickles into any start method) — the worker
+    engine must search with the same backend the parent profiles."""
     global _WORKER_ENGINE, _WORKER_EXISTING, _WORKER_CANDIDATE, _WORKER_TRACING
-    engine = SearchEngine(network)
+    engine = SearchEngine(network, kernel=kernel)
     engine.csr  # materialize the flat adjacency up front, not per chunk
     _WORKER_ENGINE = engine
     _WORKER_EXISTING = is_existing
@@ -156,6 +159,7 @@ def run_query_searches(
     nodes: Sequence[int],
     *,
     workers: int,
+    kernel: Optional[str] = None,
 ) -> Tuple[List[QuerySearchRow], SearchStats]:
     """Fan the Algorithm 2 searches for ``nodes`` over a process pool.
 
@@ -165,6 +169,10 @@ def run_query_searches(
         nodes: the distinct query nodes, in the caller's order.
         workers: pool size (``1`` runs the loop in-process on a private
             engine — same outputs, no pool).
+        kernel: search-backend name for the worker engines (callers
+            pass the owning engine's ``kernel_name`` so the fan-out
+            searches run on the same backend; ``None`` = default
+            resolution).
 
     Returns:
         ``(rows, stats)`` where ``rows`` holds one
@@ -185,7 +193,7 @@ def run_query_searches(
         # In-process fallback: the chunk span (and fanout counters) land
         # directly in the parent's trace; nothing to drain or merge.
         with span("fanout", nodes=len(node_list), workers=1):
-            _init_query_worker(network, is_existing, is_candidate)
+            _init_query_worker(network, is_existing, is_candidate, kernel=kernel)
             try:
                 rows, stats, _ = _run_query_chunk(node_list)
             finally:
@@ -206,6 +214,7 @@ def run_query_searches(
                 list(is_existing),
                 list(is_candidate),
                 parent_trace is not None,
+                kernel,
             ),
         ) as pool:
             # Pool.map returns chunk results in submission order no matter

@@ -158,6 +158,7 @@ def test_registry_is_complete():
         "RL006",
         "RL007",
         "RL008",
+        "RL009",
     ]
     for rule_cls in all_rules().values():
         assert rule_cls.title and rule_cls.rationale

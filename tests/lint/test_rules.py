@@ -358,3 +358,78 @@ def test_rl008_fires_outside_the_exempt_paths():
         snippet, path="src/repro/core/ebrr.py", select=["RL008"]
     )
     assert [v.rule_id for v in violations] == ["RL008"]
+
+
+# ----------------------------------------------------------------------
+# RL009 — kernel confinement
+# ----------------------------------------------------------------------
+
+RL009_POSITIVES = [
+    "from repro.network.kernels import PythonKernel\n",
+    "from repro.network.kernels.vectorized import VectorizedKernel\n",
+    "from ..network.kernels import resolve_kernel\n",
+    "from .kernels.python import PythonKernel\n",
+    "import repro.network.kernels\n",
+    "import repro.network.kernels.python as backend\n",
+    "from repro.network.engine import PythonKernel\n",
+]
+
+
+@pytest.mark.parametrize("snippet", RL009_POSITIVES)
+def test_rl009_fires(snippet):
+    assert "RL009" in rule_ids(snippet, select=["RL009"])
+
+
+def test_rl009_silent_on_name_based_selection():
+    snippet = """
+        from repro.network.engine import SearchEngine, available_kernels
+
+        def build(network, name):
+            assert name in available_kernels()
+            return SearchEngine(network, kernel=name)
+    """
+    assert rule_ids(snippet, select=["RL009"]) == []
+
+
+def test_rl009_exempts_the_engine_and_the_package():
+    # The exemption lives in pyproject's [tool.reprolint.rule-excludes]
+    # (the RL001 pattern); mirror it here.
+    from repro.lint.config import LintConfig
+
+    config = LintConfig(
+        rule_excludes={
+            "RL009": [
+                "src/repro/network/engine.py",
+                "src/repro/network/kernels/*",
+            ]
+        }
+    )
+    snippet = "from .kernels import resolve_kernel\n"
+    assert (
+        check_source(
+            snippet,
+            path="src/repro/network/engine.py",
+            config=config,
+            select=["RL009"],
+        )
+        == []
+    )
+    snippet = "from .python import PythonKernel\n"
+    assert (
+        check_source(
+            snippet,
+            path="src/repro/network/kernels/vectorized.py",
+            config=config,
+            select=["RL009"],
+        )
+        == []
+    )
+
+
+def test_rl009_fires_outside_the_exempt_paths():
+    violations = check_source(
+        "from repro.network.kernels import VectorizedKernel\n",
+        path="src/repro/core/ebrr.py",
+        select=["RL009"],
+    )
+    assert [v.rule_id for v in violations] == ["RL009"]

@@ -29,12 +29,13 @@ def _instance(seed=3):
     return BRRInstance(transit, queries, alpha=5.0)
 
 
-def _traced_plan(instance, workers):
+def _traced_plan(instance, workers, kernel=None):
     # A fresh engine per run: a shared one would serve later runs from
     # cache and skew the search counters the parity assertion compares.
-    engine = SearchEngine(instance.network)
+    engine = SearchEngine(instance.network, kernel=kernel)
     config = EBRRConfig(
-        max_stops=10, max_adjacent_cost=2.0, alpha=5.0, workers=workers
+        max_stops=10, max_adjacent_cost=2.0, alpha=5.0, workers=workers,
+        kernel=kernel,
     )
     with obs.tracing() as trace:
         result = plan_route(instance, config, engine=engine)
@@ -50,13 +51,53 @@ def _search_totals(trace):
 
 
 class TestPlanRouteFoldBack:
+    @pytest.mark.parametrize("kernel", [None, "vectorized"])
     @pytest.mark.parametrize("workers", [2, 4])
-    def test_metric_totals_identical_to_serial(self, workers):
+    def test_metric_totals_identical_to_serial(self, workers, kernel):
+        # Runs under both search backends: the worker engines inherit
+        # the kernel (pickled by name into the pool initializer), and
+        # every search.total.* counter — pushes included, since serial
+        # and parallel use the *same* backend — must match exactly.
         instance = _instance()
-        serial_trace, serial_result = _traced_plan(instance, workers=1)
-        par_trace, par_result = _traced_plan(instance, workers=workers)
+        serial_trace, serial_result = _traced_plan(
+            instance, workers=1, kernel=kernel
+        )
+        par_trace, par_result = _traced_plan(
+            instance, workers=workers, kernel=kernel
+        )
         assert _search_totals(par_trace) == _search_totals(serial_trace)
         assert par_result.route.stops == serial_result.route.stops
+
+    @pytest.mark.parametrize("workers", [2])
+    def test_kernels_agree_across_process_boundaries(self, workers):
+        """The full parallel pipeline is bit-identical across backends
+        on the invariant counters and the planned route."""
+        instance = _instance()
+        traces = {}
+        results = {}
+        for kernel in ("python", "vectorized"):
+            traces[kernel], results[kernel] = _traced_plan(
+                instance, workers=workers, kernel=kernel
+            )
+        assert (
+            results["python"].route.stops == results["vectorized"].route.stops
+        )
+        assert results["python"].route.path == results["vectorized"].route.path
+        totals_p = _search_totals(traces["python"])
+        totals_v = _search_totals(traces["vectorized"])
+        invariant = {
+            name: value
+            for name, value in totals_p.items()
+            if not name.endswith(".pushes")  # backend-defined counter
+        }
+        assert invariant == {
+            name: value
+            for name, value in totals_v.items()
+            if not name.endswith(".pushes")
+        }
+        # The gauge records which backend ran the searches.
+        assert traces["python"].metrics.gauges["search.kernel"].value == 0
+        assert traces["vectorized"].metrics.gauges["search.kernel"].value == 1
 
     @pytest.mark.parametrize("workers", [2, 4])
     def test_trace_has_worker_lanes(self, workers):

@@ -1,0 +1,224 @@
+"""The cross-backend relaxation-order contract, asserted.
+
+Every kernel backend must be **bit-identical** to the reference python
+heapq backend (see ``repro/network/kernels/base.py``): same IEEE-754
+distances, same predecessor tie-breaks, same settle order in ordered
+outputs, and identical ``searches`` / ``settled`` / ``truncated``
+counters (``pushes`` is explicitly backend-defined and excluded).
+
+The suite drives both backends through all seven ``SearchKernel``
+primitives — via the public ``SearchEngine`` methods, caches disabled
+where possible — on hypothesis-chosen instances of the three synthetic
+city families (grid / radial / sprawl), bounded and unbounded.
+Equality assertions are exact (``==``), never approximate: that *is*
+the contract.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import GraphError
+from repro.network.engine import SearchEngine, available_kernels
+from repro.network.generators import grid_city, radial_city, sprawl_city
+from repro.network.kernels.vectorized import VectorizedKernel  # reprolint: disable=RL009
+
+
+@st.composite
+def cities(draw):
+    """Small instances of the three synthetic city families."""
+    family = draw(st.sampled_from(["grid", "radial", "sprawl"]))
+    seed = draw(st.integers(0, 10 ** 6))
+    if family == "grid":
+        return grid_city(
+            draw(st.integers(3, 7)), draw(st.integers(3, 7)), seed=seed
+        )
+    if family == "radial":
+        return radial_city(
+            num_boroughs=draw(st.integers(2, 3)),
+            nodes_per_borough=draw(st.integers(12, 40)),
+            borough_radius_km=1.5,
+            spacing_km=4.0,
+            seed=seed,
+        )
+    return sprawl_city(draw(st.integers(20, 80)), extent_km=6.0, seed=seed)
+
+
+def engines(network, use_scipy=None):
+    """A fresh engine pair (reference, vectorized) over one network.
+
+    ``use_scipy`` pins the vectorized execution path: the compiled
+    scipy Dijkstra or the pure-numpy bucketed frontier fallback.  Both
+    must satisfy the same bit-identity contract, so the overridden
+    primitives are tested against each explicitly (``None`` means
+    whatever the environment resolves, as production would)."""
+    if use_scipy is None:
+        vectorized = SearchEngine(network, kernel="vectorized")
+    else:
+        # resolve_kernel passes instances through — the sanctioned
+        # escape hatch for pinning backend internals in tests.
+        vectorized = SearchEngine(
+            network, kernel=VectorizedKernel(use_scipy=use_scipy)
+        )
+    return SearchEngine(network, kernel="python"), vectorized
+
+
+def bound_from(draw_value, network):
+    """Map a hypothesis float in [0, 1] to a useful cost bound: None
+    (unbounded) for values near 1, else a radius within the city."""
+    if draw_value > 0.85:
+        return None
+    return 0.3 + draw_value * 4.0
+
+
+def invariant_counters(engine, phase="adhoc"):
+    # counters() creates an empty block when no search ran (e.g. the
+    # source == target early return of distance()).
+    stats = engine.counters(phase)
+    return {
+        "searches": stats.searches,
+        "settled": stats.settled,
+        "truncated": stats.truncated,
+    }
+
+
+def test_both_backends_registered():
+    assert available_kernels() == ["python", "vectorized"]
+
+
+@pytest.mark.parametrize("use_scipy", [True, False], ids=["scipy", "frontier"])
+@settings(max_examples=40, deadline=None)
+@given(network=cities(), seed=st.integers(0, 10 ** 6), b=st.floats(0, 1))
+def test_sssp_bit_identical(use_scipy, network, seed, b):
+    ep, ev = engines(network, use_scipy=use_scipy)
+    source = seed % network.num_nodes
+    max_cost = bound_from(b, network)
+    rp = ep.sssp(source, max_cost=max_cost, cached=False)
+    rv = ev.sssp(source, max_cost=max_cost, cached=False)
+    assert rp == rv  # exact float equality, element-wise
+    assert all(type(d) is float for d in rv)  # no np.float64 leakage
+    assert invariant_counters(ep) == invariant_counters(ev)
+
+
+@pytest.mark.parametrize("use_scipy", [True, False], ids=["scipy", "frontier"])
+@settings(max_examples=30, deadline=None)
+@given(network=cities(), seed=st.integers(0, 10 ** 6), b=st.floats(0, 1))
+def test_multi_source_bit_identical(use_scipy, network, seed, b):
+    ep, ev = engines(network, use_scipy=use_scipy)
+    n = network.num_nodes
+    sources = [seed % n, (seed // 7) % n, (seed // 91) % n]
+    max_cost = bound_from(b, network)
+    rp = ep.multi_source(sources, max_cost=max_cost, cached=False)
+    rv = ev.multi_source(sources, max_cost=max_cost, cached=False)
+    assert rp == rv
+    assert invariant_counters(ep) == invariant_counters(ev)
+
+
+@settings(max_examples=30, deadline=None)
+@given(network=cities(), seed=st.integers(0, 10 ** 6))
+def test_path_bit_identical(network, seed):
+    ep, ev = engines(network)
+    n = network.num_nodes
+    source, target = seed % n, (seed // 13) % n
+    pp, cp = ep.path(source, target)
+    pv, cv = ev.path(source, target)
+    assert pp == pv  # same nodes — same predecessor tie-breaks
+    assert cp == cv
+
+
+@settings(max_examples=30, deadline=None)
+@given(network=cities(), seed=st.integers(0, 10 ** 6), b=st.floats(0, 1))
+def test_distance_bit_identical(network, seed, b):
+    ep, ev = engines(network)
+    n = network.num_nodes
+    source, target = seed % n, (seed // 13) % n
+    upper = bound_from(b, network)
+    dp = ep.distance(source, target, upper_bound=upper)
+    dv = ev.distance(source, target, upper_bound=upper)
+    assert dp == dv
+    assert invariant_counters(ep) == invariant_counters(ev)
+
+
+@settings(max_examples=30, deadline=None)
+@given(network=cities(), seed=st.integers(0, 10 ** 6), m=st.integers(2, 9))
+def test_nearest_bit_identical(network, seed, m):
+    ep, ev = engines(network)
+    source = seed % network.num_nodes
+    is_target = lambda u: u % m == 1  # noqa: E731 - tiny shared predicate
+    try:
+        np_ = ep.nearest(source, is_target)
+    except GraphError:
+        with pytest.raises(GraphError):
+            ev.nearest(source, is_target)
+        return
+    assert np_ == ev.nearest(source, is_target)
+    assert invariant_counters(ep) == invariant_counters(ev)
+
+
+@settings(max_examples=30, deadline=None)
+@given(network=cities(), seed=st.integers(0, 10 ** 6), m=st.integers(3, 11))
+def test_query_search_bit_identical(network, seed, m):
+    ep, ev = engines(network)
+    n = network.num_nodes
+    query = seed % n
+    is_existing = [u % m == m - 1 for u in range(n)]
+    is_candidate = [u % 3 == 0 and not is_existing[u] for u in range(n)]
+    try:
+        rp = ep.query_search(query, is_existing, is_candidate)
+    except GraphError:
+        with pytest.raises(GraphError):
+            ev.query_search(query, is_existing, is_candidate)
+        return
+    rv = ev.query_search(query, is_existing, is_candidate)
+    assert rp == rv  # nn stop, nn distance, and the RNN list in order
+    assert invariant_counters(ep) == invariant_counters(ev)
+
+
+@pytest.mark.parametrize("use_scipy", [True, False], ids=["scipy", "frontier"])
+@settings(max_examples=40, deadline=None)
+@given(network=cities(), seed=st.integers(0, 10 ** 6), b=st.floats(0.05, 1))
+def test_nodes_within_bit_identical(use_scipy, network, seed, b):
+    ep, ev = engines(network, use_scipy=use_scipy)
+    source = seed % network.num_nodes
+    max_cost = 0.2 + b * 3.0
+    rp = ep.nodes_within(source, max_cost, cached=False)
+    rv = ev.nodes_within(source, max_cost, cached=False)
+    assert rp == rv  # same (node, dist) pairs in the same settle order
+    assert all(
+        type(u) is int and type(d) is float for u, d in rv
+    )  # native types out of the numpy backend
+    assert invariant_counters(ep) == invariant_counters(ev)
+
+
+@settings(max_examples=25, deadline=None)
+@given(network=cities(), seed=st.integers(0, 10 ** 6), b=st.floats(0, 1))
+def test_incremental_nearest_bit_identical(network, seed, b):
+    ep, ev = engines(network)
+    n = network.num_nodes
+    max_cost = bound_from(b, network)
+    incp = ep.incremental_nearest(phase="inc")
+    incv = ev.incremental_nearest(phase="inc")
+    for k in range(4):
+        source = (seed // (k + 1)) % n
+        assert incp.add_source(source, max_cost=max_cost) == incv.add_source(
+            source, max_cost=max_cost
+        )
+        assert incp.distance == incv.distance
+    assert incp.sources == incv.sources
+    assert invariant_counters(ep, "inc") == invariant_counters(ev, "inc")
+
+
+@settings(max_examples=15, deadline=None)
+@given(network=cities(), seed=st.integers(0, 10 ** 6))
+def test_kernel_swap_preserves_cache_correctness(network, seed):
+    """set_kernel keeps the caches: a row computed by one backend and
+    served to the other is exactly what the other would have computed
+    (the contract makes the cache backend-agnostic)."""
+    engine = SearchEngine(network, kernel="python")
+    source = seed % network.num_nodes
+    row_python = engine.sssp(source)
+    engine.set_kernel("vectorized")
+    assert engine.kernel_name == "vectorized"
+    cached = engine.sssp(source)
+    assert cached is row_python  # same object: the cache survived
+    fresh = engine.sssp(source, cached=False)
+    assert fresh == row_python
