@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 import os
 import sys
-import time
+from repro.obs import now as obs_now
 
 from repro.core.preprocess import preprocess_queries
 from repro.eval import format_table
@@ -64,9 +64,9 @@ def test_parallel_preprocess_speedup(experiment):
         profiles = {}
         for workers in (1,) + WORKER_GRID:
             engine = SearchEngine(instance.network)
-            start = time.perf_counter()
+            start = obs_now()
             result = preprocess_queries(instance, engine=engine, workers=workers)
-            timings[workers] = time.perf_counter() - start
+            timings[workers] = obs_now() - start
             outputs[workers] = (
                 result.nn_distance,
                 {v: sorted(entries) for v, entries in result.rnn.items()},

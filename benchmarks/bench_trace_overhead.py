@@ -20,7 +20,7 @@ Emits ``BENCH_trace_overhead.json`` for CI.
 from __future__ import annotations
 
 import json
-import time
+from repro.obs import now as obs_now
 
 import repro.obs as obs
 from repro.core.config import EBRRConfig
@@ -45,11 +45,11 @@ def _noop_span_cost_s() -> float:
     assert obs.current_trace() is None
     best = float("inf")
     for _ in range(5):
-        start = time.perf_counter()
+        start = obs_now()
         for _ in range(NOOP_SPINS):
             with span("noop", probe=1):
                 pass
-        best = min(best, time.perf_counter() - start)
+        best = min(best, obs_now() - start)
     return best / NOOP_SPINS
 
 
@@ -61,9 +61,9 @@ def test_trace_overhead(experiment):
 
     def _plan_s() -> float:
         engine = SearchEngine(instance.network)
-        start = time.perf_counter()
+        start = obs_now()
         plan_route(instance, config, engine=engine)
-        return time.perf_counter() - start
+        return obs_now() - start
 
     def run():
         per_span_s = _noop_span_cost_s()

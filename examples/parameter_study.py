@@ -14,7 +14,7 @@ Run:
     python examples/parameter_study.py
 """
 
-import time
+from repro.obs import now as obs_now
 
 from repro import EBRRConfig, plan_route
 from repro.datasets import load_city
@@ -53,9 +53,9 @@ def main() -> None:
 def _run(city, *, k, c, alpha, knob):
     instance = city.instance(alpha)
     config = EBRRConfig(max_stops=k, max_adjacent_cost=c, alpha=alpha)
-    start = time.perf_counter()
+    start = obs_now()
     result = plan_route(instance, config)
-    elapsed = time.perf_counter() - start
+    elapsed = obs_now() - start
     return {
         "setting": knob,
         "stops": result.metrics.num_stops,

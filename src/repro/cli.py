@@ -32,6 +32,7 @@ from .datasets.registry import available_cities, load_city
 from .eval.experiments import calibrated_alpha, dataset_statistics, effect_of_k
 from .eval.export import rows_to_csv
 from .eval.reporting import format_series, format_table
+from .lint.baseline import DEFAULT_BASELINE_NAME
 from .lint.report import format_names as lint_format_names
 from .network.engine import available_kernels
 
@@ -113,10 +114,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="optional output GeoJSON path")
 
     lint = sub.add_parser(
-        "lint", help="check the source against the RL001-RL009 invariants"
+        "lint", help="check the source against the RL001-RL012 invariants"
     )
-    lint.add_argument("paths", nargs="*", default=["src"],
-                      help="files or directories to lint (default: src)")
+    lint.add_argument("paths", nargs="*", default=[],
+                      help=("files or directories to lint (default: the "
+                            "[tool.reprolint] include paths, or src)"))
     lint.add_argument("--format", choices=lint_format_names(), default="text",
                       help="output format (default: text)")
     lint.add_argument("--select", type=str, default=None, metavar="IDS",
@@ -125,6 +127,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="ignore [tool.reprolint] in pyproject.toml")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the registered rules and exit")
+    lint.add_argument("--baseline", nargs="?", const=DEFAULT_BASELINE_NAME,
+                      default=None, metavar="PATH",
+                      help="ratchet mode: fail if any rule count grows")
+    lint.add_argument("--write-baseline", nargs="?",
+                      const=DEFAULT_BASELINE_NAME, default=None,
+                      metavar="PATH",
+                      help="record current counts as the new baseline")
+    lint.add_argument("--cache", type=str, default=None, metavar="PATH",
+                      help="incremental cache file location")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="disable the incremental cache")
 
     trace = sub.add_parser(
         "trace", help="inspect a recorded Chrome trace file"
@@ -177,6 +190,14 @@ def _cmd_lint(args) -> int:
         argv.append("--no-config")
     if args.list_rules:
         argv.append("--list-rules")
+    if args.baseline is not None:
+        argv += ["--baseline", args.baseline]
+    if args.write_baseline is not None:
+        argv += ["--write-baseline", args.write_baseline]
+    if args.cache is not None:
+        argv += ["--cache", args.cache]
+    if args.no_cache:
+        argv.append("--no-cache")
     return lint_main(argv)
 
 

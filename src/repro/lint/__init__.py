@@ -3,40 +3,78 @@
 PR 1 centralised every graph search behind the cached
 :class:`~repro.network.engine.SearchEngine`; correctness now rests on
 conventions (no engine bypasses, version-bumped graph mutation,
-deterministic iteration, tolerant float comparison) that code review
-alone cannot guarantee.  This package turns them into CI failures:
+deterministic iteration, tolerant float comparison, fork-safe pool
+shipment, span-covered phases, kernel-confined hot loops) that code
+review alone cannot guarantee.  This package turns them into CI
+failures:
 
 * ``python -m repro.lint [paths]`` or ``repro lint [paths]``;
-* rules RL001–RL006 (see ``--list-rules`` and DESIGN.md);
+* per-file rules RL001–RL009 plus cross-module rules RL010–RL012 built
+  on a whole-program :class:`~repro.lint.project.ProjectModel` and call
+  graph (see ``--list-rules`` and DESIGN.md);
+* an on-disk incremental cache (content hash → parsed facts) keeping
+  warm runs fast in CI and pre-commit;
 * output formats ``text``, ``json``, ``github`` (inline PR annotations);
-* per-line ``# reprolint: disable=RL003`` and per-file
-  ``# reprolint: disable-file=RL001`` suppressions;
+* per-line ``# reprolint : disable=RL003`` and per-file
+  ``# reprolint : disable-file=RL001`` suppressions (space added here
+  so the docstring is not itself a directive) — stale ones are
+  reported as unused, and ``--baseline`` ratchets both violation and
+  suppression counts downward only;
 * repo policy in ``pyproject.toml`` under ``[tool.reprolint]``.
 
 The analyzer is stdlib-only (``ast`` + optional ``tomllib``) so the
 lint gate runs on any interpreter the package supports.
 """
 
-from .analyzer import check_paths, check_source, iter_python_files
+from .analyzer import (
+    LintRun,
+    check_paths,
+    check_source,
+    check_sources,
+    iter_python_files,
+    run_lint,
+)
+from .baseline import check_baseline, load_baseline, write_baseline
+from .callgraph import CallGraph
 from .cli import main
 from .config import LintConfig, load_config
-from .registry import FileContext, Rule, all_rules, known_rule_ids, register
+from .project import FileFacts, ProjectModel, extract_facts, module_name_for
+from .registry import (
+    FileContext,
+    ProjectRule,
+    Rule,
+    all_rules,
+    known_rule_ids,
+    register,
+)
 from .report import render
 from .violations import META_RULE_ID, Violation
 
 __all__ = [
     "META_RULE_ID",
+    "CallGraph",
     "FileContext",
+    "FileFacts",
     "LintConfig",
+    "LintRun",
+    "ProjectModel",
+    "ProjectRule",
     "Rule",
     "Violation",
     "all_rules",
+    "check_baseline",
     "check_paths",
     "check_source",
+    "check_sources",
+    "extract_facts",
     "iter_python_files",
     "known_rule_ids",
+    "load_baseline",
     "load_config",
     "main",
+    "module_name_for",
     "register",
     "render",
+    "run_lint",
+    "write_baseline",
 ]

@@ -1,21 +1,44 @@
 """The analysis driver: files in, sorted violations out.
 
-One :func:`check_paths` call expands the given files/directories to
-``*.py`` files, parses each once, runs every applicable rule over the
-tree, filters through the file's inline suppressions, and returns one
-sorted violation list.  :func:`check_source` is the same pipeline for an
-in-memory snippet — the fixture tests and editor integrations use it.
+The pipeline has two phases.  The **per-file** phase parses each file
+once, runs every per-file rule (RL001–RL009) over the tree, and
+extracts the :class:`~repro.lint.project.FileFacts` record; both
+outputs are content-addressed, so the incremental cache
+(:mod:`repro.lint.cache`) can skip this phase entirely for unchanged
+files.  The **project** phase stitches all facts into a
+:class:`~repro.lint.project.ProjectModel` + call graph and runs the
+cross-module rules (RL010–RL012) — always fresh, because their answers
+depend on every file at once.
+
+Downstream of both: config/``--select`` filtering, inline-suppression
+filtering, and the unused-suppression check (a ``# reprolint:
+disable=RLxxx`` whose rule no longer fires on that line is itself
+reported, as :data:`~repro.lint.violations.META_RULE_ID`), then one
+sorted violation list.
+
+:func:`check_source` / :func:`check_paths` keep their historical
+list-of-violations signatures; :func:`run_lint` is the full-fat entry
+the CLI uses (cache + suppression counts for the baseline ratchet).
 """
 
 from __future__ import annotations
 
 import ast
 import os
-from typing import Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from .cache import CacheStats, LintCache, content_hash, ruleset_signature
+from .callgraph import CallGraph
 from .config import LintConfig
-from .registry import FileContext, all_rules
-from .suppressions import parse_suppressions
+from .project import (
+    FileFacts,
+    ProjectModel,
+    extract_facts,
+    module_name_for,
+)
+from .registry import FileContext, all_rules, file_rules, project_rules
+from .suppressions import SuppressionTable, parse_suppressions
 from .violations import META_RULE_ID, Violation
 
 
@@ -43,6 +66,213 @@ def iter_python_files(paths: Sequence[str]) -> List[str]:
     return sorted(dict.fromkeys(files))
 
 
+@dataclass
+class _FileRecord:
+    """One file's state as it moves through the pipeline."""
+
+    path: str
+    source_lines: List[str]
+    facts: FileFacts
+    raw_violations: List[Violation]  # per-file rules, pre-filtering
+    suppressions: SuppressionTable
+    parse_failed: bool = False
+    meta: List[Violation] = field(default_factory=list)
+
+
+@dataclass
+class LintRun:
+    """Everything one analysis produced.
+
+    Attributes:
+        violations: the final, sorted, filtered list.
+        suppression_counts: inline-suppression directives per rule id
+            (the ratchet's second column).
+        cache_stats: hit/miss accounting, when a cache was in use.
+        files: number of files analyzed.
+    """
+
+    violations: List[Violation]
+    suppression_counts: Dict[str, int]
+    cache_stats: Optional[CacheStats]
+    files: int
+
+
+def _run_file_rules(path: str, tree: ast.Module, lines: List[str]) -> List[Violation]:
+    """Every per-file rule over one tree — unfiltered; filtering happens
+    downstream so results are cacheable under any config/--select."""
+    context = FileContext(path=path, tree=tree, source_lines=lines)
+    for rule_cls in file_rules().values():
+        rule_cls(context).run()
+    return context.violations
+
+
+def _analyze_file(
+    path: str,
+    source: str,
+    known_ids: Iterable[str],
+    *,
+    source_bytes: Optional[bytes] = None,
+    cache: Optional[LintCache] = None,
+) -> _FileRecord:
+    lines = source.splitlines()
+    suppressions = parse_suppressions(path, lines, known_ids)
+    digest = None
+    if cache is not None:
+        digest = content_hash(
+            source_bytes if source_bytes is not None else source.encode("utf-8")
+        )
+        cached = cache.lookup(path, digest)
+        if cached is not None:
+            facts, raw = cached
+            return _FileRecord(
+                path=path,
+                source_lines=lines,
+                facts=facts,
+                raw_violations=raw,
+                suppressions=suppressions,
+            )
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return _FileRecord(
+            path=path,
+            source_lines=lines,
+            facts=FileFacts(path=path, module=module_name_for(path)),
+            raw_violations=[],
+            suppressions=suppressions,
+            parse_failed=True,
+            meta=[
+                Violation(
+                    path=path,
+                    line=exc.lineno or 1,
+                    column=(exc.offset or 1) - 1,
+                    rule_id=META_RULE_ID,
+                    message=f"syntax error: {exc.msg}",
+                )
+            ],
+        )
+    raw = _run_file_rules(path, tree, lines)
+    facts = extract_facts(path, tree)
+    if cache is not None and digest is not None:
+        cache.store(path, digest, facts, raw)
+    return _FileRecord(
+        path=path,
+        source_lines=lines,
+        facts=facts,
+        raw_violations=raw,
+        suppressions=suppressions,
+    )
+
+
+def _run_project_rules(
+    records: Sequence[_FileRecord],
+) -> Dict[str, List[Violation]]:
+    """The cross-module phase: one model, every project rule, results
+    grouped by file path."""
+    model = ProjectModel(record.facts for record in records)
+    graph = CallGraph(model)
+    by_path: Dict[str, List[Violation]] = {}
+    for rule_cls in project_rules().values():
+        rule = rule_cls()
+        rule.check_project(model, graph)
+        for violation in rule.violations:
+            by_path.setdefault(violation.path, []).append(violation)
+    return by_path
+
+
+def _finalize(
+    records: Sequence[_FileRecord],
+    project_violations: Mapping[str, List[Violation]],
+    config: LintConfig,
+    select: Optional[Set[str]],
+) -> List[Violation]:
+    """Config/select filtering, suppression filtering, and the
+    unused-suppression check — the fan-in to one sorted list."""
+
+    def effective(rule_id: str, path: str) -> bool:
+        if select is not None and rule_id not in select:
+            return False
+        return config.rule_applies(rule_id, path)
+
+    final: List[Violation] = []
+    for record in records:
+        final.extend(record.meta)
+        final.extend(record.suppressions.problems)
+        candidates = [
+            v
+            for v in [*record.raw_violations, *project_violations.get(record.path, [])]
+            if effective(v.rule_id, record.path)
+        ]
+        fired_lines = {(v.rule_id, v.line) for v in candidates}
+        fired_rules = {v.rule_id for v in candidates}
+        final.extend(
+            v for v in candidates if not record.suppressions.is_suppressed(v)
+        )
+        if record.parse_failed:
+            continue  # nothing fired because nothing ran; pragmas keep
+        for directive in record.suppressions.directives:
+            if directive.rule_id == META_RULE_ID:
+                continue
+            if not effective(directive.rule_id, record.path):
+                continue  # rule disabled here — the pragma is unjudgeable
+            used = (
+                directive.rule_id in fired_rules
+                if directive.scope == "file"
+                else (directive.rule_id, directive.lineno) in fired_lines
+            )
+            if not used:
+                final.append(
+                    Violation(
+                        path=record.path,
+                        line=directive.lineno,
+                        column=directive.column,
+                        rule_id=META_RULE_ID,
+                        message=(
+                            f"unused suppression: {directive.rule_id} does "
+                            "not fire "
+                            + (
+                                "anywhere in this file"
+                                if directive.scope == "file"
+                                else "on this line"
+                            )
+                            + " — remove the stale pragma"
+                        ),
+                    )
+                )
+    return sorted(final)
+
+
+def _normalize_select(select: Optional[Iterable[str]]) -> Optional[Set[str]]:
+    if select is None:
+        return None
+    return set(select)
+
+
+def check_sources(
+    sources: Mapping[str, str],
+    *,
+    config: Optional[LintConfig] = None,
+    select: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Lint a set of in-memory files as one project.
+
+    The fixture entry point for cross-module rules: keys are the paths
+    the project model derives module names from, values are source
+    text.  No cache is involved.
+    """
+    config = config or LintConfig()
+    known = all_rules()
+    records = [
+        _analyze_file(path, source, known)
+        for path, source in sources.items()
+        if not config.path_excluded(path)
+    ]
+    project_violations = _run_project_rules(records)
+    return _finalize(
+        records, project_violations, config, _normalize_select(select)
+    )
+
+
 def check_source(
     source: str,
     path: str = "<string>",
@@ -50,12 +280,13 @@ def check_source(
     config: Optional[LintConfig] = None,
     select: Optional[Iterable[str]] = None,
 ) -> List[Violation]:
-    """Lint one source string.
+    """Lint one source string (a one-file project).
 
     Args:
         source: Python source text.
         path: path to attribute violations to (and to match rule
-            excludes against).
+            excludes against; it also determines the module name the
+            cross-module rules see).
         config: resolved configuration; defaults to all rules on.
         select: restrict to these rule ids (after config filtering);
             ``None`` means all registered rules.
@@ -65,36 +296,93 @@ def check_source(
         :data:`~repro.lint.violations.META_RULE_ID` entry — syntax
         errors.
     """
+    return check_sources({path: source}, config=config, select=select)
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    config: Optional[LintConfig] = None,
+    select: Optional[Iterable[str]] = None,
+    cache_path: Optional[str] = None,
+) -> LintRun:
+    """The full pipeline over files on disk.
+
+    Args:
+        paths: files and directory trees to lint.
+        config: resolved configuration.
+        select: restrict reporting to these rule ids.
+        cache_path: where the incremental cache lives; ``None`` runs
+            cold and writes nothing.
+
+    Returns:
+        A :class:`LintRun` with the violations, the per-rule
+        suppression-directive counts (for the baseline ratchet), and
+        the cache accounting.
+    """
     config = config or LintConfig()
     known = all_rules()
-    rules = known
-    if select is not None:
-        wanted = set(select)
-        rules = {rid: cls for rid, cls in known.items() if rid in wanted}
-    source_lines = source.splitlines()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Violation(
-                path=path,
-                line=exc.lineno or 1,
-                column=(exc.offset or 1) - 1,
-                rule_id=META_RULE_ID,
-                message=f"syntax error: {exc.msg}",
+    cache: Optional[LintCache] = None
+    if cache_path is not None:
+        cache = LintCache.load(cache_path, ruleset_signature(known))
+    records: List[_FileRecord] = []
+    filenames = [
+        name
+        for name in iter_python_files(paths)
+        if not config.path_excluded(name)
+    ]
+    for filename in filenames:
+        try:
+            with open(filename, "rb") as handle:
+                raw_bytes = handle.read()
+            source = raw_bytes.decode("utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            records.append(
+                _FileRecord(
+                    path=filename,
+                    source_lines=[],
+                    facts=FileFacts(
+                        path=filename, module=module_name_for(filename)
+                    ),
+                    raw_violations=[],
+                    suppressions=SuppressionTable(),
+                    parse_failed=True,
+                    meta=[
+                        Violation(
+                            path=filename,
+                            line=1,
+                            column=0,
+                            rule_id=META_RULE_ID,
+                            message=f"cannot read file: {exc}",
+                        )
+                    ],
+                )
             )
-        ]
-    suppressions = parse_suppressions(path, source_lines, known)
-    violations: List[Violation] = list(suppressions.problems)
-    for rule_id, rule_cls in rules.items():
-        if not config.rule_applies(rule_id, path):
             continue
-        context = FileContext(path=path, tree=tree, source_lines=source_lines)
-        rule_cls(context).run()
-        violations.extend(
-            v for v in context.violations if not suppressions.is_suppressed(v)
+        records.append(
+            _analyze_file(
+                filename, source, known, source_bytes=raw_bytes, cache=cache
+            )
         )
-    return sorted(violations)
+    project_violations = _run_project_rules(records)
+    violations = _finalize(
+        records, project_violations, config, _normalize_select(select)
+    )
+    suppression_counts: Dict[str, int] = {}
+    for record in records:
+        for directive in record.suppressions.directives:
+            suppression_counts[directive.rule_id] = (
+                suppression_counts.get(directive.rule_id, 0) + 1
+            )
+    if cache is not None:
+        cache.prune(filenames)
+        cache.save()
+    return LintRun(
+        violations=violations,
+        suppression_counts=dict(sorted(suppression_counts.items())),
+        cache_stats=cache.stats if cache is not None else None,
+        files=len(records),
+    )
 
 
 def check_paths(
@@ -103,27 +391,6 @@ def check_paths(
     config: Optional[LintConfig] = None,
     select: Optional[Iterable[str]] = None,
 ) -> List[Violation]:
-    """Lint files and directory trees; the union of per-file results."""
-    config = config or LintConfig()
-    violations: List[Violation] = []
-    for filename in iter_python_files(paths):
-        if config.path_excluded(filename):
-            continue
-        try:
-            with open(filename, "r", encoding="utf-8") as handle:
-                source = handle.read()
-        except (OSError, UnicodeDecodeError) as exc:
-            violations.append(
-                Violation(
-                    path=filename,
-                    line=1,
-                    column=0,
-                    rule_id=META_RULE_ID,
-                    message=f"cannot read file: {exc}",
-                )
-            )
-            continue
-        violations.extend(
-            check_source(source, filename, config=config, select=select)
-        )
-    return sorted(violations)
+    """Lint files and directory trees; the union of per-file results
+    plus the cross-module rules over the whole set (uncached)."""
+    return run_lint(paths, config=config, select=select).violations

@@ -1,0 +1,146 @@
+"""The suppression ratchet: violation/suppression counts only shrink.
+
+``repro lint --write-baseline`` records the current per-rule violation
+counts *and* per-rule inline-suppression counts into
+``lint-baseline.json``; ``repro lint --baseline`` then fails whenever
+any rule's count exceeds its recorded value.  The effect is a one-way
+ratchet: known debt (a hot loop awaiting vectorization, a benchmark
+that legitimately times with a raw counter) is tolerated at its current
+size, but new violations — and new ``# reprolint: disable=`` pragmas,
+which would otherwise be the easy way around the gate — fail CI.
+Counts that shrink are reported as ratchet slack so the baseline can be
+re-tightened (re-run ``--write-baseline`` and commit).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from .violations import META_RULE_ID, Violation
+
+#: Default baseline path, resolved against the current directory (CI
+#: runs from the repo root, where the committed file lives).
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class BaselineReport:
+    """Outcome of one ratchet check.
+
+    Attributes:
+        failures: human-readable, one per rule whose count grew.
+        improvements: rules whose count shrank (slack to re-ratchet).
+    """
+
+    failures: List[str] = field(default_factory=list)
+    improvements: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def violation_counts(violations: Sequence[Violation]) -> Dict[str, int]:
+    """Per-rule counts of a violation list (the ratchet's left side)."""
+    return dict(sorted(Counter(v.rule_id for v in violations).items()))
+
+
+def render_baseline(
+    violations: Mapping[str, int], suppressions: Mapping[str, int]
+) -> str:
+    """The canonical on-disk form (sorted keys, trailing newline — a
+    stable diff target for review)."""
+    payload = {
+        "schema": BASELINE_SCHEMA_VERSION,
+        "violations": dict(sorted(violations.items())),
+        "suppressions": dict(sorted(suppressions.items())),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(
+    path: str,
+    violations: Mapping[str, int],
+    suppressions: Mapping[str, int],
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_baseline(violations, suppressions))
+
+
+def load_baseline(path: str) -> Dict[str, Dict[str, int]]:
+    """Load and validate a baseline file.
+
+    Raises:
+        ValueError: on unreadable/malformed content or a schema
+            mismatch — a broken baseline must fail loudly, not pass an
+            empty ratchet.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise ValueError(f"cannot read baseline {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path!r} is not valid JSON: {exc}") from exc
+    if data.get("schema") != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline {path!r} has schema {data.get('schema')!r}; "
+            f"expected {BASELINE_SCHEMA_VERSION} (re-run --write-baseline)"
+        )
+    result: Dict[str, Dict[str, int]] = {}
+    for section in ("violations", "suppressions"):
+        table = data.get(section, {})
+        if not isinstance(table, dict) or not all(
+            isinstance(v, int) and v >= 0 for v in table.values()
+        ):
+            raise ValueError(
+                f"baseline {path!r} section {section!r} must map rule "
+                "ids to non-negative counts"
+            )
+        result[section] = {str(k): int(v) for k, v in table.items()}
+    return result
+
+
+def check_baseline(
+    baseline: Mapping[str, Mapping[str, int]],
+    violations: Mapping[str, int],
+    suppressions: Mapping[str, int],
+) -> BaselineReport:
+    """Compare current counts against the recorded ones.
+
+    A rule absent from the baseline has a recorded count of zero, so
+    brand-new rules ratchet from a clean slate automatically.  Meta
+    diagnostics (:data:`META_RULE_ID`) always fail regardless of any
+    recorded count — a syntax error or stale pragma is never debt to
+    keep.
+    """
+    report = BaselineReport()
+    for section, current in (
+        ("violations", violations),
+        ("suppressions", suppressions),
+    ):
+        recorded = baseline.get(section, {})
+        noun = "violation(s)" if section == "violations" else "suppression(s)"
+        for rule_id in sorted(set(recorded) | set(current)):
+            allowed = recorded.get(rule_id, 0)
+            observed = current.get(rule_id, 0)
+            if rule_id == META_RULE_ID and observed and section == "violations":
+                report.failures.append(
+                    f"{rule_id}: {observed} meta {noun} (never baselined)"
+                )
+            elif observed > allowed:
+                report.failures.append(
+                    f"{rule_id}: {observed} {noun} exceeds baseline "
+                    f"of {allowed} — fix the new ones or shrink elsewhere"
+                )
+            elif observed < allowed:
+                report.improvements.append(
+                    f"{rule_id}: {observed} {noun} < baseline {allowed} "
+                    "— re-run --write-baseline to ratchet down"
+                )
+    return report

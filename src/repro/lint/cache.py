@@ -1,0 +1,176 @@
+"""On-disk incremental cache: per-file content hash → parsed facts.
+
+``repro lint`` re-runs on every commit; parsing a few hundred files
+dominates its runtime.  The cache stores, per file, the SHA-256 of the
+source bytes together with the two things the analyzer derives from the
+AST — the per-file rule violations (pre-suppression, all rules) and the
+:class:`~repro.lint.project.FileFacts` record the cross-module rules
+query.  A warm run therefore reads and hashes every file (cheap), skips
+``ast.parse`` plus every per-file rule for unchanged files, rebuilds the
+project model from the cached facts, and runs only the cross-module
+rules fresh — those are graph queries, not parses.
+
+Soundness: per-file rule results depend only on the file's bytes, so a
+hash hit may reuse them verbatim.  Cross-module rules depend on *other*
+files too and are therefore never cached.  Suppression filtering,
+config filtering, and ``--select`` narrowing all happen downstream of
+the cache (cached entries always hold the full, unfiltered result), so
+changing flags or ``pyproject.toml`` never requires invalidation.  The
+cache key bakes in a schema version and the registered rule-id set;
+adding or renaming a rule invalidates everything at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .project import FileFacts, facts_from_dict
+from .violations import Violation
+
+#: Bump when the cached schema (facts or violation fields) changes.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default cache file name, resolved against the config root (the
+#: directory holding pyproject.toml) so every invocation shares it.
+DEFAULT_CACHE_NAME = ".reprolint-cache.json"
+
+
+def content_hash(source_bytes: bytes) -> str:
+    """The cache key of one file's content."""
+    return hashlib.sha256(source_bytes).hexdigest()
+
+
+def ruleset_signature(rule_ids: Iterable[str]) -> str:
+    """A fingerprint of the registered rules; part of the cache key."""
+    return hashlib.sha256(",".join(sorted(rule_ids)).encode()).hexdigest()[:16]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one analyzer run."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def files(self) -> int:
+        return self.hits + self.misses
+
+
+@dataclass
+class LintCache:
+    """The cache contents, plus load/save plumbing.
+
+    Entries are keyed by file path; each holds the content hash it was
+    computed from, the serialized facts, and the serialized per-file
+    violations.
+    """
+
+    path: Optional[str] = None
+    signature: str = ""
+    entries: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    stats: CacheStats = field(default_factory=CacheStats)
+    _dirty: bool = field(default=False, repr=False)
+
+    @classmethod
+    def load(cls, path: Optional[str], signature: str) -> "LintCache":
+        """Load the cache file; any mismatch (missing, unreadable,
+        wrong schema or ruleset) yields an empty cache that will be
+        rewritten on save."""
+        cache = cls(path=path, signature=signature)
+        if path is None or not os.path.isfile(path):
+            return cache
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return cache
+        if (
+            data.get("schema") != CACHE_SCHEMA_VERSION
+            or data.get("signature") != signature
+        ):
+            return cache
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            cache.entries = entries
+        return cache
+
+    def lookup(
+        self, path: str, digest: str
+    ) -> Optional[Tuple[FileFacts, List[Violation]]]:
+        """The cached (facts, per-file violations) for ``path`` at
+        ``digest``, or ``None`` on miss.  Updates the stats either way."""
+        entry = self.entries.get(path)
+        if entry is None or entry.get("hash") != digest:
+            self.stats.misses += 1
+            return None
+        try:
+            facts = facts_from_dict(entry["facts"])
+            violations = [
+                Violation(
+                    path=v["path"],
+                    line=int(v["line"]),
+                    column=int(v["column"]),
+                    rule_id=str(v["rule"]),
+                    message=str(v["message"]),
+                )
+                for v in entry["violations"]
+            ]
+        except (KeyError, TypeError, ValueError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return facts, violations
+
+    def store(
+        self,
+        path: str,
+        digest: str,
+        facts: FileFacts,
+        violations: List[Violation],
+    ) -> None:
+        self.entries[path] = {
+            "hash": digest,
+            "facts": facts.as_dict(),
+            "violations": [v.as_dict() for v in violations],
+        }
+        self._dirty = True
+
+    def prune(self, live_paths: Iterable[str]) -> None:
+        """Drop entries for files no longer part of the run."""
+        live = set(live_paths)
+        stale = [p for p in self.entries if p not in live]
+        for p in stale:
+            del self.entries[p]
+            self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist (write-to-temp + rename); a cache that
+        cannot be written degrades to a cold run, never to an error."""
+        if self.path is None or not self._dirty:
+            return
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "signature": self.signature,
+            "entries": self.entries,
+        }
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        tmp_path: Optional[str] = None
+        try:
+            fd, tmp_path = tempfile.mkstemp(
+                prefix=".reprolint-cache-", suffix=".tmp", dir=directory
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp_path, self.path)
+        except OSError:
+            if tmp_path is not None:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass

@@ -35,6 +35,8 @@ class LintConfig:
 
     Attributes:
         disable: rule ids turned off repo-wide.
+        include: default paths to lint when the CLI is given none,
+            relative to ``root`` (``["src"]`` when unset).
         exclude: glob patterns (posix separators) of paths no rule runs
             on, matched against the path relative to ``root``.
         rule_excludes: per-rule glob patterns — the rule is skipped for
@@ -44,9 +46,20 @@ class LintConfig:
     """
 
     disable: List[str] = field(default_factory=list)
+    include: List[str] = field(default_factory=list)
     exclude: List[str] = field(default_factory=list)
     rule_excludes: Dict[str, List[str]] = field(default_factory=dict)
     root: Optional[str] = None
+
+    def default_paths(self) -> List[str]:
+        """The paths a bare ``repro lint`` invocation covers: the
+        configured ``include`` list resolved against ``root``, or
+        ``["src"]`` when nothing is configured."""
+        if not self.include:
+            return ["src"]
+        if self.root is None:
+            return list(self.include)
+        return [os.path.join(self.root, path) for path in self.include]
 
     def rule_enabled(self, rule_id: str) -> bool:
         return rule_id not in self.disable
@@ -116,6 +129,7 @@ def config_from_table(table: Dict[str, Any], root: Optional[str] = None) -> Lint
     }
     return LintConfig(
         disable=[str(r) for r in table.get("disable", [])],
+        include=[str(p) for p in table.get("include", [])],
         exclude=[str(p) for p in table.get("exclude", [])],
         rule_excludes=rule_excludes,
         root=root,

@@ -16,9 +16,13 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, List, Type
+from typing import TYPE_CHECKING, Dict, List, Type
 
 from .violations import Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .callgraph import CallGraph
+    from .project import ProjectModel
 
 
 @dataclass
@@ -78,6 +82,42 @@ class Rule(ast.NodeVisitor):
         self.context.report(node, self.rule_id, message)
 
 
+class ProjectRule(Rule):
+    """Base class for cross-module (whole-program) rules.
+
+    Where a :class:`Rule` sees one file's AST, a project rule runs
+    *once per analysis* against the resolved
+    :class:`~repro.lint.project.ProjectModel` and reports violations
+    attributed to whichever files the facts point at.  Subclasses
+    override :meth:`check_project`; the per-file visitor machinery is
+    inert for them (the analyzer never calls :meth:`Rule.run` on a
+    project rule).
+
+    Suppressions, config ``rule-excludes``, and ``--select`` apply to
+    project-rule violations exactly as to per-file ones — filtering
+    happens downstream on the reported path/line.
+    """
+
+    def __init__(self) -> None:  # no FileContext: the project is the scope
+        self.violations: List[Violation] = []
+
+    def check_project(self, model: "ProjectModel", graph: "CallGraph") -> None:
+        raise NotImplementedError
+
+    def report_at(
+        self, path: str, line: int, column: int, message: str
+    ) -> None:
+        self.violations.append(
+            Violation(
+                path=path,
+                line=line,
+                column=column,
+                rule_id=self.rule_id,
+                message=message,
+            )
+        )
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
 
@@ -102,6 +142,24 @@ def all_rules() -> Dict[str, Type[Rule]]:
     """All registered rules, keyed by id, in id order."""
     _load_builtin_rules()
     return dict(sorted(_REGISTRY.items()))
+
+
+def file_rules() -> Dict[str, Type[Rule]]:
+    """The per-file rules only (everything except project rules)."""
+    return {
+        rid: cls
+        for rid, cls in all_rules().items()
+        if not issubclass(cls, ProjectRule)
+    }
+
+
+def project_rules() -> Dict[str, Type[ProjectRule]]:
+    """The cross-module rules only."""
+    return {
+        rid: cls
+        for rid, cls in all_rules().items()
+        if issubclass(cls, ProjectRule)
+    }
 
 
 def known_rule_ids() -> List[str]:

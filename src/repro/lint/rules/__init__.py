@@ -14,4 +14,7 @@ from . import (  # noqa: F401
     rl007_float_typed_equality,
     rl008_raw_perf_counter,
     rl009_kernel_confinement,
+    rl010_worker_shipment,
+    rl011_span_coverage,
+    rl012_hot_loop,
 )

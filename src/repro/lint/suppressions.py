@@ -1,17 +1,20 @@
 """Inline ``# reprolint: disable=...`` suppression comments.
 
-Two scopes:
+Two scopes (shown with a space before the colon so these docstring
+examples are not parsed as live directives by the line scanner):
 
-* line — ``x = risky()  # reprolint: disable=RL003`` silences the named
-  rules for violations reported *on that line*;
-* file — a standalone ``# reprolint: disable-file=RL001`` comment
+* line — ``x = risky()  # reprolint : disable=RL003`` silences the
+  named rules for violations reported *on that line*;
+* file — a standalone ``# reprolint : disable-file=RL001`` comment
   anywhere in the file (conventionally at the top) silences the named
   rules for the whole file.
 
 A suppression naming a rule id that does not exist is itself reported
 (as the :data:`~repro.lint.violations.META_RULE_ID` meta rule): a typo
 in a suppression would otherwise silently disable nothing while looking
-like it disabled something.
+like it disabled something.  A suppression naming a rule that no longer
+fires where the comment sits is reported the same way (unused
+suppression) — stale pragmas cannot accumulate.
 """
 
 from __future__ import annotations
@@ -27,6 +30,20 @@ _DIRECTIVE = re.compile(
 )
 
 
+@dataclass(frozen=True)
+class Directive:
+    """One rule id named by one suppression comment.
+
+    A comment naming two rules yields two directives — the unit the
+    unused-suppression check and the baseline ratchet count.
+    """
+
+    lineno: int
+    column: int
+    rule_id: str
+    scope: str  # "line" | "file"
+
+
 @dataclass
 class SuppressionTable:
     """Parsed suppressions of one file.
@@ -34,12 +51,15 @@ class SuppressionTable:
     Attributes:
         by_line: rule ids silenced per 1-based line number.
         whole_file: rule ids silenced for every line.
+        directives: every individual (line, rule) suppression, for the
+            unused-suppression check and the ratchet's counts.
         problems: violations about the suppressions themselves
             (unknown rule ids).
     """
 
     by_line: Dict[int, Set[str]] = field(default_factory=dict)
     whole_file: Set[str] = field(default_factory=set)
+    directives: List[Directive] = field(default_factory=list)
     problems: List[Violation] = field(default_factory=list)
 
     def is_suppressed(self, violation: Violation) -> bool:
@@ -85,7 +105,17 @@ def parse_suppressions(
                 )
             )
         valid = ids & known
-        if match.group("scope") == "disable-file":
+        scope = "file" if match.group("scope") == "disable-file" else "line"
+        for rule_id in sorted(valid):
+            table.directives.append(
+                Directive(
+                    lineno=lineno,
+                    column=match.start(),
+                    rule_id=rule_id,
+                    scope=scope,
+                )
+            )
+        if scope == "file":
             table.whole_file |= valid
         else:
             table.by_line.setdefault(lineno, set()).update(valid)

@@ -93,7 +93,10 @@ def astar_path(
             path.reverse()
             return path, g[target]
         gu = g[u]
-        for i in range(indptr[u], indptr[u + 1]):
+        # Known pre-ratchet hot loop (ROADMAP item 2): the A* relaxation
+        # still walks the CSR slice in Python pending an ALT kernel
+        # primitive.  Counted by lint-baseline.json — may only shrink.
+        for i in range(indptr[u], indptr[u + 1]):  # reprolint: disable=RL012
             v = targets[i]
             ng = gu + costs[i]
             if ng < g.get(v, math.inf):

@@ -186,6 +186,7 @@ def run_query_searches(
     """
     workers = resolve_workers(workers)
     node_list = list(nodes)
+    rows: List[QuerySearchRow]
     if not node_list:
         return [], SearchStats()
     parent_trace = current_trace()
@@ -200,7 +201,7 @@ def run_query_searches(
                 _reset_worker_state()
         return rows, stats
     chunks = split_chunks(node_list, workers * CHUNKS_PER_WORKER)
-    rows: List[QuerySearchRow] = []
+    rows = []
     total = SearchStats()
     with span(
         "fanout", nodes=len(node_list), workers=workers, chunks=len(chunks)

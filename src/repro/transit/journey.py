@@ -242,8 +242,12 @@ class JourneyPlanner:
             if u == destination:
                 break
             if u < offset:
-                # walk layer
-                for i in range(indptr[u], indptr[u + 1]):
+                # Known pre-ratchet hot loop (ROADMAP item 2): the walk
+                # layer relaxes CSR slices in Python because the journey
+                # graph interleaves board/alight edges; pending a
+                # multimodal kernel primitive.  Counted by
+                # lint-baseline.json — may only shrink.
+                for i in range(indptr[u], indptr[u + 1]):  # reprolint: disable=RL012
                     _relax(u, targets[i], d + costs[i] * self._walk_min_per_km)
                 # board edges
                 for state in self._states_at_node.get(u, ()):

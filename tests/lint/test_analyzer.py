@@ -159,6 +159,9 @@ def test_registry_is_complete():
         "RL007",
         "RL008",
         "RL009",
+        "RL010",
+        "RL011",
+        "RL012",
     ]
     for rule_cls in all_rules().values():
         assert rule_cls.title and rule_cls.rationale

@@ -1,0 +1,99 @@
+"""The suppression ratchet: baseline write/load/check semantics."""
+
+import pytest
+
+from repro.lint import check_baseline, load_baseline, write_baseline
+from repro.lint.baseline import render_baseline, violation_counts
+from repro.lint.violations import META_RULE_ID, Violation
+
+
+def v(rule_id, line=1):
+    return Violation("f.py", line, 0, rule_id, "msg")
+
+
+def test_violation_counts_tallies_by_rule():
+    counts = violation_counts([v("RL001"), v("RL004"), v("RL001", 2)])
+    assert counts == {"RL001": 2, "RL004": 1}
+
+
+def test_write_load_round_trip(tmp_path):
+    path = str(tmp_path / "baseline.json")
+    write_baseline(path, {"RL012": 2}, {"RL001": 1, "RL012": 2})
+    loaded = load_baseline(path)
+    assert loaded == {
+        "violations": {"RL012": 2},
+        "suppressions": {"RL001": 1, "RL012": 2},
+    }
+
+
+def test_render_is_stable_and_sorted():
+    text = render_baseline({"RL009": 1, "RL001": 2}, {})
+    assert text.endswith("\n")
+    assert text.index('"RL001"') < text.index('"RL009"')
+
+
+@pytest.mark.parametrize(
+    "content",
+    [
+        "{not json",
+        '{"schema": 99, "violations": {}, "suppressions": {}}',
+        '{"schema": 1, "violations": {"RL001": -1}, "suppressions": {}}',
+        '{"schema": 1, "violations": {"RL001": "two"}, "suppressions": {}}',
+        '{"schema": 1, "violations": [], "suppressions": {}}',
+    ],
+)
+def test_malformed_baseline_fails_loudly(tmp_path, content):
+    path = tmp_path / "baseline.json"
+    path.write_text(content)
+    with pytest.raises(ValueError):
+        load_baseline(str(path))
+
+
+def test_missing_baseline_fails_loudly(tmp_path):
+    with pytest.raises(ValueError):
+        load_baseline(str(tmp_path / "nope.json"))
+
+
+# ----------------------------------------------------------------------
+# The ratchet itself
+# ----------------------------------------------------------------------
+
+BASE = {"violations": {"RL012": 2}, "suppressions": {"RL012": 2}}
+
+
+def test_counts_at_baseline_pass():
+    report = check_baseline(BASE, {"RL012": 2}, {"RL012": 2})
+    assert report.ok
+    assert report.improvements == []
+
+
+def test_violation_growth_fails():
+    report = check_baseline(BASE, {"RL012": 3}, {"RL012": 2})
+    assert not report.ok
+    assert any("RL012" in line and "exceeds" in line for line in report.failures)
+
+
+def test_new_rule_ratchets_from_zero():
+    report = check_baseline(BASE, {"RL012": 2, "RL001": 1}, {"RL012": 2})
+    assert not report.ok
+    assert any("RL001" in line for line in report.failures)
+
+
+def test_new_suppressions_fail_the_ratchet():
+    # The easy way around the gate — adding pragmas — is itself gated.
+    report = check_baseline(BASE, {"RL012": 2}, {"RL012": 3})
+    assert not report.ok
+    assert any("suppression" in line for line in report.failures)
+
+
+def test_shrinking_counts_report_slack():
+    report = check_baseline(BASE, {"RL012": 1}, {"RL012": 2})
+    assert report.ok
+    assert any("re-run --write-baseline" in line for line in report.improvements)
+
+
+def test_meta_violations_never_pass_even_if_baselined():
+    baseline = {"violations": {META_RULE_ID: 5}, "suppressions": {}}
+    report = check_baseline(baseline, {META_RULE_ID: 1}, {})
+    assert not report.ok
+    assert any("never baselined" in line for line in report.failures)

@@ -105,3 +105,122 @@ def test_render_unknown_format_raises():
     violation = Violation("f.py", 1, 0, "RL001", "msg")
     with pytest.raises(KeyError):
         render([violation], "xml")
+
+
+# ----------------------------------------------------------------------
+# Cache flags
+# ----------------------------------------------------------------------
+
+
+def test_cache_flag_reports_hits_on_the_second_run(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text("def f():\n    return 1\n")
+    cache = tmp_path / "cache.json"
+    args = [str(target), "--no-config", "--cache", str(cache)]
+    assert lint_main(args) == 0
+    first = capsys.readouterr().err
+    assert "cache 0 hit(s), 1 miss(es)" in first
+    assert cache.exists()
+    assert lint_main(args) == 0
+    second = capsys.readouterr().err
+    assert "cache 1 hit(s), 0 miss(es)" in second
+
+
+def test_no_cache_flag_writes_nothing(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text("def f():\n    return 1\n")
+    assert lint_main([str(target), "--no-config", "--no-cache"]) == 0
+    assert "cache" not in capsys.readouterr().err
+    assert list(tmp_path.glob("*.json")) == []
+
+
+# ----------------------------------------------------------------------
+# Baseline ratchet flags
+# ----------------------------------------------------------------------
+
+
+def test_write_then_check_baseline_cycle(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("x = cost == 0.0\n")
+    baseline = tmp_path / "baseline.json"
+    common = ["--no-config", "--no-cache"]
+
+    # Record current debt: one RL004.
+    assert lint_main([str(bad), *common, "--write-baseline", str(baseline)]) == 0
+    assert "baseline written" in capsys.readouterr().err
+    payload = json.loads(baseline.read_text())
+    assert payload["violations"] == {"RL004": 1}
+
+    # At the baseline: the same violation is tolerated, exit 0.
+    assert lint_main([str(bad), *common, "--baseline", str(baseline)]) == 0
+    assert "ratchet ok" in capsys.readouterr().err
+
+    # Growth: a second violation fails the ratchet.
+    bad.write_text("x = cost == 0.0\ny = cost == 1.0\n")
+    assert lint_main([str(bad), *common, "--baseline", str(baseline)]) == 1
+    assert "ratchet FAILED" in capsys.readouterr().err
+
+    # Shrink: clean file passes and reports slack to re-ratchet.
+    bad.write_text("x = 1\n")
+    assert lint_main([str(bad), *common, "--baseline", str(baseline)]) == 0
+    assert "ratchet slack" in capsys.readouterr().err
+
+
+def test_new_suppression_fails_the_ratchet(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("x = cost == 0.0\n")
+    baseline = tmp_path / "baseline.json"
+    common = ["--no-config", "--no-cache"]
+    assert lint_main([str(bad), *common, "--write-baseline", str(baseline)]) == 0
+    bad.write_text("x = cost == 0.0  # reprolint: disable=RL004\n")
+    assert lint_main([str(bad), *common, "--baseline", str(baseline)]) == 1
+    err = capsys.readouterr().err
+    assert "suppression" in err and "ratchet FAILED" in err
+
+
+def test_unreadable_baseline_is_a_usage_error(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1\n")
+    broken = tmp_path / "baseline.json"
+    broken.write_text("{not json")
+    code = lint_main(
+        [str(target), "--no-config", "--no-cache", "--baseline", str(broken)]
+    )
+    assert code == 2
+    assert "baseline" in capsys.readouterr().err
+
+
+def test_repo_baseline_file_matches_the_tree():
+    """The committed lint-baseline.json is in sync: `repro lint
+    --baseline` over the configured include paths exits 0."""
+    cwd = os.getcwd()
+    os.chdir(REPO_ROOT)
+    try:
+        code = lint_main(["--baseline", "lint-baseline.json", "--no-cache"])
+    finally:
+        os.chdir(cwd)
+    assert code == 0
+
+
+def test_repro_cli_forwards_ratchet_and_cache_flags(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("x = cost == 0.0\n")
+    baseline = tmp_path / "baseline.json"
+    cache = tmp_path / "cache.json"
+    assert repro_main(
+        ["lint", str(bad), "--no-config", "--cache", str(cache),
+         "--write-baseline", str(baseline)]
+    ) == 0
+    assert baseline.exists() and cache.exists()
+    assert repro_main(
+        ["lint", str(bad), "--no-config", "--no-cache",
+         "--baseline", str(baseline)]
+    ) == 0
+    assert "ratchet ok" in capsys.readouterr().err
+
+
+def test_list_rules_labels_scopes(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "RL010" in out and "[cross-module]" in out
+    assert "RL001" in out and "[per-file]" in out

@@ -1,0 +1,371 @@
+"""Fire and pass fixtures for the cross-module rules RL010–RL012.
+
+Each rule gets at least one snippet it must flag and one semantically
+close snippet it must stay silent on; the acceptance criterion for the
+whole-program analyzer is exactly this pair per rule.
+"""
+
+import textwrap
+
+from repro.lint import check_source, check_sources
+
+
+def lint(source, path, select):
+    return check_source(textwrap.dedent(source), path=path, select=[select])
+
+
+def lint_many(sources, select):
+    return check_sources(
+        {path: textwrap.dedent(src) for path, src in sources.items()},
+        select=[select],
+    )
+
+
+# ----------------------------------------------------------------------
+# RL010 — worker-shipment safety
+# ----------------------------------------------------------------------
+
+
+def test_rl010_fires_on_lambda_task():
+    violations = lint(
+        """
+        import multiprocessing
+
+        def fan(chunks):
+            with multiprocessing.Pool(4) as pool:
+                return pool.map(lambda c: c * 2, chunks)
+        """,
+        "src/repro/parallel/bad.py",
+        "RL010",
+    )
+    assert [v.rule_id for v in violations] == ["RL010"]
+    assert "lambda" in violations[0].message
+
+
+def test_rl010_fires_on_bound_method_task():
+    violations = lint(
+        """
+        import multiprocessing
+
+        def fan(worker, chunks):
+            with multiprocessing.Pool(4) as pool:
+                return pool.map(worker.run, chunks)
+        """,
+        "src/repro/parallel/bad.py",
+        "RL010",
+    )
+    assert [v.rule_id for v in violations] == ["RL010"]
+    assert "bound-method" in violations[0].message
+
+
+def test_rl010_fires_on_nested_function_task():
+    violations = lint(
+        """
+        import multiprocessing
+
+        def fan(chunks):
+            def task(c):
+                return c * 2
+            with multiprocessing.Pool(4) as pool:
+                return pool.map(task, chunks)
+        """,
+        "src/repro/parallel/bad.py",
+        "RL010",
+    )
+    assert [v.rule_id for v in violations] == ["RL010"]
+    assert "nested function" in violations[0].message
+
+
+def test_rl010_fires_on_shipped_engine_local():
+    violations = lint(
+        """
+        import multiprocessing
+        from repro.network.engine import engine_for
+
+        def _init(engine):
+            pass
+
+        def fan(network, chunks):
+            engine = engine_for(network)
+            with multiprocessing.Pool(initializer=_init, initargs=(engine,)) as pool:
+                return pool.map(_task, chunks)
+
+        def _task(c):
+            return c
+        """,
+        "src/repro/parallel/bad.py",
+        "RL010",
+    )
+    assert [v.rule_id for v in violations] == ["RL010"]
+    assert "SearchEngine" in violations[0].message
+
+
+def test_rl010_fires_on_inline_engine_construction():
+    violations = lint(
+        """
+        import multiprocessing
+        from repro.network.engine import SearchEngine
+
+        def _init(engine):
+            pass
+
+        def fan(network, chunks):
+            with multiprocessing.Pool(
+                initializer=_init, initargs=(SearchEngine(network),)
+            ) as pool:
+                return pool.map(_task, chunks)
+
+        def _task(c):
+            return c
+        """,
+        "src/repro/parallel/bad.py",
+        "RL010",
+    )
+    assert len(violations) == 1
+    assert "construct a live SearchEngine" in violations[0].message
+
+
+def test_rl010_fires_on_global_mutation_reachable_from_task():
+    violations = lint_many(
+        {
+            "src/repro/parallel/fan.py": """
+                import multiprocessing
+                from repro.other import mutate
+
+                def _task(c):
+                    mutate(c)
+                    return c
+
+                def fan(chunks):
+                    with multiprocessing.Pool(4) as pool:
+                        return pool.map(_task, chunks)
+            """,
+            "src/repro/other.py": """
+                _STATE = None
+
+                def mutate(value):
+                    global _STATE
+                    _STATE = value
+            """,
+        },
+        "RL010",
+    )
+    assert [v.rule_id for v in violations] == ["RL010"]
+    # Flagged at the definition of the mutating helper, cross-module.
+    assert violations[0].path == "src/repro/other.py"
+    assert "_STATE" in violations[0].message
+
+
+def test_rl010_passes_module_level_task_and_initializer_globals():
+    violations = lint(
+        """
+        import multiprocessing
+
+        _ENGINE = None
+
+        def _init(network):
+            # Initializers ARE the sanctioned per-process state installer.
+            global _ENGINE
+            _ENGINE = network
+
+        def _task(c):
+            return c * 2
+
+        def fan(network, chunks):
+            with multiprocessing.Pool(initializer=_init, initargs=(network,)) as pool:
+                return pool.map(_task, chunks)
+        """,
+        "src/repro/parallel/good.py",
+        "RL010",
+    )
+    assert violations == []
+
+
+def test_rl010_ignores_map_in_non_pool_modules():
+    violations = lint(
+        """
+        def apply_all(mapper, items):
+            return mapper.map(str, items)
+        """,
+        "src/repro/core/plain.py",
+        "RL010",
+    )
+    assert violations == []
+
+
+# ----------------------------------------------------------------------
+# RL011 — span coverage of phase entry points
+# ----------------------------------------------------------------------
+
+
+def test_rl011_fires_on_uncovered_phase_entry_point():
+    violations = lint(
+        """
+        def preprocess_things(instance):
+            return [instance]
+        """,
+        "src/repro/core/newphase.py",
+        "RL011",
+    )
+    assert [v.rule_id for v in violations] == ["RL011"]
+    assert "preprocess_things" in violations[0].message
+
+
+def test_rl011_passes_direct_span():
+    violations = lint(
+        """
+        from repro.obs import span
+
+        def preprocess_things(instance):
+            with span("preprocess"):
+                return [instance]
+        """,
+        "src/repro/core/newphase.py",
+        "RL011",
+    )
+    assert violations == []
+
+
+def test_rl011_passes_traced_decorator():
+    violations = lint(
+        """
+        from repro.obs import traced
+
+        @traced("run")
+        def run_things(instance):
+            return [instance]
+        """,
+        "src/repro/core/newphase.py",
+        "RL011",
+    )
+    assert violations == []
+
+
+def test_rl011_coverage_is_transitive_across_modules():
+    sources = {
+        "src/repro/core/wrapper.py": """
+            from repro.core.inner import run_inner
+
+            def plan_wrapped(instance):
+                return run_inner(instance)
+        """,
+        "src/repro/core/inner.py": """
+            from repro.obs import span
+
+            def run_inner(instance):
+                with span("inner"):
+                    return instance
+        """,
+    }
+    assert lint_many(sources, "RL011") == []
+
+
+def test_rl011_ignores_private_and_non_phase_names():
+    violations = lint(
+        """
+        def _preprocess_private(instance):
+            return instance
+
+        def format_table(rows):
+            return rows
+        """,
+        "src/repro/core/helpers.py",
+        "RL011",
+    )
+    assert violations == []
+
+
+def test_rl011_ignores_modules_outside_phase_packages():
+    violations = lint(
+        """
+        def run_export(trace):
+            return trace
+        """,
+        "src/repro/obs/export.py",
+        "RL011",
+    )
+    assert violations == []
+
+
+# ----------------------------------------------------------------------
+# RL012 — kernel hot-loop confinement
+# ----------------------------------------------------------------------
+
+
+HOT_LOOP = """
+    def relax_all(csr, dist, heap):
+        while heap:
+            u = heap.pop()
+            for i in range(csr.indptr[u], csr.indptr[u + 1]):
+                dist[csr.targets[i]] = dist[u] + csr.costs[i]
+"""
+
+
+def test_rl012_fires_outside_kernels():
+    violations = lint(HOT_LOOP, "src/repro/core/fastpath.py", "RL012")
+    assert [v.rule_id for v in violations] == ["RL012"]
+    assert "repro.network.kernels" in violations[0].message
+    # Innermost-only: the while wrapper is not separately reported.
+    assert len(violations) == 1
+
+
+def test_rl012_allows_the_kernels_package():
+    violations = lint(
+        HOT_LOOP, "src/repro/network/kernels/scalar.py", "RL012"
+    )
+    assert violations == []
+
+
+def test_rl012_fires_on_adjacency_dict_walks():
+    violations = lint(
+        """
+        def neighbors(graph, node):
+            out = []
+            for target, cost in graph._adj[node]:
+                out.append((target, cost))
+            return out
+        """,
+        "src/repro/transit/walk.py",
+        "RL012",
+    )
+    assert [v.rule_id for v in violations] == ["RL012"]
+
+
+def test_rl012_silent_on_everyday_identifiers():
+    # `targets`/`costs` alone are common names (ast.Assign.targets,
+    # cost tables) — one weak attribute must not fire.
+    violations = lint(
+        """
+        def tally(assign, table):
+            total = 0.0
+            for name in assign.targets:
+                total += table[name]
+            return total
+        """,
+        "src/repro/core/tally.py",
+        "RL012",
+    )
+    assert violations == []
+
+
+def test_rl012_inline_suppression_and_baseline_sites_hold():
+    # The two known pre-ratchet hot loops carry inline suppressions; the
+    # shipped tree must stay clean under the repo config (covered by
+    # test_repo_source_tree_is_clean) — here we check the raw rule still
+    # SEES them, so the suppressions are load-bearing, not stale.
+    import os
+
+    from repro.lint import load_config
+
+    repo = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    journey = os.path.join(repo, "src", "repro", "transit", "journey.py")
+    with open(journey, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    stripped = source.replace("  # reprolint: disable=RL012", "")
+    config = load_config(repo)
+    violations = check_source(
+        stripped, path=journey, config=config, select=["RL012"]
+    )
+    assert [v.rule_id for v in violations] == ["RL012"]
