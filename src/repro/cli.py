@@ -34,6 +34,7 @@ from .eval.export import rows_to_csv
 from .eval.reporting import format_series, format_table
 from .lint.baseline import DEFAULT_BASELINE_NAME
 from .lint.report import format_names as lint_format_names
+from .core.preprocess import PREPROCESS_STRATEGIES
 from .network.engine import available_kernels
 
 
@@ -80,6 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "then 'python'; results are bit-identical — "
                            "'vectorized' is the fast numpy backend for "
                            "full-scale cities)")
+    plan.add_argument("--preprocess", choices=PREPROCESS_STRATEGIES,
+                      default=None, dest="preprocess_strategy",
+                      help="Algorithm 2 strategy (default: "
+                           "$REPRO_PREPROCESS, then 'per-query'; "
+                           "'inverted' batches preprocessing into one "
+                           "label field plus candidate balls — "
+                           "bit-identical plans, much faster at scale)")
     plan.add_argument("--trace", type=str, default=None, metavar="PATH",
                       help="record a trace of the run and write it in "
                            "Chrome trace-event format (open in "
@@ -98,6 +106,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--kernel", choices=available_kernels(), default=None,
                        help="search-kernel backend for every planner run "
                             "(rows are bit-identical across backends)")
+    sweep.add_argument("--preprocess", choices=PREPROCESS_STRATEGIES,
+                       default=None, dest="preprocess_strategy",
+                       help="Algorithm 2 strategy for every planner run "
+                            "(rows are bit-identical across strategies)")
     sweep.add_argument("--trace", type=str, default=None, metavar="PATH",
                        help="record a trace of the sweep and write it in "
                             "Chrome trace-event format")
@@ -237,6 +249,7 @@ def _cmd_plan(args) -> int:
         alpha=alpha,
         workers=args.workers,
         kernel=args.kernel,
+        preprocess_strategy=args.preprocess_strategy,
     )
     if args.trace:
         with tracing() as trace:
@@ -294,12 +307,14 @@ def _cmd_sweep(args) -> int:
                 dataset, ks, alpha=alpha,
                 max_adjacent_cost=args.max_adjacent_cost,
                 workers=args.workers, kernel=args.kernel,
+                preprocess_strategy=args.preprocess_strategy,
             )
         _write_trace(trace, args.trace)
     else:
         rows = effect_of_k(
             dataset, ks, alpha=alpha, max_adjacent_cost=args.max_adjacent_cost,
             workers=args.workers, kernel=args.kernel,
+            preprocess_strategy=args.preprocess_strategy,
         )
     for value, title in (
         ("walk_cost", "Walking cost vs K"),

@@ -56,6 +56,12 @@ class EBRRConfig:
             bit-identical by contract, so this is purely a speed knob.
             The name is a plain string so the config pickles unchanged
             into :mod:`repro.parallel` workers.
+        preprocess_strategy: Algorithm 2 execution strategy
+            (``"per-query"``, ``"inverted"``); ``None`` defers to the
+            ``REPRO_PREPROCESS`` environment variable, then the
+            default.  Strategies produce equal preprocessing outputs
+            and bit-identical plans (the equivalence suite proves it),
+            so this too is purely a speed knob.
     """
 
     max_stops: int
@@ -69,6 +75,7 @@ class EBRRConfig:
     price_budget_fraction: float = DEFAULT_PRICE_BUDGET_FRACTION
     workers: int = 1
     kernel: Optional[str] = None
+    preprocess_strategy: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_stops < 2:
@@ -100,6 +107,12 @@ class EBRRConfig:
                     f"unknown search kernel {self.kernel!r}; available: "
                     f"{', '.join(available_kernels())}"
                 )
+        if self.preprocess_strategy is not None:
+            # Same lazy-import discipline: preprocess owns the strategy
+            # registry and validates the name.
+            from .preprocess import resolve_preprocess_strategy
+
+            resolve_preprocess_strategy(self.preprocess_strategy)
 
     @property
     def price_budget(self) -> float:

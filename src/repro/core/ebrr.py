@@ -90,7 +90,10 @@ def plan_route(
         with obs_trace.begin("preprocess", {"reused": preprocess is not None}):
             if preprocess is None:
                 preprocess = preprocess_queries(
-                    instance, engine=engine, workers=config.workers
+                    instance,
+                    engine=engine,
+                    workers=config.workers,
+                    strategy=config.preprocess_strategy,
                 )
 
         # Lines 2-7: greedy selection. (run_selection builds its own

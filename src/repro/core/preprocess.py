@@ -1,11 +1,34 @@
 """Query preprocessing — Algorithm 2 of the paper.
 
-One truncated Dijkstra per *distinct* query node: the search settles
-outward until it reaches the first existing stop ``nn(q)`` (the nearest
-one, by the Dijkstra property) and records every candidate stop settled
-on the way together with its distance.  Those candidates are exactly
-the stops whose selection would reduce this query's walking cost, i.e.
-the query belongs to their reverse-nearest-neighbour sets ``RNN(v)``.
+The **per-query** strategy is the paper's literal loop: one truncated
+Dijkstra per *distinct* query node, settling outward until it reaches
+the first existing stop ``nn(q)`` (the nearest one, by the Dijkstra
+property) and recording every candidate stop settled on the way
+together with its distance.  Those candidates are exactly the stops
+whose selection would reduce this query's walking cost, i.e. the query
+belongs to their reverse-nearest-neighbour sets ``RNN(v)``.
+
+The **inverted** strategy computes the same table without the ``|Q|``
+sequential searches: one multi-source label field from all existing
+stops gives every node its ``nn`` distance and nearest-stop label in a
+single pass, forward replay turns those into each query's per-query
+``nn`` float, and then — because every query's truncation radius is now
+known *up front* — the searches themselves become **query-rooted
+balls**, batched hundreds at a time over the product graph
+(:meth:`SearchEngine.batch_query_rows`).  A query ball accumulates
+distances from the query side, i.e. in exactly the per-query float
+association, so its member distances need no replay; the settle-order
+cutoff ``(d, v) < (nn(q), nn_stop(q))`` is applied inside the kernel.
+The batched search returns *columnar* output, and the merge and
+utility folds below stay columnar too (stable grouping by candidate,
+exact left-fold accumulation), so the strategy is array-native end to
+end.  The two strategies produce equal ``nn_distance``/``rnn``/
+``initial_utility`` contents and bit-identical downstream
+``EBRRResult``s (see DESIGN.md "Batched preprocessing" for the
+inversion argument and the generic-position caveat).  Select via
+``strategy=`` / ``EBRRConfig.preprocess_strategy`` / ``--preprocess`` /
+``$REPRO_PREPROCESS``; the default stays ``per-query`` until CI has
+proven parity long enough to flip it.
 
 The output powers the whole selection phase:
 
@@ -22,13 +45,47 @@ its count in the multiset ``Q``.
 
 from __future__ import annotations
 
+import math
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..exceptions import ConfigurationError
-from ..network.engine import SearchEngine, engine_for
-from ..obs import span
+import numpy as np
+
+from ..exceptions import ConfigurationError, GraphError
+from ..network.engine import QuerySearchRow, SearchEngine, engine_for
+from ..obs import current_trace, span
 from .utility import BRRInstance
+
+#: The Algorithm 2 execution strategies (see the module docstring).
+PREPROCESS_STRATEGIES: Tuple[str, ...] = ("per-query", "inverted")
+
+#: Strategy used when neither the caller nor ``$REPRO_PREPROCESS``
+#: picks one.
+DEFAULT_PREPROCESS_STRATEGY = "per-query"
+
+_INF = math.inf
+
+
+def resolve_preprocess_strategy(strategy: Optional[str] = None) -> str:
+    """Resolve a preprocessing-strategy name.
+
+    ``None`` falls back to ``$REPRO_PREPROCESS`` and then to
+    :data:`DEFAULT_PREPROCESS_STRATEGY` — same resolution shape as the
+    kernel registry, so CI can flip a whole test run with one
+    environment variable.
+
+    Raises:
+        ConfigurationError: for unknown strategy names.
+    """
+    if strategy is None:
+        strategy = os.environ.get("REPRO_PREPROCESS") or DEFAULT_PREPROCESS_STRATEGY
+    if strategy not in PREPROCESS_STRATEGIES:
+        known = ", ".join(PREPROCESS_STRATEGIES)
+        raise ConfigurationError(
+            f"unknown preprocess strategy {strategy!r} (known: {known})"
+        )
+    return strategy
 
 
 @dataclass
@@ -44,10 +101,25 @@ class PreprocessResult:
         initial_utility: ``U({v})`` for every stop in
             ``S_new ∪ S_existing`` (walking gain for candidates,
             ``α · |routes(v)|`` for existing stops).
-        searches: number of Dijkstra searches performed (=
-            distinct query nodes), for the efficiency accounting.
+        searches: number of Dijkstra searches performed.  Strategy
+            defined, worker-count independent: the per-query path runs
+            one search per distinct query node (``= len(nn_distance)``);
+            the inverted path runs one multi-source field search plus
+            one query-rooted ball per distinct query node
+            (``= 1 + len(nn_distance)``), and ``0`` when there are no
+            query nodes at all (no field is built).
         settled_nodes: total nodes settled over all searches (the
-            ``|Q| · T1`` term of Theorem 5).
+            ``|Q| · T1`` term of Theorem 5).  Per-query: each search
+            settles its candidate prefix plus the terminating existing
+            stop (``len(visited) + 1`` per query).  Inverted: the
+            field settles every reachable node once, and each query
+            ball settles its pruned reached set
+            (``reachable + Σ |ball(q)|``).  Both definitions count
+            *nodes*, not implementation steps, so they are identical
+            across kernel backends and across serial/fan-out
+            execution.
+        strategy: the strategy that produced this result (carried so
+            ``update_preprocess`` copies keep their provenance).
     """
 
     nn_distance: Dict[int, float] = field(default_factory=dict)
@@ -55,6 +127,7 @@ class PreprocessResult:
     initial_utility: Dict[int, float] = field(default_factory=dict)
     searches: int = 0
     settled_nodes: int = 0
+    strategy: str = DEFAULT_PREPROCESS_STRATEGY
 
     def utility_order(self) -> List[Tuple[float, int]]:
         """``(U(v), v)`` pairs in decreasing utility order — the queue
@@ -70,18 +143,23 @@ def preprocess_queries(
     *,
     engine: Optional[SearchEngine] = None,
     workers: int = 1,
+    strategy: Optional[str] = None,
 ) -> PreprocessResult:
     """Run Algorithm 2 on ``instance``.
 
     Args:
         instance: the BRR instance.
-        engine: the search engine to run the per-query searches on;
-            defaults to the instance network's shared engine.
-        workers: shard the per-query searches across this many worker
-            processes (see :mod:`repro.parallel`).  The default ``1``
-            runs today's serial loop; any value produces bit-identical
+        engine: the search engine to run the searches on; defaults to
+            the instance network's shared engine.
+        workers: shard the independent searches (per-query: the query
+            Dijkstras; inverted: the candidate balls) across this many
+            worker processes (see :mod:`repro.parallel`).  The default
+            ``1`` runs in-process; any value produces bit-identical
             results, and the worker search counts are folded back into
             ``engine``'s ``preprocess`` profile either way.
+        strategy: ``"per-query"`` or ``"inverted"`` (see the module
+            docstring); ``None`` resolves via ``$REPRO_PREPROCESS``
+            then the default.
 
     Returns:
         A :class:`PreprocessResult`; see its attribute docs.
@@ -89,57 +167,60 @@ def preprocess_queries(
     Raises:
         GraphError: if some query node cannot reach any existing stop
             (the instance is malformed — Definition 5 needs ``nn(q)``).
-        ConfigurationError: if ``workers < 1`` or a candidate stop is
-            also an existing stop (the utilities of lines 11-16 would
-            silently overwrite each other).
+        ConfigurationError: if ``workers < 1``, the strategy is
+            unknown, or a candidate stop is also an existing stop (the
+            utilities of lines 11-16 would silently overwrite each
+            other).
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
-    result = PreprocessResult()
+    strategy = resolve_preprocess_strategy(strategy)
+    result = PreprocessResult(strategy=strategy)
     if engine is None:
         engine = engine_for(instance.network)
-    is_existing = instance.is_existing
-    is_candidate = instance.is_candidate
     counts = instance.query_counts
     _check_disjoint_stops(instance)
 
-    # Lines 1-10: one early-terminated Dijkstra per distinct query node.
-    with span("preprocess.searches", queries=len(counts), workers=workers):
-        if workers > 1:
-            # Deterministic fan-out: rows come back in `counts` order, so
-            # the merged dicts have the same insertion order (and the same
-            # floats) as the serial loop below.
-            from ..parallel.fanout import run_query_searches
-
-            rows, worker_stats = run_query_searches(
-                instance.network, is_existing, is_candidate, list(counts),
-                workers=workers, kernel=engine.kernel_name,
-            )
-            engine.absorb("preprocess", worker_stats)
+    # Lines 1-10, by either strategy.  Both produce the same table —
+    # same floats, same RNN list order, same dict insertion order —
+    # regardless of strategy or workers; the inverted path merges its
+    # columnar search output with array passes instead of a per-pair
+    # python loop (see _group_by_candidate for the ordering argument).
+    table: Optional[_InvertedTable] = None
+    with span(
+        "preprocess.searches",
+        queries=len(counts),
+        workers=workers,
+        strategy=strategy,
+    ):
+        if strategy == "inverted":
+            table = _inverted_search(instance, engine, result, workers)
+            result.nn_distance.update(zip(table.nodes, table.nn_forward))
+            for candidate, start, end in table.groups:
+                result.rnn[candidate] = list(
+                    zip(table.qs[start:end], table.ds[start:end])
+                )
+        else:
+            rows = _per_query_search(instance, engine, result, workers)
             for query_node, _nn_stop, nn_dist, visited in rows:
                 result.nn_distance[query_node] = nn_dist
-                result.searches += 1
-                result.settled_nodes += len(visited) + 1
                 for candidate, dist in visited:
-                    result.rnn.setdefault(candidate, []).append((query_node, dist))
-        else:
-            for query_node in counts:
-                nn_stop, nn_dist, visited = engine.query_search(
-                    query_node, is_existing, is_candidate, phase="preprocess"
-                )
-                result.nn_distance[query_node] = nn_dist
-                result.searches += 1
-                result.settled_nodes += len(visited) + 1
-                for candidate, dist in visited:
-                    result.rnn.setdefault(candidate, []).append((query_node, dist))
+                    result.rnn.setdefault(candidate, []).append(
+                        (query_node, dist)
+                    )
 
     with span("preprocess.utilities"):
         # Lines 11-14: initial utilities of candidate stops.
-        for candidate, entries in result.rnn.items():
-            gain = 0.0
-            for query_node, dist in entries:
-                gain += counts[query_node] * (result.nn_distance[query_node] - dist)
-            result.initial_utility[candidate] = gain
+        if table is not None:
+            _inverted_utilities(table, instance, result)
+        else:
+            for candidate, entries in result.rnn.items():
+                gain = 0.0
+                for query_node, dist in entries:
+                    gain += counts[query_node] * (
+                        result.nn_distance[query_node] - dist
+                    )
+                result.initial_utility[candidate] = gain
         # Candidates never visited by any search have zero walking gain.
         for candidate in instance.candidates:
             result.initial_utility.setdefault(candidate, 0.0)
@@ -151,6 +232,194 @@ def preprocess_queries(
             )
 
     return result
+
+
+def _per_query_search(
+    instance: BRRInstance,
+    engine: SearchEngine,
+    result: PreprocessResult,
+    workers: int,
+) -> List[QuerySearchRow]:
+    """The paper's literal loop: one early-terminated Dijkstra per
+    distinct query node (fanned over workers when asked)."""
+    is_existing = instance.is_existing
+    is_candidate = instance.is_candidate
+    nodes = list(instance.query_counts)
+    rows: List[QuerySearchRow]
+    if workers > 1:
+        # Deterministic fan-out: rows come back in `counts` order (see
+        # repro.parallel.fanout), bit-identical to the serial loop.
+        from ..parallel.fanout import run_query_searches
+
+        rows, worker_stats = run_query_searches(
+            instance.network, is_existing, is_candidate, nodes,
+            workers=workers, kernel=engine.kernel_name,
+        )
+        engine.absorb("preprocess", worker_stats)
+    else:
+        rows = []
+        for query_node in nodes:
+            nn_stop, nn_dist, visited = engine.query_search(
+                query_node, is_existing, is_candidate, phase="preprocess"
+            )
+            rows.append((query_node, nn_stop, nn_dist, list(visited)))
+    result.searches += len(rows)
+    result.settled_nodes += sum(len(visited) + 1 for _q, _s, _d, visited in rows)
+    return rows
+
+
+@dataclass
+class _InvertedTable:
+    """Columnar Algorithm 2 table from the inverted search.
+
+    ``qs``/``ds`` hold the flattened ``(query_node, dist)`` member
+    pairs *grouped by candidate*; ``groups`` lists one
+    ``(candidate, start, end)`` slice per candidate in first-appearance
+    order over the per-query pair stream — exactly the dict insertion
+    order the per-query merge produces — with each group's entries in
+    query order (and per-query settle order within a query), exactly
+    the per-query append order.
+    """
+
+    nodes: List[int]
+    nn_forward: List[float]
+    groups: List[Tuple[int, int, int]]
+    qs: List[int]
+    ds: List[float]
+
+
+def _inverted_search(
+    instance: BRRInstance,
+    engine: SearchEngine,
+    result: PreprocessResult,
+    workers: int,
+) -> _InvertedTable:
+    """The inverted strategy: one multi-source label field from the
+    existing stops hands every query its truncation radius, then one
+    batched query-rooted ball per distinct query node (fanned over
+    workers when asked), then a columnar regroup by candidate."""
+    nodes = list(instance.query_counts)
+    if not nodes:
+        return _InvertedTable([], [], [], [], [])
+    active = current_trace()
+    stops = [i for i, flag in enumerate(instance.is_existing) if flag]
+    with span("preprocess.labels", stops=len(stops), queries=len(nodes)):
+        label_field = engine.multi_source_labels(stops, phase="preprocess")
+        nn_forward = engine.label_forward_distances(
+            label_field, nodes, phase="preprocess"
+        )
+        for node, nn_dist in zip(nodes, nn_forward):
+            if nn_dist == _INF:
+                raise GraphError(
+                    f"no existing bus stop reachable from query node {node}"
+                )
+        if active is not None:
+            active.metrics.counter("preprocess.labels.sources").inc(len(stops))
+            active.metrics.counter("preprocess.labels.reachable").inc(
+                label_field.reachable
+            )
+    labels = [label_field.label[node] for node in nodes]
+    is_candidate = instance.is_candidate
+    with span("preprocess.balls", queries=len(nodes), workers=workers):
+        if workers > 1:
+            from ..parallel.fanout import run_query_rows
+
+            columns, worker_stats = run_query_rows(
+                instance.network, nodes, nn_forward, labels, is_candidate,
+                workers=workers, kernel=engine.kernel_name,
+            )
+            member_counts, member_nodes, member_dists, settled = columns
+            engine.absorb("preprocess", worker_stats)
+        else:
+            member_counts, member_nodes, member_dists, settled = (
+                engine.batch_query_rows(
+                    nodes, nn_forward, labels, is_candidate, phase="preprocess"
+                )
+            )
+        ball_nodes = sum(settled)
+        if active is not None:
+            active.metrics.counter("preprocess.balls.count").inc(len(nodes))
+            active.metrics.counter("preprocess.balls.settled").inc(ball_nodes)
+    result.searches += 1 + len(nodes)
+    result.settled_nodes += label_field.reachable + ball_nodes
+    return _group_by_candidate(
+        nodes, nn_forward, member_counts, member_nodes, member_dists
+    )
+
+
+def _group_by_candidate(
+    nodes: List[int],
+    nn_forward: List[float],
+    member_counts: List[int],
+    member_nodes: List[int],
+    member_dists: List[float],
+) -> _InvertedTable:
+    """Regroup the row-major columnar members by candidate stop.
+
+    The flat member stream arrives in exactly the order the per-query
+    merge loop iterates pairs: query-major (``nodes`` order), per-query
+    settle order within a row.  A *stable* argsort by candidate id
+    therefore keeps each candidate's pairs in per-query append order,
+    and sorting the groups by their first flat position reproduces the
+    per-query ``rnn`` dict's first-appearance insertion order — both
+    orderings land bit-for-bit without touching a single pair in
+    python.
+    """
+    if not member_nodes:
+        return _InvertedTable(nodes, nn_forward, [], [], [])
+    row_of = np.repeat(
+        np.arange(len(nodes), dtype=np.int64),
+        np.asarray(member_counts, dtype=np.int64),
+    )
+    cand = np.asarray(member_nodes, dtype=np.int64)
+    dist = np.asarray(member_dists, dtype=np.float64)
+    order = np.argsort(cand, kind="stable")
+    sorted_cand = cand[order]
+    starts = np.flatnonzero(
+        np.concatenate(
+            (np.ones(1, dtype=bool), sorted_cand[1:] != sorted_cand[:-1])
+        )
+    )
+    ends = np.append(starts[1:], sorted_cand.size)
+    first_seen = np.argsort(order[starts], kind="stable")
+    node_arr = np.asarray(nodes, dtype=np.int64)
+    qs = node_arr[row_of[order]].tolist()
+    ds = dist[order].tolist()
+    groups = [
+        (int(sorted_cand[starts[g]]), int(starts[g]), int(ends[g]))
+        for g in first_seen.tolist()
+    ]
+    return _InvertedTable(nodes, nn_forward, groups, qs, ds)
+
+
+def _inverted_utilities(
+    table: _InvertedTable,
+    instance: BRRInstance,
+    result: PreprocessResult,
+) -> None:
+    """Lines 11-14 over the columnar table: per-pair gain terms in one
+    vectorized pass, then one exact **left-fold** per candidate group
+    via ``np.add.accumulate`` — the ufunc is defined sequentially
+    (``out[i] = out[i-1] + in[i]``), so each group's final prefix sum
+    is bit-identical to the per-query strategy's ``gain += term``
+    python fold over the same terms in the same order."""
+    if not table.groups:
+        return
+    counts = instance.query_counts
+    num_nodes = instance.network.num_nodes
+    weight = np.zeros(num_nodes)
+    nn = np.zeros(num_nodes)
+    for node in table.nodes:
+        weight[node] = counts[node]
+        nn[node] = result.nn_distance[node]
+    qs = np.asarray(table.qs, dtype=np.int64)
+    terms = weight[qs] * (nn[qs] - np.asarray(table.ds, dtype=np.float64))
+    for candidate, start, end in table.groups:
+        if end - start == 1:
+            gain = float(terms[start])
+        else:
+            gain = float(np.add.accumulate(terms[start:end])[-1])
+        result.initial_utility[candidate] = gain
 
 
 def _check_disjoint_stops(instance: BRRInstance) -> None:

@@ -13,6 +13,12 @@ reuse the preprocessing; this module makes *demand* changes cheap too:
 
 The update runs in time proportional to the *changed* demand, not the
 whole multiset — the benchmark shows the gap against full recomputation.
+The added-node searches therefore stay on the per-query path regardless
+of ``PreprocessResult.strategy`` (an inverted pass costs one field plus
+one ball per candidate — not change-proportional); a *full* inverted
+re-preprocess after stop additions still reuses the engine's cached
+label field via incremental repair (see
+:meth:`~repro.network.engine.SearchEngine.multi_source_labels`).
 """
 
 from __future__ import annotations
@@ -104,6 +110,7 @@ def _apply_update(
         initial_utility=dict(preprocess.initial_utility),
         searches=preprocess.searches,
         settled_nodes=preprocess.settled_nodes,
+        strategy=preprocess.strategy,
     )
 
     # Reverse index: query node -> [(candidate, dist)], for O(changed)

@@ -119,13 +119,16 @@ def effect_of_k(
     seed: int = 0,
     workers: int = 1,
     kernel: Optional[str] = None,
+    preprocess_strategy: Optional[str] = None,
 ) -> List[Row]:
     """One row per (K, algorithm): walking cost (Fig. 7), connectivity
     (Fig. 8), and execution time (Fig. 13) on the full demand.
     ``workers > 1`` fans the Algorithm 2 preprocessing over a process
     pool (see :mod:`repro.parallel`); the rows are identical.
-    ``kernel`` picks the search backend (also identical rows — it is a
-    speed knob; see :mod:`repro.network.kernels`)."""
+    ``kernel`` picks the search backend and ``preprocess_strategy`` the
+    Algorithm 2 execution strategy (also identical rows — both are
+    speed knobs; see :mod:`repro.network.kernels` and
+    :mod:`repro.core.preprocess`)."""
     if planners is None:
         planners = default_planners(seed=seed)
     instance = dataset.instance(alpha)
@@ -134,6 +137,7 @@ def effect_of_k(
         config = EBRRConfig(
             max_stops=k, max_adjacent_cost=max_adjacent_cost, alpha=alpha,
             workers=workers, kernel=kernel,
+            preprocess_strategy=preprocess_strategy,
         )
         with span("effect_of_k", dataset=dataset.name, K=k):
             plans = run_planners(instance, config, planners)

@@ -68,6 +68,9 @@ __all__ = [
     "CacheInfo",
     "SearchEngine",
     "IncrementalNearest",
+    "LabelField",
+    "QuerySearchRow",
+    "finalize_query_rows",
     "engine_for",
     "DEFAULT_KERNEL",
     "KERNEL_IDS",
@@ -75,6 +78,13 @@ __all__ = [
     "available_kernels",
     "resolve_kernel",
 ]
+
+#: One Algorithm 2 search result, keyed by its query node:
+#: ``(query_node, nn_stop, nn_dist, [(candidate, dist), ...])`` —
+#: exactly what :meth:`SearchEngine.query_search` returns.  Produced by
+#: the per-query path (``query_search`` per node) and the inverted path
+#: (:meth:`SearchEngine.batch_query_search`) alike.
+QuerySearchRow = Tuple[int, int, float, List[Tuple[int, float]]]
 
 INF = math.inf
 
@@ -166,6 +176,35 @@ class CacheInfo:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class LabelField:
+    """A converged nearest-source field over one CSR snapshot.
+
+    Produced by :meth:`SearchEngine.multi_source_labels` and consumed by
+    the inverted Algorithm 2 preprocessing: ``distance[v]`` is the
+    multi-source shortest-path cost from any source (bit-identical to
+    :meth:`SearchEngine.multi_source`), ``label[v]`` the
+    lexicographically smallest source id over tight shortest paths to
+    ``v`` (``-1`` when unreachable).  Cached on the engine keyed by
+    ``sources`` (the sorted, deduplicated stop-set fingerprint), so
+    repeated preprocessing over the same stops — or a grown stop set,
+    via incremental repair — reuses the field.  Shared with the cache:
+    **treat ``distance`` and ``label`` as read-only.**
+
+    Attributes:
+        sources: the fingerprint — sorted unique source node ids.
+        distance: per-node nearest-source cost (``inf`` unreachable).
+        label: per-node argmin source id (``-1`` unreachable).
+        reachable: number of finite entries (the field's settled-node
+            count, independent of how the field was computed).
+    """
+
+    sources: Tuple[int, ...]
+    distance: List[float]
+    label: List[int]
+    reachable: int
 
 
 class SearchEngine:
@@ -445,7 +484,14 @@ class SearchEngine:
         """Network distance between two nodes with target early stop
         (equivalent to :func:`repro.network.dijkstra.distance_between`).
         Served from a cached SSSP row when one exists; ``inf`` when
-        ``upper_bound`` is given and the true distance exceeds it."""
+        ``upper_bound`` is given and the true distance exceeds it.
+
+        The point cache stores one entry per ``(source, target)`` pair,
+        never per bound: a *true* distance (learned from an unbounded
+        search, or a bounded one that reached the target) answers every
+        future bound by comparison on read, and a bounded search that
+        ran out of budget records the bound as a lower-bound marker so
+        repeats of the same (or a smaller) bound skip the search."""
         if source == target:
             return 0.0
         self._sync()
@@ -459,12 +505,34 @@ class SearchEngine:
             if upper_bound is not None and d > upper_bound:
                 return INF
             return d
-        key = ("dist", source, target, upper_bound)
-        entry = self._get(self._points, key, stats)
+        key = ("dist", source, target)
+        entry = self._points.get(key)
+        known_floor: Optional[float] = None
+        if isinstance(entry, float):
+            # The true distance: apply the bound on read.
+            self._points.move_to_end(key)
+            self._info.hits += 1
+            stats.cache_hits += 1
+            if upper_bound is not None and entry > upper_bound:
+                return INF
+            return entry
         if entry is not None:
-            return entry  # type: ignore[return-value]
+            # ("lb", floor): the true distance is known to exceed floor.
+            known_floor = entry[1]  # type: ignore[index]
+            if upper_bound is not None and upper_bound <= known_floor:
+                self._points.move_to_end(key)
+                self._info.hits += 1
+                stats.cache_hits += 1
+                return INF
+        self._info.misses += 1
         result = self._kernel.distance(self._csr, source, target, upper_bound, stats)
-        self._put(self._points, key, result, 4 * self._cache_size)
+        if result != INF or upper_bound is None:
+            # A finite result — or an unbounded miss (truly unreachable)
+            # — is the pair's true distance; cache it once for any bound.
+            self._put(self._points, key, result, 4 * self._cache_size)
+        else:
+            floor = upper_bound if known_floor is None else max(known_floor, upper_bound)
+            self._put(self._points, key, ("lb", floor), 4 * self._cache_size)
         return result
 
     def nearest(
@@ -509,6 +577,195 @@ class SearchEngine:
         return self._kernel.query_search(
             self._csr, query_node, is_existing_stop, is_candidate_stop, stats
         )
+
+    def multi_source_labels(
+        self, sources: Sequence[int], *, phase: str = "adhoc", cached: bool = True
+    ) -> "LabelField":
+        """The nearest-source :class:`LabelField` of ``sources`` (one
+        multi-source search plus a label post-pass; see the kernel
+        contract in ``kernels.base``).
+
+        Fields are cached keyed on the stop-set fingerprint (the sorted
+        unique sources).  On a miss, a cached field over a *subset* of
+        the requested sources is **incrementally repaired** instead of
+        recomputed: each added source is folded in with the pruned
+        ``incremental_relax`` primitive — the multi-source fixed point
+        is the pointwise minimum of the single-source ones, so the
+        repaired distances are bit-identical to a fresh sweep — and the
+        labels are re-derived as a pure post-pass over the repaired
+        field.  This is the warm-state reuse continuous replanning
+        leans on when stops are added between runs.
+        """
+        self._sync()
+        stats = self.counters(phase)
+        fingerprint = tuple(sorted(set(sources)))
+        key = ("labels", fingerprint)
+        if cached:
+            entry = self._get(self._rows, key, stats)
+            if entry is not None:
+                return entry  # type: ignore[return-value]
+            repaired = self._repair_label_field(fingerprint, stats)
+            if repaired is not None:
+                self._put(self._rows, key, repaired, self._cache_size)
+                return repaired
+        distance, label = self._kernel.multi_source_labels(
+            self._csr, list(fingerprint), stats
+        )
+        field = LabelField(
+            fingerprint, distance, label, sum(1 for d in distance if d != INF)
+        )
+        if cached:
+            self._put(self._rows, key, field, self._cache_size)
+        return field
+
+    def _repair_label_field(
+        self, fingerprint: Tuple[int, ...], stats: SearchStats
+    ) -> Optional["LabelField"]:
+        """Grow the largest cached strict-subset field to ``fingerprint``
+        by incremental relaxation (bit-identical to a fresh sweep)."""
+        want = set(fingerprint)
+        best: Optional[Tuple[int, ...]] = None
+        for key in self._rows:
+            if key[0] != "labels":
+                continue
+            cached_fp = key[1]
+            if len(cached_fp) < len(fingerprint) and want.issuperset(cached_fp):
+                if best is None or len(cached_fp) > len(best):
+                    best = cached_fp
+        if best is None or not best:
+            return None
+        base: LabelField = self._rows[("labels", best)]  # type: ignore[assignment]
+        self._rows.move_to_end(("labels", best))
+        self._info.hits += 1
+        stats.cache_hits += 1
+        distance = list(base.distance)
+        have = set(best)
+        for s in fingerprint:
+            if s not in have and distance[s] > 0.0:
+                self._kernel.incremental_relax(self._csr, s, distance, None, stats)
+        distance, label = self._kernel.multi_source_labels(
+            self._csr, list(fingerprint), stats, distance=distance
+        )
+        return LabelField(
+            fingerprint, distance, label, sum(1 for d in distance if d != INF)
+        )
+
+    def label_forward_distances(
+        self,
+        field: "LabelField",
+        targets: Sequence[int],
+        *,
+        phase: str = "adhoc",
+    ) -> List[float]:
+        """Forward-replayed nearest-source distance of each target over
+        ``field`` (which must belong to the current snapshot): the float
+        a per-query search from the target would compute, in generic
+        position (see ``kernels.base``).  ``inf`` for unreachable
+        targets; a cheap post-pass, not a search."""
+        self._sync()
+        stats = self.counters(phase)
+        return self._kernel.forward_replay(
+            self._csr, field.distance, list(targets), stats
+        )
+
+    def candidate_rnn_balls(
+        self,
+        candidates: Sequence[int],
+        nn_distance: Sequence[float],
+        is_query: Sequence[bool],
+        *,
+        phase: str = "adhoc",
+    ) -> List[Tuple[List[Tuple[int, float]], int]]:
+        """One pruned RNN ball per candidate stop (see the kernel
+        contract).  Uncached — the result depends on the instance's
+        demand mask, not only on the graph."""
+        self._sync()
+        stats = self.counters(phase)
+        return self._kernel.candidate_rnn_balls(
+            self._csr, list(candidates), nn_distance, is_query, stats
+        )
+
+    def batch_query_rows(
+        self,
+        query_nodes: Sequence[int],
+        nn_forward: Sequence[float],
+        labels: Sequence[int],
+        is_candidate_stop: Sequence[bool],
+        *,
+        phase: str = "adhoc",
+    ) -> Tuple[List[int], List[int], List[float], List[int]]:
+        """One pruned query-rooted ball per query node, in columnar
+        form (see the kernel contract in ``kernels.base``): the caller
+        supplies each query's forward-replayed nearest-stop distance
+        and label from a :class:`LabelField`, and gets back
+        ``(member_counts, member_nodes, member_dists, settled)``
+        parallel lists.  Uncached — the result depends on the
+        instance's candidate mask, not only on the graph."""
+        self._sync()
+        stats = self.counters(phase)
+        return self._kernel.batch_query_rows(
+            self._csr,
+            list(query_nodes),
+            list(nn_forward),
+            list(labels),
+            is_candidate_stop,
+            stats,
+        )
+
+    def batch_query_search(
+        self,
+        query_nodes: Sequence[int],
+        is_existing_stop: Sequence[bool],
+        is_candidate_stop: Sequence[bool],
+        *,
+        phase: str = "adhoc",
+    ) -> List[QuerySearchRow]:
+        """The inverted Algorithm 2: every per-query search of
+        ``query_nodes`` answered by one label field plus one
+        query-rooted ball per node (:meth:`batch_query_rows`),
+        returning one :data:`QuerySearchRow` per node in the input
+        order — bit-identical (in generic position) to calling
+        :meth:`query_search` per node, including the settle order of
+        each row's candidate list.
+
+        Raises:
+            GraphError: if some query node cannot reach an existing
+                stop (first such node in input order, as the per-query
+                loop would).
+        """
+        self._sync()
+        stats = self.counters(phase)
+        nodes = list(query_nodes)
+        if not nodes:
+            return []
+        stops = [i for i, flag in enumerate(is_existing_stop) if flag]
+        field = self.multi_source_labels(stops, phase=phase)
+        nn_forward = self._kernel.forward_replay(
+            self._csr, field.distance, nodes, stats
+        )
+        for node, nn_dist in zip(nodes, nn_forward):
+            if nn_dist == INF:
+                raise GraphError(
+                    f"no existing bus stop reachable from query node {node}"
+                )
+        labels = [field.label[node] for node in nodes]
+        counts, member_nodes, member_dists, _settled = self._kernel.batch_query_rows(
+            self._csr, nodes, nn_forward, labels, is_candidate_stop, stats
+        )
+        rows: List[QuerySearchRow] = []
+        pos = 0
+        for i, node in enumerate(nodes):
+            end = pos + counts[i]
+            rows.append(
+                (
+                    node,
+                    labels[i],
+                    nn_forward[i],
+                    list(zip(member_nodes[pos:end], member_dists[pos:end])),
+                )
+            )
+            pos = end
+        return rows
 
     def nodes_within(
         self,
@@ -581,6 +838,44 @@ class IncrementalNearest:
 
     def __getitem__(self, node: int) -> float:
         return self.distance[node]
+
+
+def finalize_query_rows(
+    query_nodes: Sequence[int],
+    field: LabelField,
+    nn_forward: Sequence[float],
+    candidates: Sequence[int],
+    balls: Sequence[Tuple[List[Tuple[int, float]], int]],
+) -> List[QuerySearchRow]:
+    """Assemble per-query :data:`QuerySearchRow` rows from the inverted
+    primitives — the pure merge step shared by the serial and fan-out
+    inverted paths.
+
+    For each candidate ball, a query node ``q`` in the ball belongs to
+    the candidate's RNN set iff ``(forward_dist, candidate)`` is
+    lexicographically below ``(nn_forward(q), nn_stop(q))`` — exactly the
+    per-query search's settle-order cutoff (the existing stop settles at
+    ``(nn_dist, nn_stop)`` and ends the search).  Each query's candidate
+    list is then sorted by ``(dist, candidate)``, reproducing the
+    per-query settle order bit-for-bit.
+    """
+    index = {q: i for i, q in enumerate(query_nodes)}
+    per_query: List[List[Tuple[float, int]]] = [[] for _ in query_nodes]
+    for candidate, (members, _settled) in zip(candidates, balls):
+        for node, fwd in members:
+            i = index.get(node)
+            if i is None:
+                continue
+            q = query_nodes[i]
+            if (fwd, candidate) < (nn_forward[i], field.label[q]):
+                per_query[i].append((fwd, candidate))
+    rows: List[QuerySearchRow] = []
+    for i, q in enumerate(query_nodes):
+        entries = sorted(per_query[i])
+        rows.append(
+            (q, field.label[q], nn_forward[i], [(c, d) for d, c in entries])
+        )
+    return rows
 
 
 def engine_for(

@@ -37,6 +37,52 @@ with strictly positive edge costs:
   for the heapq backend, scatter-min improvements for the vectorized
   one) and is documented as a work measure, not an invariant.
 
+The inverted-preprocessing primitives
+-------------------------------------
+
+``multi_source_labels``, ``forward_replay`` and ``candidate_rnn_balls``
+batch Algorithm 2 by inverting it: instead of ``|Q|`` per-query
+Dijkstras, one backward multi-source field from the existing stops plus
+one bounded ball per candidate stop.  They rely on the
+:class:`~repro.network.graph.RoadNetwork` invariant that the graph is
+**undirected** (both arcs of every edge are in the CSR with the same
+cost), so a distance accumulated *from* a stop/candidate equals — in
+exact arithmetic — the distance the per-query search accumulates
+*towards* it.  In IEEE-754 the two accumulation orders differ in the
+last ulps, which is why every float these primitives *emit* is
+re-accumulated in **forward order** (from the query side) along the
+canonical tight shortest-path tree of the field:
+
+* a **tight edge** of a converged distance field is an arc ``(u, v)``
+  with ``dist[u] < dist[v]`` and ``dist[u] + cost <= dist[v]`` (the
+  ``<=`` is an exact float equality test: ``dist[u] + cost`` is always
+  ``>= dist[v]`` at the fixed point);
+* the **canonical predecessor** of ``v`` is the tight in-neighbour
+  minimising ``(dist[u], u)`` — deterministic and backend-independent;
+* a **forward replay** walks the canonical predecessor chain from a
+  node towards its field source, re-adding edge costs in walk order
+  (``acc = 0; acc += c0; acc += c1; ...``) — exactly the order the
+  reference per-query Dijkstra adds them, so in generic position (no
+  two distinct paths within an ulp of each other) the replayed float is
+  bit-identical to the per-query one.  Graphs whose costs make every
+  tight path *exactly* equal (e.g. integer costs) are also bit-exact;
+  only the measure-zero in-between (distinct paths equal in backward
+  float order but not forward) can differ, documented in DESIGN.md.
+
+``batch_query_rows`` is the fourth inverted primitive and the one the
+inverted strategy actually runs at scale: once the label field has
+replayed every query's truncation radius ``nn_forward(q)``, the ``|Q|``
+per-query searches become **query-rooted balls** — one pruned
+relaxation per query node, all batchable over the product graph
+because the radius is known *up front* (the per-query loop only learns
+it when the first existing stop settles, which is what made it
+unbatchable).  A query ball accumulates distances *from the query
+side*, i.e. in exactly the float association of the reference
+per-query Dijkstra, so its distances need **no forward replay at all**
+— they are the per-query doubles by construction, and the generic-
+position caveat above applies only through the radius (``nn_forward``)
+fed into the cutoff, not to the emitted member distances.
+
 The cross-backend equivalence property suite
 (``tests/properties/test_kernel_equivalence.py``) asserts the contract
 on all three synthetic city families.
@@ -143,4 +189,106 @@ class SearchKernel(Protocol):
         structure: fold ``source`` into ``distance`` (mutated in place),
         returning the nodes whose distance improved, in settle order.
         The caller guarantees ``distance[source] > 0``."""
+        ...
+
+    def multi_source_labels(
+        self,
+        csr: "CSRAdjacency",
+        sources: Sequence[int],
+        stats: "SearchStats",
+        distance: Optional[List[float]] = None,
+    ) -> Tuple[List[float], List[int]]:
+        """The nearest-source field: ``(distance, label)`` lists where
+        ``distance[v]`` is the multi-source shortest-path cost from any
+        source (one search, bit-identical to :meth:`sssp`) and
+        ``label[v]`` is the **lexicographically smallest source id over
+        tight shortest paths** to ``v`` (``-1`` when unreachable) — a
+        pure post-pass over the converged field, so a repaired field
+        yields the same labels as a fresh one by construction.  With
+        ``distance`` supplied (an already-converged field for exactly
+        these sources, e.g. after an incremental repair), the search is
+        skipped and only the labels are derived; no counters move."""
+        ...
+
+    def forward_replay(
+        self,
+        csr: "CSRAdjacency",
+        distance: Sequence[float],
+        targets: Sequence[int],
+        stats: "SearchStats",
+    ) -> List[float]:
+        """Forward re-accumulation of ``distance`` (a converged
+        multi-source field) for each target: walk the canonical tight
+        predecessor chain from the target to its field source, summing
+        edge costs in walk order (see the module docstring).  Returns
+        one float per target (``0.0`` for sources, ``inf`` when
+        unreachable).  A post-pass, not a search: no counters move."""
+        ...
+
+    def candidate_rnn_balls(
+        self,
+        csr: "CSRAdjacency",
+        candidates: Sequence[int],
+        nn_distance: Sequence[float],
+        is_query: Sequence[bool],
+        stats: "SearchStats",
+    ) -> List[Tuple[List[Tuple[int, float]], int]]:
+        """One pruned Dijkstra ball per candidate stop ``v``:
+        expansion is gated at push time to nodes ``x`` with
+        ``d(v, x) <= nn_distance[x] * (1 + BALL_SLACK)`` — if ``x``'s
+        existing stop is already strictly closer than ``v``'s ball
+        radius at ``x``, no query beyond ``x`` can have ``v`` in its
+        RNN set (triangle inequality), so the ball is exact goal
+        pruning, never truncation.  The relative ``BALL_SLACK`` keeps
+        the ball a superset of the exact-arithmetic ball under float
+        drift; the caller applies the exact membership cutoff
+        ``(forward_dist, v) < (nn_forward(q), nn_stop(q))`` afterwards.
+
+        Returns one ``(members, settled)`` pair per candidate, in the
+        input candidate order: ``members`` lists
+        ``(query_node, forward_dist)`` for every query node in the
+        ball, in ball settle order (sorted by ``(ball_dist, node)``),
+        with ``forward_dist`` replayed forward along the ball's tight
+        tree; ``settled`` is the ball's node count (for the
+        worker-independent ``settled_nodes`` accounting).  Counters:
+        one search per candidate; ``settled`` sums the ball sizes;
+        balls never truncate; ``pushes`` is backend-defined."""
+        ...
+
+    def batch_query_rows(
+        self,
+        csr: "CSRAdjacency",
+        query_nodes: Sequence[int],
+        nn_forward: Sequence[float],
+        labels: Sequence[int],
+        is_candidate_stop: Sequence[bool],
+        stats: "SearchStats",
+    ) -> Tuple[List[int], List[int], List[float], List[int]]:
+        """One pruned **query-rooted** ball per query node — the
+        batched form of :meth:`query_search` once the label field has
+        supplied each query's truncation radius ``nn_forward[i]`` and
+        nearest-stop label ``labels[i]`` (see the module docstring).
+
+        Ball ``i`` relaxes outward from ``query_nodes[i]`` with the
+        push gate ``nd <= nn_forward[i] * (1 + BALL_SLACK)``: a node
+        farther out than the query's own nearest existing stop can
+        never settle before it, so the gate is exact goal pruning.
+        Distances accumulate from the query side, giving the reference
+        per-query doubles with no replay.  A reached node ``x`` is a
+        *member* iff ``is_candidate_stop[x]`` and ``(d, x)`` is
+        lexicographically below ``(nn_forward[i], labels[i])`` — the
+        settle-order cutoff at which the per-query search terminates.
+
+        Returns **columnar** output — four parallel plain-python lists
+        ``(member_counts, member_nodes, member_dists, settled)``:
+        ``member_counts[i]`` members for ball ``i``; ``member_nodes``/
+        ``member_dists`` hold the flattened members row-major, each
+        row's slice in settle order ``(d, node)``; ``settled[i]`` is
+        ball ``i``'s reached-node count (seed included).  Columns keep
+        the merge downstream array-friendly and make the cross-backend
+        parity check a plain ``==``.  Counters: one search per query
+        node; ``settled`` sums the reached-set sizes (a fixed point of
+        the gate, so identical across backends and across any chunking
+        or worker sharding); balls never truncate; ``pushes`` is
+        backend-defined."""
         ...

@@ -33,6 +33,15 @@ INF = math.inf
 #: engine's historical epsilon; part of the cross-backend contract).
 EPSILON = 1e-9
 
+#: Relative slack on the per-node pruning bound of
+#: ``candidate_rnn_balls``: the ball keeps node ``x`` while
+#: ``d(v, x) <= nn_distance[x] * (1 + BALL_SLACK)``.  The slack absorbs
+#: the last-ulp drift between backward (ball) and forward (per-query)
+#: accumulation so the ball stays a superset of the exact-arithmetic
+#: RNN region; the exact membership cutoff is applied by the caller on
+#: the forward-replayed floats.  Part of the cross-backend contract.
+BALL_SLACK = 1e-9
+
 
 class PythonKernel:
     """Cache-free, stats-accounted heapq Dijkstra family over a CSR."""
@@ -258,6 +267,206 @@ class PythonKernel:
                     heapq.heappush(heap, (nd, v))
                     stats.pushes += 1
         return result
+
+    def multi_source_labels(
+        self,
+        csr: "CSRAdjacency",
+        sources: Sequence[int],
+        stats: "SearchStats",
+        distance: Optional[List[float]] = None,
+    ) -> Tuple[List[float], List[int]]:
+        source_list = sorted(set(sources))
+        if distance is None:
+            distance = self.sssp(csr, source_list, None, stats)
+        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
+        n = csr.num_nodes
+        dist = distance
+        label = [-1] * n
+        for s in source_list:
+            label[s] = s
+        # Pure post-pass: process reachable nodes in settle order
+        # (distance, id); every tight predecessor settles strictly
+        # earlier (positive costs), so its label is final when read, and
+        # the minimum over tight in-edges is the lexicographically
+        # smallest source over tight shortest paths — by induction on
+        # the (acyclic) tight-edge DAG.
+        order = sorted(
+            (dist[v], v) for v in range(n) if dist[v] < INF and label[v] < 0
+        )
+        for d, v in order:
+            best = -1
+            for i in range(indptr[v], indptr[v + 1]):
+                u = targets[i]
+                du = dist[u]
+                # The graph is undirected (class invariant of
+                # RoadNetwork), so v's out-edges are exactly its
+                # in-edges with the same cost.
+                if du < d and du + costs[i] <= d:
+                    lu = label[u]
+                    if lu >= 0 and (best < 0 or lu < best):
+                        best = lu
+            label[v] = best
+        return dist, label
+
+    def forward_replay(
+        self,
+        csr: "CSRAdjacency",
+        distance: Sequence[float],
+        targets: Sequence[int],
+        stats: "SearchStats",
+    ) -> List[float]:
+        indptr, tgt, costs = csr.indptr, csr.targets, csr.costs
+        dist = distance
+        out: List[float] = []
+        for t in targets:
+            if dist[t] == INF:
+                out.append(INF)
+                continue
+            acc = 0.0
+            cur = t
+            while dist[cur] > 0.0:
+                dc = dist[cur]
+                best: Optional[Tuple[float, int]] = None
+                best_cost = 0.0
+                for i in range(indptr[cur], indptr[cur + 1]):
+                    u = tgt[i]
+                    du = dist[u]
+                    if du < dc and du + costs[i] <= dc:
+                        key = (du, u)
+                        if best is None or key < best:
+                            best = key
+                            best_cost = costs[i]
+                # A converged field guarantees a tight predecessor for
+                # every reachable non-source node.
+                assert best is not None
+                acc = acc + best_cost
+                cur = best[1]
+            out.append(acc)
+        return out
+
+    def candidate_rnn_balls(
+        self,
+        csr: "CSRAdjacency",
+        candidates: Sequence[int],
+        nn_distance: Sequence[float],
+        is_query: Sequence[bool],
+        stats: "SearchStats",
+    ) -> List[Tuple[List[Tuple[int, float]], int]]:
+        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
+        nnd = nn_distance
+        results: List[Tuple[List[Tuple[int, float]], int]] = []
+        for v in candidates:
+            stats.searches += 1
+            dist: Dict[int, float] = {v: 0.0}
+            heap: List[Tuple[float, int]] = [(0.0, v)]
+            pushes = 1
+            members: List[Tuple[int, float]] = []
+            settled: Set[int] = set()
+            while heap:
+                d, u = heapq.heappop(heap)
+                if u in settled:
+                    continue
+                settled.add(u)
+                if is_query[u]:
+                    members.append((u, d))
+                for i in range(indptr[u], indptr[u + 1]):
+                    x = targets[i]
+                    nd = d + costs[i]
+                    # Push gate, not truncation: a node beyond its own
+                    # nn bound can never lead to an RNN member of v
+                    # (triangle inequality), so dropping the candidate
+                    # loses nothing — balls never truncate.
+                    if nd <= nnd[x] * (1.0 + BALL_SLACK) and nd < dist.get(x, INF):
+                        dist[x] = nd
+                        heapq.heappush(heap, (nd, x))
+                        pushes += 1
+            entries: List[Tuple[int, float]] = []
+            for q, _ball_dist in members:
+                entries.append((q, self._replay_in_ball(csr, dist, q)))
+            stats.settled += len(settled)
+            stats.pushes += pushes
+            results.append((entries, len(settled)))
+        return results
+
+    def _replay_in_ball(
+        self, csr: "CSRAdjacency", dist: Dict[int, float], node: int
+    ) -> float:
+        """Forward replay along the ball's tight tree (the dict-backed
+        twin of :meth:`forward_replay`; the tight predecessor search is
+        restricted to nodes the pruned ball actually reached, which is
+        sound because a member's shortest path never crosses the gate)."""
+        indptr, tgt, costs = csr.indptr, csr.targets, csr.costs
+        acc = 0.0
+        cur = node
+        dc = dist[cur]
+        while dc > 0.0:
+            best: Optional[Tuple[float, int]] = None
+            best_cost = 0.0
+            for i in range(indptr[cur], indptr[cur + 1]):
+                u = tgt[i]
+                du = dist.get(u)
+                if du is not None and du < dc and du + costs[i] <= dc:
+                    key = (du, u)
+                    if best is None or key < best:
+                        best = key
+                        best_cost = costs[i]
+            assert best is not None
+            acc = acc + best_cost
+            cur = best[1]
+            dc = best[0]
+        return acc
+
+    def batch_query_rows(
+        self,
+        csr: "CSRAdjacency",
+        query_nodes: Sequence[int],
+        nn_forward: Sequence[float],
+        labels: Sequence[int],
+        is_candidate_stop: Sequence[bool],
+        stats: "SearchStats",
+    ) -> Tuple[List[int], List[int], List[float], List[int]]:
+        indptr, targets, costs = csr.indptr, csr.targets, csr.costs
+        member_counts: List[int] = []
+        member_nodes: List[int] = []
+        member_dists: List[float] = []
+        settled_out: List[int] = []
+        for i, q in enumerate(query_nodes):
+            stats.searches += 1
+            radius = nn_forward[i]
+            bound = radius * (1.0 + BALL_SLACK)
+            nn_stop = labels[i]
+            dist: Dict[int, float] = {q: 0.0}
+            heap: List[Tuple[float, int]] = [(0.0, q)]
+            pushes = 1
+            settled: Set[int] = set()
+            count = 0
+            while heap:
+                d, u = heapq.heappop(heap)
+                if u in settled:
+                    continue
+                settled.add(u)
+                # Settle order is (d, u), so members come out exactly in
+                # the per-query visit order; the cutoff is the settle
+                # position of the query's nearest existing stop.
+                if is_candidate_stop[u] and (d, u) < (radius, nn_stop):
+                    member_nodes.append(u)
+                    member_dists.append(d)
+                    count += 1
+                for j in range(indptr[u], indptr[u + 1]):
+                    x = targets[j]
+                    nd = d + costs[j]
+                    # The same push gate as candidate_rnn_balls, but
+                    # with the *row's* radius: nothing past the query's
+                    # own nearest stop can precede it in settle order.
+                    if nd <= bound and nd < dist.get(x, INF):
+                        dist[x] = nd
+                        heapq.heappush(heap, (nd, x))
+                        pushes += 1
+            member_counts.append(count)
+            settled_out.append(len(settled))
+            stats.settled += len(settled)
+            stats.pushes += pushes
+        return member_counts, member_nodes, member_dists, settled_out
 
     def incremental_relax(
         self,

@@ -58,7 +58,7 @@ from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .python import EPSILON, INF, PythonKernel
+from .python import BALL_SLACK, EPSILON, INF, PythonKernel
 
 try:  # pragma: no cover - exercised via both-path equivalence tests
     from scipy.sparse import csr_matrix as _scipy_csr_matrix
@@ -148,6 +148,263 @@ class VectorizedKernel(PythonKernel):
         stats.pushes += pushes
         return list(zip(reached.tolist(), dist[reached].tolist()))
 
+    # -- inverted-preprocessing primitives -----------------------------
+
+    def multi_source_labels(
+        self,
+        csr: "CSRAdjacency",
+        sources: Sequence[int],
+        stats: "SearchStats",
+        distance: Optional[List[float]] = None,
+    ) -> Tuple[List[float], List[int]]:
+        source_list = sorted(set(sources))
+        if distance is None:
+            if source_list:
+                # One multi-source sweep — the scipy path is a single
+                # compiled csgraph call (min_only), the frontier path one
+                # bucketed relaxation; both bit-identical per the sssp
+                # contract.
+                distance = self.sssp(csr, source_list, None, stats)
+            else:
+                stats.searches += 1  # the reference empty-heap search
+                distance = [INF] * csr.num_nodes
+        return distance, _derive_labels(csr, distance, source_list)
+
+    def forward_replay(
+        self,
+        csr: "CSRAdjacency",
+        distance: Sequence[float],
+        targets: Sequence[int],
+        stats: "SearchStats",
+    ) -> List[float]:
+        nodes = np.asarray(list(targets), dtype=np.int64)
+        if not nodes.size:
+            return []
+        dist = np.asarray(distance, dtype=np.float64)
+        pred, step = _tight_predecessors(csr, dist)
+        reachable = np.isfinite(dist[nodes])
+        acc = np.zeros(nodes.size)
+        cur = nodes.copy()
+        active = reachable & (dist[nodes] > 0.0)
+        # All walks step toward their source simultaneously; each round
+        # performs the same scalar addition the reference walk performs
+        # at that depth, so the accumulated floats are identical.
+        while True:
+            idx = np.flatnonzero(active)
+            if not idx.size:
+                break
+            here = cur[idx]
+            acc[idx] += step[here]
+            nxt = pred[here]
+            cur[idx] = nxt
+            active[idx] = dist[nxt] > 0.0
+        out = np.where(reachable, acc, INF)
+        return out.tolist()
+
+    def candidate_rnn_balls(
+        self,
+        csr: "CSRAdjacency",
+        candidates: Sequence[int],
+        nn_distance: Sequence[float],
+        is_query: Sequence[bool],
+        stats: "SearchStats",
+    ) -> List[Tuple[List[Tuple[int, float]], int]]:
+        cands = np.asarray(list(candidates), dtype=np.int64)
+        results: List[Tuple[List[Tuple[int, float]], int]] = []
+        if not cands.size:
+            return results
+        n = csr.num_nodes
+        tgt64 = csr.np_targets.astype(np.int64)
+        bound = np.asarray(list(nn_distance), dtype=np.float64) * (1.0 + BALL_SLACK)
+        query_mask = np.asarray(list(is_query), dtype=bool)
+        # Balls are relaxed in chunks over the product graph (flat index
+        # ``ball * n + node``) so one scatter-min serves every ball in
+        # the chunk; the dense distance and position-scratch arrays are
+        # reused across chunks with touched-entry reset (~32 MB ceiling
+        # each).  Big chunks are the whole point: the Bellman-Ford
+        # layer count is the *max* ball depth in the chunk, so hundreds
+        # of balls ride the same few dozen scatters.
+        chunk = int(max(1, min(512, (32 << 20) // max(8 * n, 1), cands.size)))
+        flat_dist = np.full(chunk * n, INF)
+        pos_lookup = np.empty(chunk * n, dtype=np.int64)
+        for start in range(0, int(cands.size), chunk):
+            group = cands[start : start + chunk]
+            g = int(group.size)
+            seeds = np.arange(g, dtype=np.int64) * n + group
+            flat_dist[seeds] = 0.0
+            touched = _ball_relax(csr, flat_dist, seeds, bound, tgt64, g * n)
+            results.extend(
+                _finish_ball_chunk(
+                    csr, flat_dist, touched, group, query_mask, tgt64, pos_lookup
+                )
+            )
+            stats.searches += g
+            stats.settled += int(touched.size)
+            # Scatter-min improvement counts depend on how balls are
+            # chunked together, which would make `pushes` vary with
+            # worker sharding; the reached-node count is the schedule-
+            # independent work measure reported instead (pushes is
+            # backend-defined).
+            stats.pushes += int(touched.size)
+            flat_dist[touched] = INF
+        return results
+
+    def batch_query_rows(
+        self,
+        csr: "CSRAdjacency",
+        query_nodes: Sequence[int],
+        nn_forward: Sequence[float],
+        labels: Sequence[int],
+        is_candidate_stop: Sequence[bool],
+        stats: "SearchStats",
+    ) -> Tuple[List[int], List[int], List[float], List[int]]:
+        member_counts: List[int] = []
+        member_nodes: List[int] = []
+        member_dists: List[float] = []
+        settled_out: List[int] = []
+        rows = np.asarray(list(query_nodes), dtype=np.int64)
+        if not rows.size:
+            return member_counts, member_nodes, member_dists, settled_out
+        n = csr.num_nodes
+        nnf = np.asarray(list(nn_forward), dtype=np.float64)
+        radius = nnf * (1.0 + BALL_SLACK)
+        lab = np.asarray(list(labels), dtype=np.int64)
+        cand_mask = np.asarray(list(is_candidate_stop), dtype=bool)
+        if self._use_scipy:
+            return self._query_rows_scipy(
+                csr, rows, nnf, radius, lab, cand_mask, stats
+            )
+        tgt64 = csr.np_targets.astype(np.int64)
+        # Same product-graph chunking as candidate_rnn_balls, but the
+        # gate is the *row's* radius (known up front from the label
+        # field), and the distances come out query-rooted — already in
+        # the per-query float association, so there is no tight-tree
+        # pass and no replay walk here at all: reach, cut, sort, emit.
+        chunk = int(max(1, min(512, (32 << 20) // max(8 * n, 1), rows.size)))
+        flat_dist = np.full(chunk * n, INF)
+        for start in range(0, int(rows.size), chunk):
+            group = rows[start : start + chunk]
+            g = int(group.size)
+            seeds = np.arange(g, dtype=np.int64) * n + group
+            flat_dist[seeds] = 0.0
+            touched = _ball_relax(
+                csr, flat_dist, seeds, None, tgt64, g * n,
+                row_bound=radius[start : start + g],
+            )
+            node_ids = touched % n
+            ball_ids = touched // n
+            d = flat_dist[touched]
+            # The exact settle-order cutoff, vectorized:
+            # (d, node) < (nn_forward[row], labels[row]) lexicographic.
+            row_nnf = nnf[start : start + g][ball_ids]
+            row_lab = lab[start : start + g][ball_ids]
+            member = cand_mask[node_ids] & (
+                (d < row_nnf) | ((d == row_nnf) & (node_ids < row_lab))
+            )
+            mi = np.flatnonzero(member)
+            sel = mi[np.lexsort((node_ids[mi], d[mi], ball_ids[mi]))]
+            member_counts.extend(np.bincount(ball_ids[mi], minlength=g).tolist())
+            member_nodes.extend(node_ids[sel].tolist())
+            member_dists.extend(d[sel].tolist())
+            settled_out.extend(np.bincount(ball_ids, minlength=g).tolist())
+            stats.searches += g
+            # Reached-node counts: the gated fixed point's node sets are
+            # schedule-independent, so these match the reference backend
+            # and any worker sharding (pushes is backend-defined; the
+            # reached count is this backend's work measure).
+            stats.settled += int(touched.size)
+            stats.pushes += int(touched.size)
+            flat_dist[touched] = INF
+        return member_counts, member_nodes, member_dists, settled_out
+
+    def _query_rows_scipy(
+        self,
+        csr: "CSRAdjacency",
+        rows: np.ndarray,
+        nnf: np.ndarray,
+        radius: np.ndarray,
+        lab: np.ndarray,
+        cand_mask: np.ndarray,
+        stats: "SearchStats",
+    ) -> Tuple[List[int], List[int], List[float], List[int]]:
+        """Query-rooted balls on the compiled csgraph Dijkstra.
+
+        scipy's ``limit`` is a single scalar per call, so rows are
+        processed in **radius-sorted chunks**: within a chunk the
+        shared limit is the chunk's max radius, which sorting keeps
+        within a whisker of each row's own — near-zero wasted
+        exploration, all of it at C speed.  Per row, the gated reached
+        set equals ``{x : d(q, x) <= radius}`` exactly (any in-bound
+        shortest path's prefixes are in-bound, any out-of-bound node
+        only sees out-of-bound tentative distances), so masking the
+        dense rows at each row's own radius reproduces the frontier
+        path's reach sets and counters bit-for-bit; the distances are
+        the same converged fixed point.  The member stream is then
+        scattered back from sorted-row order to input-row order with
+        one O(members) offset map — no extra sort."""
+        n = csr.num_nodes
+        graph = _as_scipy_graph(csr)
+        m = int(rows.size)
+        order = np.argsort(radius, kind="stable")
+        counts_sorted = np.empty(m, dtype=np.int64)
+        settled_sorted = np.empty(m, dtype=np.int64)
+        node_parts: List[np.ndarray] = []
+        dist_parts: List[np.ndarray] = []
+        node_col = np.arange(n, dtype=np.int64)[None, :]
+        chunk = int(max(1, min(512, (32 << 20) // max(8 * n, 1), m)))
+        for start in range(0, m, chunk):
+            sel = order[start : start + chunk]
+            g = int(sel.size)
+            r = radius[sel]
+            d = _scipy_dijkstra(
+                graph,
+                directed=True,
+                indices=rows[sel],
+                min_only=False,
+                limit=float(r[g - 1]),
+            )
+            reach = (d <= r[:, None]) & np.isfinite(d)
+            reach_counts = np.count_nonzero(reach, axis=1)
+            settled_sorted[start : start + g] = reach_counts
+            member = cand_mask[None, :] & (
+                (d < nnf[sel][:, None])
+                | ((d == nnf[sel][:, None]) & (node_col < lab[sel][:, None]))
+            )
+            li, node = np.nonzero(member)
+            dm = d[li, node]
+            o = np.lexsort((node, dm, li))
+            counts_sorted[start : start + g] = np.bincount(li, minlength=g)
+            node_parts.append(node[o])
+            dist_parts.append(dm[o])
+            stats.searches += g
+            reached = int(reach_counts.sum())
+            stats.settled += reached
+            stats.pushes += reached
+        counts = np.empty(m, dtype=np.int64)
+        counts[order] = counts_sorted
+        settled = np.empty(m, dtype=np.int64)
+        settled[order] = settled_sorted
+        stream_nodes = np.concatenate(node_parts)
+        stream_dists = np.concatenate(dist_parts)
+        # Scatter each sorted-order row's member run to its offset in
+        # the input-order columns (exclusive-cumsum offset arithmetic,
+        # the same trick as _edge_indices).
+        out_start = np.cumsum(counts) - counts
+        excl = np.cumsum(counts_sorted) - counts_sorted
+        positions = np.repeat(out_start[order] - excl, counts_sorted) + np.arange(
+            stream_nodes.size, dtype=np.int64
+        )
+        out_nodes = np.empty_like(stream_nodes)
+        out_nodes[positions] = stream_nodes
+        out_dists = np.empty_like(stream_dists)
+        out_dists[positions] = stream_dists
+        return (
+            counts.tolist(),
+            out_nodes.tolist(),
+            out_dists.tolist(),
+            settled.tolist(),
+        )
+
     # -- the two sssp execution paths ----------------------------------
 
     def _sssp_scipy(
@@ -211,6 +468,248 @@ class VectorizedKernel(PythonKernel):
             stats.settled += int(np.count_nonzero(finite))
         stats.pushes += pushes
         return dist.tolist()
+
+
+def _tight_edges(
+    csr: "CSRAdjacency", dist: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All tight arcs ``(u, v)`` of a converged ``dist`` field — the
+    canonical shortest-path DAG — as ``(u, v, cost)`` arrays.  An arc is
+    tight when ``dist[u] < dist[v]`` and ``dist[u] + cost <= dist[v]``
+    (the ``<=`` is an exact equality test at the fixed point, where
+    every candidate is ``>=`` the minimum)."""
+    indptr, targets, costs = csr.np_indptr, csr.np_targets, csr.np_costs
+    n = csr.num_nodes
+    u = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    v = targets.astype(np.int64)
+    du = dist[u]
+    dv = dist[v]
+    mask = np.isfinite(du) & np.isfinite(dv) & (du < dv) & (du + costs <= dv)
+    return u[mask], v[mask], costs[mask]
+
+
+def _derive_labels(
+    csr: "CSRAdjacency", distance: Sequence[float], sources: Sequence[int]
+) -> List[int]:
+    """The lexicographic-min source label of every node over the tight
+    DAG of ``distance`` — iterative scatter-min label propagation (the
+    DAG is acyclic in strictly increasing distance, so the fixed point
+    is unique and equals the reference backend's one-pass derivation)."""
+    n = csr.num_nodes
+    dist = np.asarray(distance, dtype=np.float64)
+    label = np.full(n, n, dtype=np.int64)
+    if sources:
+        src = np.asarray(list(sources), dtype=np.int64)
+        label[src] = src
+    tu, tv, _ = _tight_edges(csr, dist)
+    if tu.size:
+        order = np.argsort(tv, kind="stable")
+        tu = tu[order]
+        tv = tv[order]
+        heads = np.flatnonzero(
+            np.concatenate((np.ones(1, dtype=bool), tv[1:] != tv[:-1]))
+        )
+        groups = tv[heads]
+        while True:
+            mins = np.minimum.reduceat(label[tu], heads)
+            upd = mins < label[groups]
+            if not bool(upd.any()):
+                break
+            label[groups[upd]] = mins[upd]
+    return np.where(label == n, -1, label).tolist()
+
+
+def _tight_predecessors(
+    csr: "CSRAdjacency", dist: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Canonical predecessor of every reachable non-source node — the
+    tight in-neighbour minimising ``(dist[u], u)`` — and the cost of
+    that arc, as dense arrays (``-1`` / ``0.0`` where undefined)."""
+    n = csr.num_nodes
+    tu, tv, tc = _tight_edges(csr, dist)
+    pred = np.full(n, -1, dtype=np.int64)
+    step = np.zeros(n)
+    if tu.size:
+        order = np.lexsort((tu, dist[tu], tv))
+        tv_s = tv[order]
+        first = np.concatenate((np.ones(1, dtype=bool), tv_s[1:] != tv_s[:-1]))
+        pred[tv_s[first]] = tu[order][first]
+        step[tv_s[first]] = tc[order][first]
+    return pred, step
+
+
+def _ball_relax(
+    csr: "CSRAdjacency",
+    flat_dist: np.ndarray,
+    seeds: np.ndarray,
+    bound: Optional[np.ndarray],
+    tgt64: np.ndarray,
+    size: int,
+    row_bound: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Relax a chunk of pruned balls to convergence over the product
+    graph (flat index ``ball * n + node``), gating candidates before
+    the scatter at ``cand <= bound[node]`` (the per-node goal pruning
+    of ``candidate_rnn_balls``) or — when ``row_bound`` is given
+    instead — at ``cand <= row_bound[ball]`` (the per-row radius of
+    ``batch_query_rows``' query-rooted balls).
+
+    Runs near/far-pile delta-stepping: the near pile (entries under the
+    current distance threshold) is relaxed to exhaustion with one big
+    scatter per round, improvements past the threshold park in the far
+    pile, then the threshold advances.  Plain whole-frontier Bellman-
+    Ford layers re-improve every entry ~15x on road costs before
+    converging; near-ordered expansion keeps re-improvements close to
+    Dijkstra's none while staying fully vectorized.  The gated fixed
+    point itself is schedule-independent, so any pile discipline yields
+    the same doubles.  Returns the sorted flat indices reached (the
+    balls' node sets, seeds included)."""
+    indptr, costs = csr.np_indptr, csr.np_costs
+    n = csr.num_nodes
+    delta = _DELTA_MEAN_COSTS * float(costs.mean()) if costs.size else 1.0
+    thresh = delta
+    near = seeds
+    far_parts: List[np.ndarray] = []
+    while True:
+        while near.size:
+            nodes = near % n
+            balls = near // n
+            edge_idx, degs = _edge_indices(indptr, nodes)
+            x = tgt64[edge_idx]
+            cand = np.repeat(flat_dist[near], degs) + costs[edge_idx]
+            flat_x = np.repeat(balls, degs) * n + x
+            if row_bound is None:
+                limit = bound[x]
+            else:
+                limit = np.repeat(row_bound[balls], degs)
+            # Pre-filter before the scatter: the goal gate plus a cheap
+            # improvement test drops most edge relaxations outright.
+            keep = (cand <= limit) & (cand < flat_dist[flat_x])
+            fx = flat_x[keep]
+            fc = cand[keep]
+            # `ufunc.at` grew an indexed fast path in modern numpy that
+            # beats the sort-based _scatter_min by ~50x at these sizes;
+            # the group minimum is still an exact float min.  The
+            # improved set is recovered exactly by equality against the
+            # written value — every improved target has a kept
+            # candidate equal to its new distance (rare exact ties
+            # duplicate an entry, whose re-expansion then fails the
+            # ``<`` pre-filter).
+            np.minimum.at(flat_dist, fx, fc)
+            win = flat_dist[fx] == fc
+            w = fx[win]
+            is_near = fc[win] < thresh
+            near = w[is_near]
+            if not is_near.all():
+                far_parts.append(w[~is_near])
+        if not far_parts:
+            break
+        far = np.unique(np.concatenate(far_parts))
+        far_parts = []
+        # Entries re-improved below the old threshold re-entered the
+        # near pile and were expanded at their final distance already;
+        # their parked copies are stale and drop out here.
+        far = far[flat_dist[far] >= thresh]
+        if not far.size:
+            break
+        thresh = float(flat_dist[far].min()) + delta
+        is_near = flat_dist[far] < thresh
+        near = far[is_near]
+        if not is_near.all():
+            far_parts.append(far[~is_near])
+    return np.flatnonzero(np.isfinite(flat_dist[:size]))
+
+
+def _finish_ball_chunk(
+    csr: "CSRAdjacency",
+    flat_dist: np.ndarray,
+    touched: np.ndarray,
+    group: np.ndarray,
+    query_mask: np.ndarray,
+    tgt64: np.ndarray,
+    pos_lookup: np.ndarray,
+) -> List[Tuple[List[Tuple[int, float]], int]]:
+    """Turn one relaxed chunk into per-candidate ``(members, settled)``
+    results: batch forward replay of every query member along its
+    ball's tight tree, then per-ball grouping in settle order.
+
+    ``pos_lookup`` is a reused dense flat-index -> touched-position
+    scratch array; only the ``touched`` entries are (re)written per
+    chunk, so stale positions from earlier chunks survive — harmless,
+    because every read below is masked by ``in_ball``, and membership
+    is decided by ``flat_dist`` finiteness, never by the scratch."""
+    indptr, costs = csr.np_indptr, csr.np_costs
+    n = csr.num_nodes
+    node_ids = touched % n
+    ball_ids = touched // n
+    db = flat_dist[touched]
+    settled_per_ball = np.bincount(ball_ids, minlength=int(group.size))
+    pos_lookup[touched] = np.arange(touched.size, dtype=np.int64)
+
+    # Canonical predecessor of every touched entry within its own ball
+    # (position-indexed into the sorted `touched` array).  A member's
+    # shortest path never crosses the push gate, so its whole chain is
+    # touched and the walk below always finds its predecessor.  No
+    # explicit membership test: untouched neighbours read INF from
+    # ``flat_dist`` and fail ``du < df`` on their own.
+    edge_idx, degs = _edge_indices(indptr, node_ids)
+    x = tgt64[edge_idx]
+    flat_u = np.repeat(ball_ids, degs) * n + x
+    du = flat_dist[flat_u]
+    c = costs[edge_idx]
+    df = np.repeat(db, degs)
+    tight = (du < df) & (du + c <= df)
+    f_pos = np.repeat(np.arange(touched.size, dtype=np.int64), degs)[tight]
+    pred_pos = np.full(touched.size, -1, dtype=np.int64)
+    step = np.zeros(touched.size)
+    if f_pos.size:  # seed-only balls have no tight edges at all
+        du_t = du[tight]
+        x_t = x[tight]
+        # Canonical pred = argmin (dist[u], u) per entry, as two
+        # scatter-min passes (distance, then node id among distance
+        # ties) instead of a 3-key lexsort — `ufunc.at`'s indexed fast
+        # path makes this far cheaper than sorting every tight edge.
+        best_du = np.full(touched.size, INF)
+        np.minimum.at(best_du, f_pos, du_t)
+        pick = du_t == best_du[f_pos]
+        best_u = np.full(touched.size, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(best_u, f_pos[pick], x_t[pick])
+        pick[pick] = x_t[pick] == best_u[f_pos[pick]]
+        # RoadNetwork dedupes parallel edges at construction, so `pick`
+        # now holds exactly one edge per entry and plain scatter
+        # assignment is unambiguous.
+        pred_pos[f_pos[pick]] = pos_lookup[flat_u[tight][pick]]
+        step[f_pos[pick]] = c[tight][pick]
+
+    members = np.flatnonzero(query_mask[node_ids])
+    acc = np.zeros(members.size)
+    cur = members.copy()
+    walking = db[cur] > 0.0
+    while True:
+        idx = np.flatnonzero(walking)
+        if not idx.size:
+            break
+        here = cur[idx]
+        acc[idx] += step[here]
+        nxt = pred_pos[here]
+        cur[idx] = nxt
+        walking[idx] = db[nxt] > 0.0
+
+    # Per-ball member lists in ball settle order (ball_dist, node),
+    # sliced out of the sorted flat arrays with one C-speed zip per
+    # ball rather than a per-member python append loop.
+    m_balls = ball_ids[members]
+    m_order = np.lexsort((node_ids[members], db[members], m_balls))
+    m_nodes = node_ids[members][m_order].tolist()
+    m_dists = acc[m_order].tolist()
+    cuts = np.searchsorted(m_balls[m_order], np.arange(int(group.size) + 1))
+    return [
+        (
+            list(zip(m_nodes[cuts[b] : cuts[b + 1]], m_dists[cuts[b] : cuts[b + 1]])),
+            int(settled_per_ball[b]),
+        )
+        for b in range(int(group.size))
+    ]
 
 
 def _as_scipy_graph(csr: "CSRAdjacency") -> Any:

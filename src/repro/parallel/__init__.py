@@ -6,6 +6,9 @@ bit-identical to the serial code paths):
 * :func:`~repro.parallel.fanout.run_query_searches` — shard the
   Algorithm 2 query searches across workers (used by
   ``preprocess_queries(workers=N)`` and ``update_preprocess``);
+* :func:`~repro.parallel.fanout.run_candidate_balls` — shard the
+  inverted strategy's per-candidate RNN balls across workers (used by
+  ``preprocess_queries(strategy="inverted", workers=N)``);
 * :func:`~repro.parallel.sweep.sweep_plans` — fan a parameter grid of
   full EBRR runs over workers sharing one preprocessing.
 
@@ -15,7 +18,7 @@ imports :mod:`repro.core.ebrr` at module level; keep that layering when
 extending this package.
 """
 
-from .fanout import run_query_searches
+from .fanout import run_candidate_balls, run_query_searches
 from .sweep import sweep_plans
 
-__all__ = ["run_query_searches", "sweep_plans"]
+__all__ = ["run_candidate_balls", "run_query_searches", "sweep_plans"]

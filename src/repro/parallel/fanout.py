@@ -1,9 +1,15 @@
-"""Process-pool fan-out for the Algorithm 2 query searches.
+"""Process-pool fan-out for the Algorithm 2 searches.
 
 Theorem 5's dominant cost is ``|Q| · T1`` — one early-terminated
 Dijkstra per distinct query node — and every one of those searches is
 independent of the others.  This module shards them across worker
-processes with a **deterministic reduce**:
+processes with a **deterministic reduce**.  Under the *inverted*
+preprocessing strategy the per-query searches collapse into one
+multi-source field plus one batched query-rooted ball per query node,
+so the shard stays the query node but the worker call becomes the
+columnar :func:`run_query_rows` (with :func:`run_candidate_balls`
+sharding per-candidate RNN balls for the candidate-rooted variant);
+all drivers share the same discipline:
 
 * the caller's node order is preserved end to end.  Nodes are split
   into contiguous chunks; workers may *finish* in any order, but the
@@ -34,15 +40,21 @@ import multiprocessing.context
 from typing import List, Optional, Sequence, Tuple
 
 from ..exceptions import ConfigurationError
-from ..network.engine import SearchEngine, SearchStats
+from ..network.engine import QuerySearchRow, SearchEngine, SearchStats
 from ..network.graph import RoadNetwork
 from ..obs import current_trace, span
 from ..obs.collect import TraceShard, begin_worker_trace, drain_shard, merge_shard
 
-#: One Algorithm 2 search result: ``(query_node, nn_stop, nn_dist,
-#: [(candidate, dist), ...])`` — exactly what
-#: :meth:`SearchEngine.query_search` returns, keyed by its query node.
-QuerySearchRow = Tuple[int, int, float, List[Tuple[int, float]]]
+#: One candidate's RNN ball: ``([(query_node, forward_dist), ...],
+#: settled)`` — exactly what
+#: :meth:`SearchEngine.candidate_rnn_balls` returns per candidate.
+CandidateBall = Tuple[List[Tuple[int, float]], int]
+
+#: The columnar query-rooted ball output ``(member_counts,
+#: member_nodes, member_dists, settled)`` — exactly what
+#: :meth:`SearchEngine.batch_query_rows` returns; each column
+#: concatenates across chunks in submission order.
+QueryRowColumns = Tuple[List[int], List[int], List[float], List[int]]
 
 #: Chunks handed to each worker per pool, for load balancing: small
 #: enough that an unlucky worker is not left holding one giant chunk,
@@ -55,6 +67,16 @@ CHUNKS_PER_WORKER = 4
 _WORKER_ENGINE: Optional[SearchEngine] = None
 _WORKER_EXISTING: Sequence[bool] = ()
 _WORKER_CANDIDATE: Sequence[bool] = ()
+# Ball-worker state (the inverted strategy's fan-out shards candidate
+# balls, not query nodes): the converged nearest-stop field and the
+# query-node mask, shipped once per worker by the initializer.
+_WORKER_NN: Sequence[float] = ()
+_WORKER_QUERY: Sequence[bool] = ()
+# Row-worker state (the inverted strategy's query-rooted balls): dense
+# per-node lookups of each query's truncation radius and nearest-stop
+# label, shipped once per worker by the initializer.
+_WORKER_ROW_NN: Sequence[float] = ()
+_WORKER_ROW_LABEL: Sequence[int] = ()
 # Whether this process runs as a *tracing pool worker* (set only by the
 # pool initializer, never by the in-process ``workers=1`` path — the
 # parent's own enabled trace must never be drained as a shard).
@@ -228,11 +250,283 @@ def run_query_searches(
     return rows, total
 
 
+def _init_ball_worker(
+    network: RoadNetwork,
+    nn_distance: Sequence[float],
+    is_query: Sequence[bool],
+    tracing: bool = False,
+    kernel: Optional[str] = None,
+) -> None:
+    """Pool initializer for the inverted strategy's ball fan-out: same
+    one-engine-per-process setup as :func:`_init_query_worker`, but the
+    shipped per-node state is the converged nearest-stop field and the
+    query mask the candidate balls prune against."""
+    global _WORKER_ENGINE, _WORKER_NN, _WORKER_QUERY, _WORKER_TRACING
+    engine = SearchEngine(network, kernel=kernel)
+    engine.csr  # materialize the flat adjacency up front, not per chunk
+    _WORKER_ENGINE = engine
+    _WORKER_NN = nn_distance
+    _WORKER_QUERY = is_query
+    _WORKER_TRACING = tracing
+    if tracing:
+        begin_worker_trace()
+
+
+def _run_ball_chunk(
+    candidates: Sequence[int],
+) -> Tuple[List[CandidateBall], SearchStats, Optional[TraceShard]]:
+    """Worker entry point for the inverted strategy: one chunk of
+    candidate RNN balls on the process-local engine; returns the balls
+    in chunk order, the chunk's search-stats delta, and — when the
+    parent is tracing — the chunk's trace shard.  Same shard discipline
+    as :func:`_run_query_chunk`: operational ``fanout.*`` counters only,
+    search counters travel in the ``SearchStats`` delta."""
+    engine = _WORKER_ENGINE
+    if engine is None:  # pragma: no cover - pool misuse, not reachable via API
+        raise ConfigurationError("candidate-ball worker used before initialization")
+    before = engine.counters(_WORKER_PHASE).copy()
+    with span("fanout.ball_chunk", candidates=len(candidates)):
+        balls = engine.candidate_rnn_balls(
+            candidates, _WORKER_NN, _WORKER_QUERY, phase=_WORKER_PHASE
+        )
+    active = current_trace()
+    if active is not None:
+        active.metrics.counter("fanout.ball_chunks").inc()
+        active.metrics.counter("fanout.ball_candidates").inc(len(candidates))
+    shard = drain_shard() if _WORKER_TRACING else None
+    return balls, engine.counters(_WORKER_PHASE) - before, shard
+
+
+def run_candidate_balls(
+    network: RoadNetwork,
+    nn_distance: Sequence[float],
+    is_query: Sequence[bool],
+    candidates: Sequence[int],
+    *,
+    workers: int,
+    kernel: Optional[str] = None,
+) -> Tuple[List[CandidateBall], SearchStats]:
+    """Fan the inverted strategy's candidate RNN balls over a pool.
+
+    The inverted preprocessing path has exactly one unbatchable loop —
+    one pruned ball per candidate stop — and each ball is independent
+    of the others, so the shard unit is the *candidate*, not the query
+    node.  Same deterministic reduce as :func:`run_query_searches`:
+    contiguous candidate chunks, pool results concatenated in
+    submission order, outputs bit-identical to the serial
+    :meth:`SearchEngine.candidate_rnn_balls` call.
+
+    Args:
+        network: the road network (pickled once per worker).
+        nn_distance: the converged nearest-existing-stop field the
+            balls prune against (``LabelField.distance``).
+        is_query: the query-node membership mask.
+        candidates: candidate stop ids, in the caller's order.
+        workers: pool size (``1`` runs in-process on a private engine).
+        kernel: search-backend name for the worker engines.
+
+    Returns:
+        ``(balls, stats)``: one ball per candidate **in the input
+        order**, plus the summed worker search stats.
+    """
+    workers = resolve_workers(workers)
+    candidate_list = list(candidates)
+    balls: List[CandidateBall]
+    if not candidate_list:
+        return [], SearchStats()
+    parent_trace = current_trace()
+    if workers == 1:
+        with span("fanout", candidates=len(candidate_list), workers=1):
+            _init_ball_worker(network, nn_distance, is_query, kernel=kernel)
+            try:
+                balls, stats, _ = _run_ball_chunk(candidate_list)
+            finally:
+                _reset_worker_state()
+        return balls, stats
+    chunks = split_chunks(candidate_list, workers * CHUNKS_PER_WORKER)
+    balls = []
+    total = SearchStats()
+    with span(
+        "fanout", candidates=len(candidate_list), workers=workers, chunks=len(chunks)
+    ) as fan_span:
+        fan_index = fan_span.span.index if parent_trace is not None else None
+        with pool_context().Pool(
+            processes=min(workers, len(chunks)),
+            initializer=_init_ball_worker,
+            initargs=(
+                network,
+                list(nn_distance),
+                list(is_query),
+                parent_trace is not None,
+                kernel,
+            ),
+        ) as pool:
+            # Deterministic reduce: chunk results in submission order.
+            for chunk_balls, chunk_stats, shard in pool.map(_run_ball_chunk, chunks):
+                balls.extend(chunk_balls)
+                total = total + chunk_stats
+                if shard is not None and parent_trace is not None:
+                    merge_shard(parent_trace, shard, parent=fan_index)
+    return balls, total
+
+
+def _init_row_worker(
+    network: RoadNetwork,
+    nn_by_node: Sequence[float],
+    label_by_node: Sequence[int],
+    is_candidate: Sequence[bool],
+    tracing: bool = False,
+    kernel: Optional[str] = None,
+) -> None:
+    """Pool initializer for the query-rooted ball fan-out: same
+    one-engine-per-process setup as :func:`_init_query_worker`; the
+    shipped per-node state is each query node's forward-replayed
+    truncation radius and nearest-stop label (dense lookups, so chunks
+    stay plain node lists) plus the candidate-stop mask."""
+    global _WORKER_ENGINE, _WORKER_ROW_NN, _WORKER_ROW_LABEL
+    global _WORKER_CANDIDATE, _WORKER_TRACING
+    engine = SearchEngine(network, kernel=kernel)
+    engine.csr  # materialize the flat adjacency up front, not per chunk
+    _WORKER_ENGINE = engine
+    _WORKER_ROW_NN = nn_by_node
+    _WORKER_ROW_LABEL = label_by_node
+    _WORKER_CANDIDATE = is_candidate
+    _WORKER_TRACING = tracing
+    if tracing:
+        begin_worker_trace()
+
+
+def _run_row_chunk(
+    nodes: Sequence[int],
+) -> Tuple[QueryRowColumns, SearchStats, Optional[TraceShard]]:
+    """Worker entry point for the query-rooted ball fan-out: one chunk
+    of query nodes batched through the process-local engine's
+    :meth:`~repro.network.engine.SearchEngine.batch_query_rows`;
+    returns the chunk's columnar rows (row-major, chunk order), the
+    chunk's search-stats delta, and — when the parent is tracing — the
+    chunk's trace shard.  Same shard discipline as
+    :func:`_run_query_chunk`: operational ``fanout.*`` counters only,
+    search counters travel in the ``SearchStats`` delta."""
+    engine = _WORKER_ENGINE
+    if engine is None:  # pragma: no cover - pool misuse, not reachable via API
+        raise ConfigurationError("query-row worker used before initialization")
+    before = engine.counters(_WORKER_PHASE).copy()
+    with span("fanout.ball_chunk", queries=len(nodes)):
+        columns = engine.batch_query_rows(
+            nodes,
+            [_WORKER_ROW_NN[node] for node in nodes],
+            [_WORKER_ROW_LABEL[node] for node in nodes],
+            _WORKER_CANDIDATE,
+            phase=_WORKER_PHASE,
+        )
+    active = current_trace()
+    if active is not None:
+        active.metrics.counter("fanout.ball_chunks").inc()
+        active.metrics.counter("fanout.ball_queries").inc(len(nodes))
+    shard = drain_shard() if _WORKER_TRACING else None
+    return columns, engine.counters(_WORKER_PHASE) - before, shard
+
+
+def run_query_rows(
+    network: RoadNetwork,
+    nodes: Sequence[int],
+    nn_forward: Sequence[float],
+    labels: Sequence[int],
+    is_candidate: Sequence[bool],
+    *,
+    workers: int,
+    kernel: Optional[str] = None,
+) -> Tuple[QueryRowColumns, SearchStats]:
+    """Fan the inverted strategy's query-rooted balls over a pool.
+
+    The shard unit is the query node — each ball is independent once
+    the label field has fixed its radius and label — and the reduce is
+    a plain columnar concatenation: chunks come back in submission
+    order and the rows are row-major within each chunk, so the merged
+    columns are bit-identical to the serial
+    :meth:`SearchEngine.batch_query_rows` call over the full node list.
+
+    Args:
+        network: the road network (pickled once per worker).
+        nodes: the distinct query nodes, in the caller's order.
+        nn_forward: each node's forward-replayed nearest-stop distance,
+            aligned with ``nodes``.
+        labels: each node's nearest-stop label, aligned with ``nodes``.
+        is_candidate: the candidate-stop membership mask.
+        workers: pool size (``1`` runs in-process on a private engine).
+        kernel: search-backend name for the worker engines.
+
+    Returns:
+        ``(columns, stats)``: the concatenated columnar rows **in the
+        input node order**, plus the summed worker search stats.
+    """
+    workers = resolve_workers(workers)
+    node_list = list(nodes)
+    if not node_list:
+        return ([], [], [], []), SearchStats()
+    # Dense per-node lookups: chunks then pickle as plain node lists and
+    # every worker can slice its own radii/labels locally.
+    nn_by_node = [0.0] * network.num_nodes
+    label_by_node = [0] * network.num_nodes
+    for node, radius, label in zip(node_list, nn_forward, labels):
+        nn_by_node[node] = radius
+        label_by_node[node] = label
+    parent_trace = current_trace()
+    if workers == 1:
+        with span("fanout", queries=len(node_list), workers=1):
+            _init_row_worker(
+                network, nn_by_node, label_by_node, is_candidate, kernel=kernel
+            )
+            try:
+                columns, stats, _ = _run_row_chunk(node_list)
+            finally:
+                _reset_worker_state()
+        return columns, stats
+    chunks = split_chunks(node_list, workers * CHUNKS_PER_WORKER)
+    member_counts: List[int] = []
+    member_nodes: List[int] = []
+    member_dists: List[float] = []
+    settled: List[int] = []
+    total = SearchStats()
+    with span(
+        "fanout", queries=len(node_list), workers=workers, chunks=len(chunks)
+    ) as fan_span:
+        fan_index = fan_span.span.index if parent_trace is not None else None
+        with pool_context().Pool(
+            processes=min(workers, len(chunks)),
+            initializer=_init_row_worker,
+            initargs=(
+                network,
+                nn_by_node,
+                label_by_node,
+                list(is_candidate),
+                parent_trace is not None,
+                kernel,
+            ),
+        ) as pool:
+            # Deterministic reduce: columnar concatenation in submission
+            # order equals the serial row-major layout.
+            for chunk_cols, chunk_stats, shard in pool.map(_run_row_chunk, chunks):
+                member_counts.extend(chunk_cols[0])
+                member_nodes.extend(chunk_cols[1])
+                member_dists.extend(chunk_cols[2])
+                settled.extend(chunk_cols[3])
+                total = total + chunk_stats
+                if shard is not None and parent_trace is not None:
+                    merge_shard(parent_trace, shard, parent=fan_index)
+    return (member_counts, member_nodes, member_dists, settled), total
+
+
 def _reset_worker_state() -> None:
     """Drop the in-process worker engine (used by the ``workers=1``
     fallback so a throwaway engine does not outlive the call)."""
     global _WORKER_ENGINE, _WORKER_EXISTING, _WORKER_CANDIDATE, _WORKER_TRACING
+    global _WORKER_NN, _WORKER_QUERY, _WORKER_ROW_NN, _WORKER_ROW_LABEL
     _WORKER_ENGINE = None
     _WORKER_EXISTING = ()
     _WORKER_CANDIDATE = ()
+    _WORKER_NN = ()
+    _WORKER_QUERY = ()
+    _WORKER_ROW_NN = ()
+    _WORKER_ROW_LABEL = ()
     _WORKER_TRACING = False

@@ -49,7 +49,12 @@ class TestExample7:
 
 class TestMechanics:
     def test_one_search_per_distinct_query(self, pre):
-        assert pre.searches == 4  # distinct nodes: v1, v6, v7, v8
+        if pre.strategy == "inverted":
+            # One field search plus one query-rooted ball per distinct
+            # query node (the fixture follows ``$REPRO_PREPROCESS``).
+            assert pre.searches == 1 + 4
+        else:
+            assert pre.searches == 4  # distinct nodes: v1, v6, v7, v8
 
     def test_settled_nodes_counted(self, pre):
         assert pre.settled_nodes >= pre.searches
@@ -136,3 +141,52 @@ class TestDisjointnessGuard:
 
         with pytest.raises(ConfigurationError, match="workers"):
             preprocess_queries(toy_instance, workers=0)
+
+
+class TestStrategies:
+    """The inverted strategy on the worked toy example, plus the
+    strategy-resolution plumbing (``$REPRO_PREPROCESS``, validation)."""
+
+    def test_inverted_matches_example_7(self, toy_instance, pre):
+        inv = preprocess_queries(toy_instance, strategy="inverted")
+        assert inv.strategy == "inverted"
+        assert inv.nn_distance == pre.nn_distance
+        assert inv.rnn == pre.rnn
+        assert inv.initial_utility == pre.initial_utility
+        assert list(inv.rnn) == list(pre.rnn)
+        assert inv.utility_order() == pre.utility_order()
+
+    def test_inverted_accounting(self, toy_instance):
+        inv = preprocess_queries(toy_instance, strategy="inverted")
+        # One field search plus one query-rooted ball per distinct query.
+        assert inv.searches == 1 + len(inv.nn_distance)
+        assert inv.settled_nodes > 0
+
+    def test_default_strategy_is_per_query(self, toy_instance, monkeypatch):
+        monkeypatch.delenv("REPRO_PREPROCESS", raising=False)
+        result = preprocess_queries(toy_instance)
+        assert result.strategy == "per-query"
+
+    def test_env_resolution(self, toy_instance, monkeypatch):
+        monkeypatch.setenv("REPRO_PREPROCESS", "inverted")
+        assert preprocess_queries(toy_instance).strategy == "inverted"
+        # An explicit argument wins over the environment.
+        explicit = preprocess_queries(toy_instance, strategy="per-query")
+        assert explicit.strategy == "per-query"
+
+    def test_unknown_strategy_rejected(self, toy_instance):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown preprocess"):
+            preprocess_queries(toy_instance, strategy="sideways")
+
+    def test_resolver_validates_env(self, monkeypatch):
+        from repro.core.preprocess import resolve_preprocess_strategy
+        from repro.exceptions import ConfigurationError
+
+        monkeypatch.setenv("REPRO_PREPROCESS", "bogus")
+        with pytest.raises(ConfigurationError, match="bogus"):
+            resolve_preprocess_strategy()
+        monkeypatch.delenv("REPRO_PREPROCESS")
+        assert resolve_preprocess_strategy() == "per-query"
+        assert resolve_preprocess_strategy("inverted") == "inverted"

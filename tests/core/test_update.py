@@ -184,3 +184,22 @@ class TestBulkRetirement:
         assert serial.nn_distance == parallel.nn_distance
         assert serial.rnn == parallel.rnn
         assert serial.initial_utility == parallel.initial_utility
+
+
+class TestStrategyProvenance:
+    def test_update_carries_strategy(self, toy_instance):
+        """An update of an inverted preprocessing keeps its provenance
+        (the added-node searches run per-query either way — they are
+        change-proportional)."""
+        pre = preprocess_queries(toy_instance, strategy="inverted")
+        new_queries = QuerySet(
+            toy_instance.network,
+            list(toy_instance.queries.nodes) + [V8],
+            name="updated",
+        )
+        new_instance, updated, _stats = update_preprocess(
+            toy_instance, pre, new_queries
+        )
+        assert updated.strategy == "inverted"
+        scratch = preprocess_queries(new_instance, strategy="inverted")
+        _assert_equivalent(new_instance, updated, scratch)

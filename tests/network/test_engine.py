@@ -5,6 +5,7 @@ import math
 
 import pytest
 
+from repro.exceptions import GraphError
 from repro.network.dijkstra import (
     IncrementalNearestDistance,
     distance_between,
@@ -272,3 +273,140 @@ def test_engine_for_is_shared_per_network(network):
     assert first is second
     other = grid_city(4, 4, seed=9)
     assert engine_for(other) is not first
+
+
+# ----------------------------------------------------------------------
+# Point-cache semantics of distance()
+# ----------------------------------------------------------------------
+
+
+class TestDistancePointCache:
+    def test_one_entry_per_pair_across_bounds(self, network):
+        """Distinct upper bounds must not create distinct entries: the
+        true distance is cached once and bounds apply on read."""
+        engine = SearchEngine(network)
+        true = engine.distance(0, 12)
+        points_after_first = engine.cache_info().points
+        for bound in (true + 1.0, true + 2.0, true + 3.0):
+            assert engine.distance(0, 12, upper_bound=bound) == true
+        assert engine.cache_info().points == points_after_first
+
+    def test_true_distance_answers_tighter_bound(self, network):
+        engine = SearchEngine(network)
+        true = engine.distance(3, 18)
+        misses = engine.cache_info().misses
+        # A bound below the known true distance is answered INF from
+        # the cached float — no new search, no new entry.
+        assert engine.distance(3, 18, upper_bound=true / 2) == math.inf
+        assert engine.cache_info().misses == misses
+
+    def test_bounded_miss_is_not_cached_as_unreachable(self, network):
+        """A bounded search that ran out of budget must not poison the
+        pair as unreachable: a later, larger bound re-searches."""
+        engine = SearchEngine(network)
+        reference = SearchEngine(network).distance(0, 24)
+        assert engine.distance(0, 24, upper_bound=reference / 4) == math.inf
+        assert engine.distance(0, 24, upper_bound=reference + 1.0) == reference
+        assert engine.distance(0, 24) == reference
+
+    def test_lower_bound_marker_short_circuits_repeats(self, network):
+        engine = SearchEngine(network)
+        reference = SearchEngine(network).distance(0, 24)
+        bound = reference / 4
+        assert engine.distance(0, 24, upper_bound=bound) == math.inf
+        misses = engine.cache_info().misses
+        # Repeating the same bound — or a smaller one — is served from
+        # the ("lb", floor) marker without another search.
+        assert engine.distance(0, 24, upper_bound=bound) == math.inf
+        assert engine.distance(0, 24, upper_bound=bound / 2) == math.inf
+        assert engine.cache_info().misses == misses
+
+    def test_unbounded_unreachable_is_cached(self):
+        coords = [(0.0, 0.0), (1.0, 0.0), (5.0, 0.0), (6.0, 0.0)]
+        edges = [(0, 1, 1.0), (2, 3, 1.0)]
+        network = RoadNetwork(coords, edges, validate_connected=False)
+        engine = SearchEngine(network)
+        assert engine.distance(0, 3) == math.inf
+        misses = engine.cache_info().misses
+        assert engine.distance(0, 3) == math.inf  # served from cache
+        assert engine.distance(0, 3, upper_bound=100.0) == math.inf
+        assert engine.cache_info().misses == misses
+
+
+# ----------------------------------------------------------------------
+# The label-field cache and its incremental repair
+# ----------------------------------------------------------------------
+
+
+class TestLabelFieldCache:
+    def _stops(self, network, m=7):
+        return [u for u in range(network.num_nodes) if u % m == 1]
+
+    def test_cached_by_fingerprint(self, network):
+        engine = SearchEngine(network)
+        stops = self._stops(network)
+        first = engine.multi_source_labels(stops)
+        # Same set, different order / duplicates: same fingerprint.
+        again = engine.multi_source_labels(list(reversed(stops)) + stops[:1])
+        assert again is first
+
+    def test_subset_repair_is_bit_identical(self, network):
+        stops = self._stops(network)
+        fresh = SearchEngine(network).multi_source_labels(stops)
+        engine = SearchEngine(network)
+        engine.multi_source_labels(stops[:-2])  # warm a strict subset
+        stats_before = engine.counters("adhoc").copy()
+        repaired = engine.multi_source_labels(stops)
+        assert repaired.distance == fresh.distance
+        assert repaired.label == fresh.label
+        assert repaired.reachable == fresh.reachable
+        # The repair reused the cached field (a cache hit) instead of
+        # re-running the full multi-source search.
+        assert engine.counters("adhoc").cache_hits > stats_before.cache_hits
+
+    def test_label_is_nearest_stop_of_query_search(self, network):
+        engine = SearchEngine(network)
+        n = network.num_nodes
+        stops = self._stops(network)
+        is_existing = [False] * n
+        for s in stops:
+            is_existing[s] = True
+        field = engine.multi_source_labels(stops)
+        no_candidates = [False] * n
+        for q in range(0, n, 5):
+            nn_stop, _nn_dist, _visited = engine.query_search(
+                q, is_existing, no_candidates
+            )
+            assert field.label[q] == nn_stop
+
+
+class TestBatchQuerySearch:
+    def test_matches_per_query_loop(self, network):
+        engine = SearchEngine(network)
+        n = network.num_nodes
+        is_existing = [u % 7 == 1 for u in range(n)]
+        is_candidate = [u % 3 == 0 and not is_existing[u] for u in range(n)]
+        nodes = [u for u in range(n) if u % 2 == 0]
+        rows = SearchEngine(network).batch_query_search(
+            nodes, is_existing, is_candidate
+        )
+        assert [row[0] for row in rows] == nodes
+        for query_node, nn_stop, nn_dist, visited in rows:
+            assert (nn_stop, nn_dist, visited) == engine.query_search(
+                query_node, is_existing, is_candidate
+            )
+
+    def test_empty_nodes(self, network):
+        engine = SearchEngine(network)
+        n = network.num_nodes
+        assert engine.batch_query_search([], [False] * n, [False] * n) == []
+
+    def test_unreachable_query_raises(self):
+        coords = [(0.0, 0.0), (1.0, 0.0), (5.0, 0.0), (6.0, 0.0)]
+        edges = [(0, 1, 1.0), (2, 3, 1.0)]
+        network = RoadNetwork(coords, edges, validate_connected=False)
+        engine = SearchEngine(network)
+        is_existing = [True, False, False, False]
+        is_candidate = [False, False, True, False]
+        with pytest.raises(GraphError, match="query node 2"):
+            engine.batch_query_search([0, 2], is_existing, is_candidate)

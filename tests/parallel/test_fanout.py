@@ -161,3 +161,96 @@ class TestSweep:
         configs = [EBRRConfig(max_stops=4, max_adjacent_cost=1.5, alpha=5.0)]
         with pytest.raises(ConfigurationError):
             sweep_plans(instance, configs, route_ids=["a", "b"])
+
+
+class TestRunCandidateBalls:
+    def _parts(self, instance):
+        engine = SearchEngine(instance.network)
+        stops = [i for i, f in enumerate(instance.is_existing) if f]
+        field = engine.multi_source_labels(stops)
+        is_query = [False] * instance.network.num_nodes
+        for node in instance.query_counts:
+            is_query[node] = True
+        return engine, field, is_query, list(instance.candidates)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_bit_identical_to_serial(self, workers):
+        from repro.parallel.fanout import run_candidate_balls
+
+        instance = _instance("sprawl", seed=9)
+        engine, field, is_query, candidates = self._parts(instance)
+        serial = engine.candidate_rnn_balls(
+            candidates, field.distance, is_query
+        )
+        fanned, stats = run_candidate_balls(
+            instance.network, field.distance, is_query, candidates,
+            workers=workers,
+        )
+        assert fanned == serial  # same members, same order, same sizes
+        assert stats.searches == len(candidates)
+        assert stats.settled == sum(settled for _m, settled in serial)
+
+    def test_empty_candidates(self):
+        from repro.parallel.fanout import run_candidate_balls
+
+        instance = _instance("grid", seed=3)
+        _engine, field, is_query, _candidates = self._parts(instance)
+        balls, stats = run_candidate_balls(
+            instance.network, field.distance, is_query, [], workers=2
+        )
+        assert balls == []
+        assert stats.searches == 0
+
+    def test_inverted_preprocess_profile_parity(self):
+        """The parent engine's ``preprocess`` profile is identical
+        whether the balls ran in-process or in a pool."""
+        instance = _instance("grid", seed=5)
+        serial_engine = SearchEngine(instance.network)
+        preprocess_queries(
+            instance, engine=serial_engine, strategy="inverted", workers=1
+        )
+        par_engine = SearchEngine(instance.network)
+        preprocess_queries(
+            instance, engine=par_engine, strategy="inverted", workers=2
+        )
+        assert _stats_tuple(serial_engine.counters("preprocess")) == _stats_tuple(
+            par_engine.counters("preprocess")
+        )
+
+
+class TestRunQueryRows:
+    def _parts(self, instance):
+        engine = SearchEngine(instance.network)
+        stops = [i for i, f in enumerate(instance.is_existing) if f]
+        field = engine.multi_source_labels(stops)
+        nodes = list(instance.query_counts)
+        nn_forward = engine.label_forward_distances(field, nodes)
+        labels = [field.label[node] for node in nodes]
+        return engine, nodes, nn_forward, labels
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_bit_identical_to_serial(self, workers):
+        from repro.parallel.fanout import run_query_rows
+
+        instance = _instance("sprawl", seed=9)
+        engine, nodes, nn_forward, labels = self._parts(instance)
+        serial = engine.batch_query_rows(
+            nodes, nn_forward, labels, instance.is_candidate
+        )
+        fanned, stats = run_query_rows(
+            instance.network, nodes, nn_forward, labels,
+            instance.is_candidate, workers=workers,
+        )
+        assert fanned == serial  # all four columns, bit-for-bit
+        assert stats.searches == len(nodes)
+        assert stats.settled == sum(serial[3])
+
+    def test_empty_nodes(self):
+        from repro.parallel.fanout import run_query_rows
+
+        instance = _instance("grid", seed=3)
+        columns, stats = run_query_rows(
+            instance.network, [], [], [], instance.is_candidate, workers=2
+        )
+        assert columns == ([], [], [], [])
+        assert stats.searches == 0

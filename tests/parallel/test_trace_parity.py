@@ -29,13 +29,13 @@ def _instance(seed=3):
     return BRRInstance(transit, queries, alpha=5.0)
 
 
-def _traced_plan(instance, workers, kernel=None):
+def _traced_plan(instance, workers, kernel=None, strategy=None):
     # A fresh engine per run: a shared one would serve later runs from
     # cache and skew the search counters the parity assertion compares.
     engine = SearchEngine(instance.network, kernel=kernel)
     config = EBRRConfig(
         max_stops=10, max_adjacent_cost=2.0, alpha=5.0, workers=workers,
-        kernel=kernel,
+        kernel=kernel, preprocess_strategy=strategy,
     )
     with obs.tracing() as trace:
         result = plan_route(instance, config, engine=engine)
@@ -165,3 +165,63 @@ class TestSweepFoldBack:
         expected = sum(r.total_search_stats.searches for r in results)
         counters = trace.metrics.as_dict()["counters"]
         assert counters["search.total.searches"] == expected
+
+
+class TestInvertedStrategyTraces:
+    """The inverted preprocessing path must keep the same trace
+    discipline as per-query: serial/parallel metric parity, worker
+    lanes for the ball chunks, and the new ``preprocess.labels`` /
+    ``preprocess.balls`` spans and counters present either way."""
+
+    @pytest.mark.parametrize("kernel", [None, "vectorized"])
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_metric_totals_identical_to_serial(self, workers, kernel):
+        instance = _instance()
+        serial_trace, serial_result = _traced_plan(
+            instance, workers=1, kernel=kernel, strategy="inverted"
+        )
+        par_trace, par_result = _traced_plan(
+            instance, workers=workers, kernel=kernel, strategy="inverted"
+        )
+        assert _search_totals(par_trace) == _search_totals(serial_trace)
+        assert par_result.route.stops == serial_result.route.stops
+
+    def test_strategies_agree_on_route_and_invariant_counters(self):
+        instance = _instance()
+        traces, results = {}, {}
+        for strategy in ("per-query", "inverted"):
+            traces[strategy], results[strategy] = _traced_plan(
+                instance, workers=1, strategy=strategy
+            )
+        assert (
+            results["per-query"].route.stops == results["inverted"].route.stops
+        )
+        assert (
+            results["per-query"].route.path == results["inverted"].route.path
+        )
+
+    def test_preprocess_spans_and_counters_present(self):
+        trace, _ = _traced_plan(_instance(), workers=1, strategy="inverted")
+        names = {span.name for span in trace.spans}
+        assert "preprocess.labels" in names
+        assert "preprocess.balls" in names
+        counters = trace.metrics.as_dict()["counters"]
+        assert counters["preprocess.labels.sources"] > 0
+        assert counters["preprocess.labels.reachable"] > 0
+        assert counters["preprocess.balls.count"] > 0
+        assert counters["preprocess.balls.settled"] > 0
+
+    def test_ball_chunks_run_in_worker_lanes(self):
+        trace, _ = _traced_plan(_instance(), workers=2, strategy="inverted")
+        lanes = {span.lane for span in trace.spans}
+        worker_lanes = {l for l in lanes if l.startswith("worker-")}
+        assert worker_lanes, f"no worker lanes in {sorted(lanes)}"
+        chunk_lanes = {
+            span.lane for span in trace.spans if span.name == "fanout.ball_chunk"
+        }
+        assert chunk_lanes and chunk_lanes <= worker_lanes
+        by_index = {span.index: span for span in trace.spans}
+        fanout = next(s for s in trace.spans if s.name == "fanout")
+        for chunk in (s for s in trace.spans if s.name == "fanout.ball_chunk"):
+            assert by_index[chunk.parent] is fanout
+        assert obs.validate_chrome_trace(obs.chrome_trace(trace)) == []

@@ -6,8 +6,8 @@ distances, same predecessor tie-breaks, same settle order in ordered
 outputs, and identical ``searches`` / ``settled`` / ``truncated``
 counters (``pushes`` is explicitly backend-defined and excluded).
 
-The suite drives both backends through all seven ``SearchKernel``
-primitives — via the public ``SearchEngine`` methods, caches disabled
+The suite drives both backends through every ``SearchKernel``
+primitive — via the public ``SearchEngine`` methods, caches disabled
 where possible — on hypothesis-chosen instances of the three synthetic
 city families (grid / radial / sprawl), bounded and unbounded.
 Equality assertions are exact (``==``), never approximate: that *is*
@@ -205,6 +205,82 @@ def test_incremental_nearest_bit_identical(network, seed, b):
         assert incp.distance == incv.distance
     assert incp.sources == incv.sources
     assert invariant_counters(ep, "inc") == invariant_counters(ev, "inc")
+
+
+@pytest.mark.parametrize("use_scipy", [True, False], ids=["scipy", "frontier"])
+@settings(max_examples=30, deadline=None)
+@given(network=cities(), seed=st.integers(0, 10 ** 6), m=st.integers(3, 11))
+def test_multi_source_labels_bit_identical(use_scipy, network, seed, m):
+    ep, ev = engines(network, use_scipy=use_scipy)
+    n = network.num_nodes
+    sources = [u for u in range(n) if u % m == m - 1] or [seed % n]
+    fp = ep.multi_source_labels(sources, cached=False)
+    fv = ev.multi_source_labels(sources, cached=False)
+    assert fp.distance == fv.distance  # exact float equality
+    assert fp.label == fv.label  # same canonical tie-breaks
+    assert fp.reachable == fv.reachable
+    assert invariant_counters(ep) == invariant_counters(ev)
+
+
+@pytest.mark.parametrize("use_scipy", [True, False], ids=["scipy", "frontier"])
+@settings(max_examples=30, deadline=None)
+@given(network=cities(), seed=st.integers(0, 10 ** 6), m=st.integers(3, 11))
+def test_forward_replay_bit_identical(use_scipy, network, seed, m):
+    ep, ev = engines(network, use_scipy=use_scipy)
+    n = network.num_nodes
+    sources = [u for u in range(n) if u % m == m - 1] or [seed % n]
+    field = ep.multi_source_labels(sources, cached=False)
+    targets = list(range(n))
+    rp = ep.label_forward_distances(field, targets)
+    rv = ev.label_forward_distances(field, targets)
+    assert rp == rv
+    # Sources replay to exactly 0.0; everything reachable is finite.
+    for s in sources:
+        assert rp[s] == 0.0
+
+
+@pytest.mark.parametrize("use_scipy", [True, False], ids=["scipy", "frontier"])
+@settings(max_examples=25, deadline=None)
+@given(network=cities(), seed=st.integers(0, 10 ** 6), m=st.integers(3, 11))
+def test_candidate_rnn_balls_bit_identical(use_scipy, network, seed, m):
+    ep, ev = engines(network, use_scipy=use_scipy)
+    n = network.num_nodes
+    sources = [u for u in range(n) if u % m == m - 1] or [seed % n]
+    candidates = [u for u in range(n) if u % 3 == 0 and u not in set(sources)]
+    is_query = [u % 2 == 0 for u in range(n)]
+    # The field comes from a third engine so the counters compared
+    # below cover exactly the ball searches on each side.
+    field = SearchEngine(network, kernel="python").multi_source_labels(
+        sources, cached=False
+    )
+    bp = ep.candidate_rnn_balls(candidates, field.distance, is_query)
+    bv = ev.candidate_rnn_balls(candidates, field.distance, is_query)
+    assert bp == bv  # same members, same settle order, same ball sizes
+    assert invariant_counters(ep) == invariant_counters(ev)
+
+
+@pytest.mark.parametrize("use_scipy", [True, False], ids=["scipy", "frontier"])
+@settings(max_examples=25, deadline=None)
+@given(network=cities(), seed=st.integers(0, 10 ** 6), m=st.integers(3, 11))
+def test_batch_query_rows_bit_identical(use_scipy, network, seed, m):
+    ep, ev = engines(network, use_scipy=use_scipy)
+    n = network.num_nodes
+    sources = [u for u in range(n) if u % m == m - 1] or [seed % n]
+    source_set = set(sources)
+    is_candidate = [u % 3 == 0 and u not in source_set for u in range(n)]
+    nodes = [u for u in range(n) if u % 2 == 0]
+    # The field comes from a third engine so the counters compared
+    # below cover exactly the query-ball searches on each side.
+    helper = SearchEngine(network, kernel="python")
+    field = helper.multi_source_labels(sources, cached=False)
+    nn_forward = helper.label_forward_distances(field, nodes)
+    labels = [field.label[node] for node in nodes]
+    rp = ep.batch_query_rows(nodes, nn_forward, labels, is_candidate)
+    rv = ev.batch_query_rows(nodes, nn_forward, labels, is_candidate)
+    assert rp == rv  # counts, flat members + dists, and ball sizes
+    assert all(type(d) is float for d in rv[2])  # no np.float64 leakage
+    assert all(type(u) is int for u in rv[1])
+    assert invariant_counters(ep) == invariant_counters(ev)
 
 
 @settings(max_examples=15, deadline=None)

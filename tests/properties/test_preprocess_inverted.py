@@ -1,0 +1,216 @@
+"""The strategy-equivalence contract of Algorithm 2, asserted.
+
+The inverted strategy (one multi-source label field + one batched
+query-rooted ball per distinct query node) must produce preprocessing
+output **equal** to the paper's per-query loop — same ``nn_distance``
+/ ``rnn`` / ``initial_utility`` contents *including dict insertion
+order* — and bit-identical downstream ``EBRRResult``s, across the
+three synthetic city families, both kernel backends, and workers 1/2.
+Equality is exact ``==`` on floats: query balls accumulate distances
+from the query side — the reference per-query association — and the
+truncation radius is forward-replayed from the label field (see
+DESIGN.md "Batched preprocessing"), so in generic position the bits
+match.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import EBRRConfig
+from repro.core.ebrr import plan_route
+from repro.core.preprocess import preprocess_queries
+from repro.core.utility import BRRInstance
+from repro.demand.generators import hotspot_demand
+from repro.network.engine import SearchEngine
+from repro.network.generators import grid_city, radial_city, sprawl_city
+from repro.transit.builder import build_transit_network
+
+KERNELS = ["python", "vectorized"]
+
+
+def _network(family, seed, scale=1):
+    if family == "grid":
+        return grid_city(5 * scale, 5 * scale, seed=seed)
+    if family == "radial":
+        return radial_city(
+            num_boroughs=3, nodes_per_borough=40 * scale, seed=seed
+        )
+    return sprawl_city(num_nodes=100 * scale, seed=seed)
+
+
+def _instance(family, seed, scale=1):
+    network = _network(family, seed, scale)
+    transit = build_transit_network(
+        network, num_routes=4, seed=seed + 1, stop_spacing_km=0.8
+    )
+    queries = hotspot_demand(
+        network, 300, num_hotspots=4, transit=transit, seed=seed + 2
+    )
+    return BRRInstance(transit, queries, alpha=5.0)
+
+
+@st.composite
+def instances(draw):
+    family = draw(st.sampled_from(["grid", "radial", "sprawl"]))
+    seed = draw(st.integers(0, 10 ** 4))
+    return _instance(family, seed)
+
+
+def assert_equal_preprocessing(per_query, inverted):
+    """Equality of output contents *and* of the orderings downstream
+    code iterates in (the utility queue, every RNN walk)."""
+    assert per_query.nn_distance == inverted.nn_distance
+    assert per_query.rnn == inverted.rnn
+    assert per_query.initial_utility == inverted.initial_utility
+    assert list(per_query.nn_distance) == list(inverted.nn_distance)
+    assert list(per_query.rnn) == list(inverted.rnn)
+    for candidate in per_query.rnn:
+        assert per_query.rnn[candidate] == inverted.rnn[candidate]
+    assert per_query.utility_order() == inverted.utility_order()
+
+
+class TestStrategyEquivalence:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @settings(max_examples=15, deadline=None)
+    @given(instance=instances())
+    def test_equal_preprocessing_output(self, kernel, instance):
+        per_query = preprocess_queries(
+            instance,
+            engine=SearchEngine(instance.network, kernel=kernel),
+            strategy="per-query",
+        )
+        inverted = preprocess_queries(
+            instance,
+            engine=SearchEngine(instance.network, kernel=kernel),
+            strategy="inverted",
+        )
+        assert per_query.strategy == "per-query"
+        assert inverted.strategy == "inverted"
+        assert_equal_preprocessing(per_query, inverted)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(0, 10 ** 4))
+    def test_ebrr_result_bit_identical(self, kernel, seed):
+        """The full planner is bit-identical across strategies: same
+        route, same path, same metric floats."""
+        results = {}
+        for strategy in ("per-query", "inverted"):
+            instance = _instance("sprawl", seed)
+            config = EBRRConfig(
+                max_stops=8,
+                max_adjacent_cost=2.0,
+                alpha=5.0,
+                kernel=kernel,
+                preprocess_strategy=strategy,
+            )
+            results[strategy] = plan_route(instance, config)
+        pq, inv = results["per-query"], results["inverted"]
+        assert pq.route.stops == inv.route.stops
+        assert pq.route.path == inv.route.path
+        assert pq.metrics == inv.metrics
+
+
+class TestAccounting:
+    """The strategy-defined ``searches`` / ``settled_nodes`` contract
+    (see the ``PreprocessResult`` docstring)."""
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("family", ["grid", "radial", "sprawl"])
+    def test_inverted_definition(self, family, kernel):
+        instance = _instance(family, seed=3)
+        engine = SearchEngine(instance.network, kernel=kernel)
+        result = preprocess_queries(instance, engine=engine, strategy="inverted")
+        nodes = list(instance.query_counts)
+        assert result.searches == 1 + len(nodes)
+        assert len(result.nn_distance) == len(nodes)
+        # Recompute the parts and check the documented sum exactly.
+        field = engine.multi_source_labels(
+            [i for i, f in enumerate(instance.is_existing) if f]
+        )
+        nn_forward = engine.label_forward_distances(field, nodes)
+        labels = [field.label[node] for node in nodes]
+        _counts, _members, _dists, settled = engine.batch_query_rows(
+            nodes, nn_forward, labels, instance.is_candidate
+        )
+        assert result.settled_nodes == field.reachable + sum(settled)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_accounting_is_backend_independent(self, kernel):
+        instance = _instance("grid", seed=5)
+        reference = preprocess_queries(
+            instance,
+            engine=SearchEngine(instance.network, kernel="python"),
+            strategy="inverted",
+        )
+        other = preprocess_queries(
+            instance,
+            engine=SearchEngine(instance.network, kernel=kernel),
+            strategy="inverted",
+        )
+        assert (reference.searches, reference.settled_nodes) == (
+            other.searches,
+            other.settled_nodes,
+        )
+
+
+@pytest.mark.parallel
+class TestWorkersParity:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("family", ["grid", "radial", "sprawl"])
+    def test_inverted_workers_bit_identical(self, family, kernel):
+        instance = _instance(family, seed=3)
+        serial = preprocess_queries(
+            instance,
+            engine=SearchEngine(instance.network, kernel=kernel),
+            strategy="inverted",
+            workers=1,
+        )
+        fanned = preprocess_queries(
+            instance,
+            engine=SearchEngine(instance.network, kernel=kernel),
+            strategy="inverted",
+            workers=2,
+        )
+        assert_equal_preprocessing(serial, fanned)
+        assert (serial.searches, serial.settled_nodes) == (
+            fanned.searches,
+            fanned.settled_nodes,
+        )
+
+    @pytest.mark.parametrize("strategy", ["per-query", "inverted"])
+    def test_accounting_worker_count_independent(self, strategy):
+        """Satellite: ``searches``/``settled_nodes`` must not depend on
+        how the work was sharded — per strategy, serial == workers 2."""
+        instance = _instance("sprawl", seed=7)
+        by_workers = {
+            workers: preprocess_queries(
+                instance,
+                engine=SearchEngine(instance.network),
+                strategy=strategy,
+                workers=workers,
+            )
+            for workers in (1, 2)
+        }
+        assert (by_workers[1].searches, by_workers[1].settled_nodes) == (
+            by_workers[2].searches,
+            by_workers[2].settled_nodes,
+        )
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_cross_strategy_cross_workers_grid(self, kernel):
+        """The full 2x2 (strategy x workers) grid agrees on output."""
+        reference = None
+        for strategy in ("per-query", "inverted"):
+            for workers in (1, 2):
+                instance = _instance("grid", seed=11)
+                result = preprocess_queries(
+                    instance,
+                    engine=SearchEngine(instance.network, kernel=kernel),
+                    strategy=strategy,
+                    workers=workers,
+                )
+                if reference is None:
+                    reference = result
+                else:
+                    assert_equal_preprocessing(reference, result)
