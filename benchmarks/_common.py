@@ -15,21 +15,23 @@ pytest's capture.
 
 from __future__ import annotations
 
-import os
+import json
 from pathlib import Path
-from typing import List
+from typing import Any, Dict, List
 
 from repro.datasets import CityDataset, load_city
+from repro.env import env_float, env_int_list
 from repro.eval.experiments import calibrated_alpha
+from repro.store import import_bench_payload, store_from_env
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
-BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.12"))
+# Parsed through repro.env so a typo'd export fails with an error
+# naming the variable, and "10, 20," style values (spaces, trailing
+# comma) parse instead of crashing.
+BENCH_SCALE = env_float("REPRO_BENCH_SCALE", 0.12)
 
-_default_ks = "10,20,30,40,50"
-BENCH_KS: List[int] = [
-    int(k) for k in os.environ.get("REPRO_BENCH_KS", _default_ks).split(",")
-]
+BENCH_KS: List[int] = env_int_list("REPRO_BENCH_KS", [10, 20, 30, 40, 50])
 
 #: paper default C (km)
 BENCH_C = 2.0
@@ -80,3 +82,22 @@ def report(text: str, filename: str) -> None:
     print(text)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / filename).write_text(text + "\n")
+
+
+def emit_bench(name: str, payload: Dict[str, Any]) -> Path:
+    """Persist a gated benchmark's machine-readable payload.
+
+    The one sanctioned emit path for ``BENCH_*.json``: writes
+    ``benchmarks/results/BENCH_<name>.json`` (stable formatting) and,
+    when ``$REPRO_STORE`` is set, appends the normalized payload to the
+    experiment store's ``bench_series`` so the perf trajectory is
+    queryable via ``repro query`` without re-scanning loose files.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    store = store_from_env()
+    if store is not None:
+        with store:
+            import_bench_payload(store, name, payload)
+    return path

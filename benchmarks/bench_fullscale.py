@@ -23,8 +23,6 @@ waved through — the same loud-downgrade contract as
 
 from __future__ import annotations
 
-import json
-import os
 import sys
 from repro.obs import now as obs_now
 
@@ -32,9 +30,10 @@ from repro.eval import format_table
 from repro.network.engine import SearchEngine
 from repro.network.generators import grid_city, radial_city, sprawl_city
 
-from _common import RESULTS_DIR, report
+from _common import emit_bench, report
+from repro.env import env_float
 
-FULLSCALE_SCALE = float(os.environ.get("REPRO_BENCH_FULLSCALE_SCALE", "1.0"))
+FULLSCALE_SCALE = env_float("REPRO_BENCH_FULLSCALE_SCALE", 1.0)
 
 REQUIRED_SPEEDUP = 3.0
 NUM_SSSP = 6
@@ -133,10 +132,7 @@ def test_fullscale_kernel_speedup(experiment):
         },
         "tiers": tiers,
     }
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    (RESULTS_DIR / "BENCH_fullscale.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    emit_bench("fullscale", payload)
 
     text = format_table(
         [

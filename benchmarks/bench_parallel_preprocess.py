@@ -18,7 +18,6 @@ mistaken for a passing run.
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 from repro.obs import now as obs_now
@@ -27,12 +26,13 @@ from repro.core.preprocess import preprocess_queries
 from repro.eval import format_table
 from repro.network.engine import SearchEngine
 
-from _common import RESULTS_DIR, report
+from _common import emit_bench, report
+from repro.env import env_float
 
 #: The paper-scale fraction for this bench: chosen so Chicago has well
 #: over the 2,000 distinct query nodes the fan-out is specified against
 #: (0.25 gives ~3,400), independent of the global REPRO_BENCH_SCALE.
-PARALLEL_BENCH_SCALE = float(os.environ.get("REPRO_BENCH_PARALLEL_SCALE", "0.25"))
+PARALLEL_BENCH_SCALE = env_float("REPRO_BENCH_PARALLEL_SCALE", 0.25)
 
 MIN_DISTINCT_QUERIES = 2_000
 WORKER_GRID = (2, 4)
@@ -116,10 +116,7 @@ def test_parallel_preprocess_speedup(experiment):
         "preprocess_profiles_equal": row["profiles_equal"],
         "required_speedup_at_4": REQUIRED_SPEEDUP_AT_4,
     }
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    (RESULTS_DIR / "BENCH_parallel.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    emit_bench("parallel", payload)
 
     text = format_table(
         [{"workers": 1, "time_s": serial_s, "speedup": 1.0}]

@@ -30,8 +30,6 @@ through — the same loud-downgrade contract as ``bench_fullscale``.
 
 from __future__ import annotations
 
-import json
-import os
 import sys
 
 from repro.core.preprocess import preprocess_queries
@@ -43,9 +41,10 @@ from repro.network.generators import grid_city, radial_city, sprawl_city
 from repro.obs import now as obs_now
 from repro.transit.builder import build_transit_network
 
-from _common import RESULTS_DIR, report
+from _common import emit_bench, report
+from repro.env import env_float
 
-INVERTED_SCALE = float(os.environ.get("REPRO_BENCH_INVERTED_SCALE", "1.0"))
+INVERTED_SCALE = env_float("REPRO_BENCH_INVERTED_SCALE", 1.0)
 
 REQUIRED_SPEEDUP = 3.0
 #: Demand density: mean queries per network node (uniform placement).
@@ -165,10 +164,7 @@ def test_preprocess_inverted_speedup(experiment):
         },
         "tiers": tiers,
     }
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    (RESULTS_DIR / "BENCH_preprocess.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    emit_bench("preprocess", payload)
 
     text = format_table(
         [

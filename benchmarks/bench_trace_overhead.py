@@ -19,7 +19,6 @@ Emits ``BENCH_trace_overhead.json`` for CI.
 
 from __future__ import annotations
 
-import json
 from repro.obs import now as obs_now
 
 import repro.obs as obs
@@ -29,7 +28,7 @@ from repro.eval import format_table
 from repro.network.engine import SearchEngine
 from repro.obs import span
 
-from _common import BENCH_C, RESULTS_DIR, alpha_for, city, report
+from _common import BENCH_C, alpha_for, city, emit_bench, report
 
 #: The acceptance bar: disabled tracing must stay under this.
 MAX_DISABLED_OVERHEAD_PCT = 3.0
@@ -97,10 +96,7 @@ def test_trace_overhead(experiment):
         "enabled_overhead_pct": enabled_overhead_pct,
         "max_disabled_overhead_pct": MAX_DISABLED_OVERHEAD_PCT,
     }
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    (RESULTS_DIR / "BENCH_trace_overhead.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    emit_bench("trace_overhead", payload)
 
     text = format_table(
         [

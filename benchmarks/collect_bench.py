@@ -1,101 +1,66 @@
-"""Merge every machine-readable ``BENCH_*.json`` into one trajectory.
+"""Export the perf trajectory from the experiment store.
 
-Each gated benchmark (``bench_fullscale``, ``bench_parallel_preprocess``,
-``bench_trace_overhead``, ``bench_preprocess_inverted``, ...) writes its
-own ``BENCH_<name>.json`` under ``benchmarks/results/``.  That keeps the
-emitters independent, but it means "how fast is the repo this week" is
-scattered over several files with different shapes.  This aggregator
-folds them into a single ``BENCH_trajectory.json`` so the perf
-trajectory is machine-readable from one artifact:
+Each gated benchmark writes its ``BENCH_<name>.json`` through
+``_common.emit_bench``; this exporter folds them into the committed
+``BENCH_trajectory.json``.  Since PR 9 the folding itself lives in
+:mod:`repro.store` — payload normalization (gate states, headlines,
+``cpu_limited``) is the store's ``bench_series`` schema, and this
+script is a thin driver: import the results directory into a store,
+export the trajectory, write it.
 
-* ``benches`` — every source payload verbatim, keyed by its stem
-  (``BENCH_fullscale`` -> ``fullscale``);
-* ``gates`` — one row per payload that declares a gate (``gate`` /
-  ``passed`` style fields), normalised to ``{bench, gate, headline}``
-  so CI can scan pass/skip states without knowing each schema.
+By default the import runs against a throwaway in-memory store so the
+artifact depends only on the ``BENCH_*.json`` inputs; set
+``$REPRO_STORE`` to also persist the series rows into the shared
+database (what the CI ``store`` job does).
 
-The output is deterministic (sorted keys, no timestamps): rerunning the
-aggregator over unchanged inputs reproduces the committed artifact
-byte-for-byte.
+The output is deterministic (sorted keys, no timestamps): rerunning
+the exporter over unchanged inputs reproduces the committed artifact
+byte-for-byte.  ``--out`` redirects the artifact (CI writes a fresh
+copy to compare against the committed one via the regression gate).
 
 Run from the repo root or ``benchmarks/``::
 
-    PYTHONPATH=src python benchmarks/collect_bench.py
+    PYTHONPATH=src python benchmarks/collect_bench.py [--out PATH]
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional, Sequence
+
+from repro.store import RunStore, export_trajectory, import_bench_dir, store_from_env
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 TRAJECTORY = RESULTS_DIR / "BENCH_trajectory.json"
 
 
-def _headline(payload: Dict[str, Any]) -> Optional[Dict[str, Any]]:
-    """The one number a payload is about, if it declares one.
-
-    Emitters are free-form, but the gated ones all surface either a
-    ``largest`` tier with a ``speedup`` or a flat ``overhead``-style
-    scalar; anything unrecognised simply gets no headline.
-    """
-    largest = payload.get("largest")
-    if isinstance(largest, dict) and "speedup" in largest:
-        return {"metric": "speedup", "value": largest["speedup"]}
-    for key in ("speedup", "disabled_overhead_pct", "overhead_pct"):
-        if isinstance(payload.get(key), (int, float)):
-            return {"metric": key, "value": payload[key]}
-    return None
-
-
-def _gate_state(payload: Dict[str, Any]) -> Optional[str]:
-    gate = payload.get("gate")
-    if isinstance(gate, str):
-        return gate
-    if isinstance(payload.get("passed"), bool):
-        return "passed" if payload["passed"] else "failed"
-    # bench_trace_overhead states its gate as measurement-vs-limit.
-    value = payload.get("disabled_overhead_pct")
-    limit = payload.get("max_disabled_overhead_pct")
-    if isinstance(value, (int, float)) and isinstance(limit, (int, float)):
-        return "passed" if value < limit else "failed"
-    return None
-
-
 def collect(results_dir: Path = RESULTS_DIR) -> Dict[str, Any]:
     """Fold every ``BENCH_*.json`` under ``results_dir`` (except the
-    trajectory itself) into the trajectory payload."""
-    benches: Dict[str, Any] = {}
-    gates: List[Dict[str, Any]] = []
-    for path in sorted(results_dir.glob("BENCH_*.json")):
-        if path.name == TRAJECTORY.name:
-            continue
-        name = path.stem[len("BENCH_") :]
-        payload = json.loads(path.read_text())
-        benches[name] = payload
-        state = _gate_state(payload)
-        if state is not None:
-            row: Dict[str, Any] = {"bench": name, "gate": state}
-            headline = _headline(payload)
-            if headline is not None:
-                row["headline"] = headline
-            gates.append(row)
-    return {
-        "artifact": "BENCH_trajectory",
-        "sources": sorted(benches),
-        "gates": gates,
-        "benches": benches,
-    }
+    trajectory itself) into the trajectory payload, via the store."""
+    store = store_from_env()
+    if store is None:
+        store = RunStore(":memory:")
+    with store:
+        import_bench_dir(store, results_dir)
+        return export_trajectory(store)
 
 
-def main() -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fold BENCH_*.json into the perf trajectory"
+    )
+    parser.add_argument("--out", type=Path, default=TRAJECTORY,
+                        help="trajectory output path (default: the "
+                             "committed artifact)")
+    args = parser.parse_args(argv)
     trajectory = collect()
     if not trajectory["benches"]:
         print(f"no BENCH_*.json found under {RESULTS_DIR}", file=sys.stderr)
         return 1
-    TRAJECTORY.write_text(
+    args.out.write_text(
         json.dumps(trajectory, indent=2, sort_keys=True) + "\n"
     )
     for row in trajectory["gates"]:
@@ -105,8 +70,10 @@ def main() -> int:
             if headline
             else ""
         )
+        if row.get("cpu_limited"):
+            suffix += "  [cpu_limited]"
         print(f"{row['bench']:24s}  gate={row['gate']}{suffix}")
-    print(f"wrote {TRAJECTORY} ({len(trajectory['benches'])} benches)")
+    print(f"wrote {args.out} ({len(trajectory['benches'])} benches)")
     return 0
 
 

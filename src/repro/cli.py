@@ -14,7 +14,11 @@ describes (adjust the input, re-plan, inspect):
   invariant checker (see :mod:`repro.lint` and DESIGN.md);
 * ``trace`` — inspect a Chrome trace written by ``plan --trace`` or
   ``sweep --trace`` (``trace summarize FILE`` prints the deterministic
-  text tree; the JSON itself loads in chrome://tracing or Perfetto).
+  text tree; the JSON itself loads in chrome://tracing or Perfetto);
+* ``query`` — inspect the experiment store (``$REPRO_STORE`` /
+  ``--db``): run rows, metrics, the bench series, the normalized gates
+  view (with ``--check`` as the perf-regression gate), and trace
+  pointers, as table/csv/json.
 
 Real-data workflows go through the library API (see README); the CLI
 exists for instant, zero-code reproduction.
@@ -23,6 +27,7 @@ exists for instant, zero-code reproduction.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -163,7 +168,79 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-depth", type=int, default=6,
         help="deepest span level shown (default: 6)",
     )
+
+    query = sub.add_parser(
+        "query", help="inspect the experiment store (runs database)"
+    )
+    query_sub = query.add_subparsers(dest="view", required=True)
+
+    def add_query_args(p, *, run_filter=False):
+        p.add_argument("--db", type=str, default=None,
+                       help="store database path (default: $REPRO_STORE)")
+        p.add_argument("--format", choices=query_formats(), default="table",
+                       help="output format (default: table)")
+        p.add_argument("--last", type=int, default=None, metavar="N",
+                       help="only the newest N rows")
+        p.add_argument("--since", type=str, default=None, metavar="ISO",
+                       help="only rows created at/after this ISO-8601 "
+                            "UTC timestamp")
+        if run_filter:
+            p.add_argument("--run", type=int, default=None, metavar="ID",
+                           help="only rows of this run id")
+
+    q_runs = query_sub.add_parser("runs", help="run rows (config hash, "
+                                               "seed, dataset, git rev)")
+    add_query_args(q_runs)
+    q_runs.add_argument("--dataset", type=str, default=None)
+    q_runs.add_argument("--kind", type=str, default=None,
+                        help="writer kind (sweep, planner, ...)")
+
+    q_metrics = query_sub.add_parser(
+        "metrics", help="typed per-run metric key/values"
+    )
+    add_query_args(q_metrics, run_filter=True)
+    q_metrics.add_argument("--dataset", type=str, default=None)
+    q_metrics.add_argument("--metric", type=str, default=None,
+                           help="only this metric key")
+
+    q_benches = query_sub.add_parser(
+        "benches", help="the BENCH_* series (perf trajectory history)"
+    )
+    add_query_args(q_benches)
+    q_benches.add_argument("--bench", type=str, default=None,
+                           help="only this bench name")
+
+    q_gates = query_sub.add_parser(
+        "gates", help="normalized gate view "
+                      "(passed/failed/skipped incl. cpu_limited)"
+    )
+    add_query_args(q_gates)
+    q_gates.add_argument("--check", type=str, default=None, metavar="PATH",
+                         help="regression-gate against this committed "
+                              "BENCH_trajectory.json (exit 1 on "
+                              "regression)")
+    q_gates.add_argument("--tolerance", type=float,
+                         default=gate_tolerance(),
+                         help="fractional slack below a committed "
+                              "speedup headline")
+
+    q_traces = query_sub.add_parser(
+        "traces", help="pointers to exported obs trace files"
+    )
+    add_query_args(q_traces, run_filter=True)
     return parser
+
+
+def query_formats():
+    from .store.query import FORMATS
+
+    return FORMATS
+
+
+def gate_tolerance():
+    from .store.gate import DEFAULT_TOLERANCE
+
+    return DEFAULT_TOLERANCE
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -181,6 +258,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_lint(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "query":
+        return _cmd_query(args)
     return 2  # unreachable: argparse enforces the choices
 
 
@@ -213,6 +292,23 @@ def _cmd_lint(args) -> int:
     return lint_main(argv)
 
 
+def _cmd_query(args) -> int:
+    from .exceptions import ConfigurationError
+    from .store.query import run_query
+
+    try:
+        return run_query(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # query output is made for piping into head/grep; a closed pipe
+        # is the reader saying "enough", not an error.  Redirect stdout
+        # to devnull so the interpreter's shutdown flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
 def _cmd_trace(args) -> int:
     from .obs import load_chrome_trace, summarize
 
@@ -237,9 +333,30 @@ def _write_trace(trace, path: str) -> None:
     )
 
 
+def _resolve_runtime_choices(args) -> int:
+    """Validate kernel/preprocess choices (including the $REPRO_KERNEL
+    / $REPRO_PREPROCESS fallbacks) *before* loading a city, so a typo'd
+    environment variable fails in milliseconds with the choices listed
+    instead of deep inside the engine."""
+    from .core.preprocess import resolve_preprocess_strategy
+    from .exceptions import ConfigurationError
+    from .network.engine import resolve_kernel
+
+    try:
+        resolve_kernel(args.kernel)
+        resolve_preprocess_strategy(args.preprocess_strategy)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_plan(args) -> int:
     from .obs import tracing
 
+    code = _resolve_runtime_choices(args)
+    if code:
+        return code
     dataset = load_city(args.city, scale=args.scale)
     alpha = args.alpha if args.alpha is not None else calibrated_alpha(dataset)
     instance = dataset.instance(alpha)
@@ -297,6 +414,9 @@ def _cmd_sweep(args) -> int:
     if not ks:
         print("error: --ks is empty", file=sys.stderr)
         return 2
+    code = _resolve_runtime_choices(args)
+    if code:
+        return code
     dataset = load_city(args.city, scale=args.scale)
     alpha = calibrated_alpha(dataset)
     if args.trace:

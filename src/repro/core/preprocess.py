@@ -76,14 +76,24 @@ def resolve_preprocess_strategy(strategy: Optional[str] = None) -> str:
     environment variable.
 
     Raises:
-        ConfigurationError: for unknown strategy names.
+        ConfigurationError: for unknown strategy names, listing the
+            valid choices and naming ``$REPRO_PREPROCESS`` when the bad
+            value came from the environment (mirrors the ``--preprocess``
+            CLI flag's choice validation).
     """
+    source = ""
     if strategy is None:
-        strategy = os.environ.get("REPRO_PREPROCESS") or DEFAULT_PREPROCESS_STRATEGY
+        env_value = os.environ.get("REPRO_PREPROCESS", "").strip()
+        strategy = env_value or DEFAULT_PREPROCESS_STRATEGY
+        if env_value:
+            source = " (from $REPRO_PREPROCESS)"
+    else:
+        strategy = strategy.strip()
     if strategy not in PREPROCESS_STRATEGIES:
         known = ", ".join(PREPROCESS_STRATEGIES)
         raise ConfigurationError(
-            f"unknown preprocess strategy {strategy!r} (known: {known})"
+            f"unknown preprocess strategy {strategy!r}{source} "
+            f"(known: {known})"
         )
     return strategy
 

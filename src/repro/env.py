@@ -1,0 +1,85 @@
+"""Robust environment-variable parsing.
+
+The benchmark suite and the runtime knobs (``REPRO_BENCH_SCALE``,
+``REPRO_BENCH_KS``, ``REPRO_STORE``, ...) are all configured through
+environment variables.  Raw ``float(os.environ[...])`` calls turn a
+typo'd value into a bare ``ValueError`` traceback that never names the
+variable; the helpers here strip whitespace, tolerate trailing commas
+in list values, and raise :class:`~repro.exceptions.ConfigurationError`
+messages that say *which* variable is malformed and what shape it
+expects.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from .exceptions import ConfigurationError
+
+__all__ = ["env_str", "env_float", "env_int_list"]
+
+
+def env_str(name: str, default: Optional[str] = None) -> Optional[str]:
+    """The stripped value of ``$name``, or ``default`` when unset/blank.
+
+    A variable set to whitespace is treated as unset — ``FOO=" "`` is
+    almost always a quoting accident, never a meaningful value.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = raw.strip()
+    return value if value else default
+
+
+def env_float(name: str, default: float) -> float:
+    """``$name`` parsed as a float, or ``default`` when unset/blank.
+
+    Raises:
+        ConfigurationError: naming the variable and the expected format
+            when the value does not parse.
+    """
+    value = env_str(name)
+    if value is None:
+        return default
+    try:
+        return float(value)
+    except ValueError:
+        raise ConfigurationError(
+            f"${name}={value!r} is not a number; expected a float like "
+            f"{default!r}"
+        ) from None
+
+
+def env_int_list(name: str, default: List[int]) -> List[int]:
+    """``$name`` parsed as comma-separated ints, or ``default``.
+
+    Tolerates whitespace around items and trailing/duplicate commas
+    (``"10, 20,"`` parses as ``[10, 20]``).
+
+    Raises:
+        ConfigurationError: naming the variable and the expected format
+            when an item does not parse, or every item is empty.
+    """
+    value = env_str(name)
+    if value is None:
+        return list(default)
+    items = [item.strip() for item in value.split(",")]
+    parsed: List[int] = []
+    for item in items:
+        if not item:
+            continue
+        try:
+            parsed.append(int(item))
+        except ValueError:
+            raise ConfigurationError(
+                f"${name}={value!r} is not a comma-separated integer "
+                f"list (bad item {item!r}); expected e.g. \"10,20,30\""
+            ) from None
+    if not parsed:
+        raise ConfigurationError(
+            f"${name}={value!r} contains no integers; expected e.g. "
+            f"\"10,20,30\""
+        )
+    return parsed

@@ -140,7 +140,9 @@ def effect_of_k(
             preprocess_strategy=preprocess_strategy,
         )
         with span("effect_of_k", dataset=dataset.name, K=k):
-            plans = run_planners(instance, config, planners)
+            plans = run_planners(
+                instance, config, planners, dataset=dataset.name
+            )
         for name, plan in plans.items():
             rows.append(
                 {
@@ -196,7 +198,9 @@ def effect_of_q(
         for planner in planners:
             planner.invalidate_cache()
         with span("effect_of_q", dataset=dataset.name, partition=part.name):
-            plans = run_planners(instance, config, planners)
+            plans = run_planners(
+                instance, config, planners, dataset=dataset.name
+            )
         for name, plan in plans.items():
             rows.append(
                 {
@@ -271,7 +275,9 @@ def travel_cost_experiment(
         config = EBRRConfig(
             max_stops=k, max_adjacent_cost=max_adjacent_cost, alpha=alpha
         )
-        plans = run_planners(instance, config, planners)
+        plans = run_planners(
+            instance, config, planners, dataset=dataset.name
+        )
         for name, plan in plans.items():
             decrease = travel_cost_decrease(dataset.transit, plan.route, trips)
             rows.append(
@@ -457,7 +463,9 @@ def case_study(
     config = EBRRConfig(
         max_stops=max_stops, max_adjacent_cost=max_adjacent_cost, alpha=alpha
     )
-    plans = run_planners(instance, config, planners)
+    plans = run_planners(
+        instance, config, planners, dataset=dataset.name
+    )
     rows: List[Row] = []
     for name, plan in plans.items():
         covered, total = uncovered_demand_coverage(

@@ -15,6 +15,7 @@ from ..core.ebrr import plan_route
 from ..core.preprocess import PreprocessResult, preprocess_queries
 from ..core.utility import BRRInstance
 from ..obs import span
+from ..store import RunStore, store_from_env
 
 
 class EBRRPlanner(RoutePlanner):
@@ -69,8 +70,16 @@ def run_planners(
     instance: BRRInstance,
     config: EBRRConfig,
     planners: Sequence[RoutePlanner],
+    *,
+    dataset: Optional[str] = None,
+    store: Optional[RunStore] = None,
 ) -> Dict[str, BaselinePlan]:
     """Run every planner on the same instance/config.
+
+    When an experiment store is given (or ``$REPRO_STORE`` opts in),
+    one run row per planner is recorded with its quality metrics and
+    phase timings, so comparative experiment grids are queryable via
+    ``repro query`` instead of scattered report files.
 
     Returns:
         ``{planner.name: plan}`` in input order (dicts preserve it).
@@ -79,4 +88,40 @@ def run_planners(
     for planner in planners:
         with span("run_planners.plan", planner=planner.name):
             plans[planner.name] = planner.plan(instance, config)
+    _record_planner_runs(store, plans, config, dataset=dataset)
     return plans
+
+
+def _record_planner_runs(
+    store: Optional[RunStore],
+    plans: Dict[str, BaselinePlan],
+    config: EBRRConfig,
+    *,
+    dataset: Optional[str],
+) -> None:
+    owned = False
+    if store is None:
+        store = store_from_env()
+        owned = True
+    if store is None:
+        return
+    try:
+        for name, plan in plans.items():
+            metrics: Dict[str, object] = {
+                "K": config.max_stops,
+                "C": config.max_adjacent_cost,
+                "alpha": config.alpha,
+                "utility": plan.metrics.utility,
+                "walk_cost": plan.metrics.walk_cost,
+                "connectivity": plan.metrics.connectivity,
+                "num_stops": plan.metrics.num_stops,
+            }
+            for phase, seconds in sorted(plan.timings.items()):
+                metrics[f"time.{phase}_s"] = seconds
+            store.record_run(
+                "planner", name, dataset=dataset, config=config,
+                metrics=metrics,
+            )
+    finally:
+        if owned:
+            store.close()

@@ -64,16 +64,27 @@ def resolve_kernel(spec: Union[str, SearchKernel, None]) -> SearchKernel:
     string is looked up in the registry; anything else is assumed to be
     a kernel instance already and returned as-is (the escape hatch for
     experiments — named backends are the supported surface).
+
+    Raises:
+        ConfigurationError: for unknown names, listing the valid
+            choices and naming ``$REPRO_KERNEL`` when the bad value
+            came from the environment (a typo'd export must not
+            surface as a mystery deep inside the engine).
     """
+    source = ""
     if spec is None:
-        spec = os.environ.get(ENV_VAR) or DEFAULT_KERNEL
+        env_value = os.environ.get(ENV_VAR, "").strip()
+        spec = env_value or DEFAULT_KERNEL
+        if env_value:
+            source = f" (from ${ENV_VAR})"
     if not isinstance(spec, str):
         return spec
+    spec = spec.strip()
     try:
         factory = _FACTORIES[spec]
     except KeyError:
         raise ConfigurationError(
-            f"unknown search kernel {spec!r}; available: "
+            f"unknown search kernel {spec!r}{source}; available: "
             f"{', '.join(available_kernels())}"
         ) from None
     return factory()

@@ -95,11 +95,25 @@ def chrome_trace(trace: Trace) -> Dict[str, Any]:
     }
 
 
+def _record_trace_pointer(path: str, kind: str) -> None:
+    """File a pointer to an exported trace in the experiment store when
+    ``$REPRO_STORE`` opts in, so traces are one join away from the runs
+    they explain.  Lazy import: obs stays dependency-free unless the
+    store is actually in use."""
+    from ..store import store_from_env
+
+    store = store_from_env()
+    if store is not None:
+        with store:
+            store.record_trace(path, kind=kind)
+
+
 def write_chrome_trace(trace: Trace, path: str) -> None:
     """Write the Chrome trace JSON to ``path`` (stable key order)."""
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(chrome_trace(trace), handle, indent=1, sort_keys=True)
         handle.write("\n")
+    _record_trace_pointer(path, "chrome")
 
 
 def validate_chrome_trace(obj: Any) -> List[str]:
@@ -187,6 +201,11 @@ def load_chrome_trace(path: str) -> Tuple[List[Span], Dict[str, Any]]:
 
 def write_jsonl(trace: Trace, path: str) -> None:
     """Write the trace as JSON lines: meta, spans, metrics."""
+    _write_jsonl(trace, path)
+    _record_trace_pointer(path, "jsonl")
+
+
+def _write_jsonl(trace: Trace, path: str) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         meta = {
             "type": "meta",

@@ -33,6 +33,7 @@ from ..exceptions import ConfigurationError
 from ..network.engine import SearchEngine, SearchStats, engine_for
 from ..obs import current_trace, span
 from ..obs.collect import TraceShard, begin_worker_trace, drain_shard, merge_shard
+from ..store import RunStore, store_from_env
 from .fanout import pool_context, resolve_workers
 
 # Per-process sweep state, installed by the pool initializer (see
@@ -84,6 +85,8 @@ def sweep_plans(
     preprocess: Optional[PreprocessResult] = None,
     route_ids: Optional[Sequence[str]] = None,
     engine: Optional[SearchEngine] = None,
+    store: Optional[RunStore] = None,
+    dataset: Optional[str] = None,
 ) -> List[EBRRResult]:
     """Plan one route per config, sharing a single preprocessing.
 
@@ -101,6 +104,11 @@ def sweep_plans(
         engine: the engine whose ``preprocess`` profile the shared
             preprocessing (and, for parallel runs, the workers' search
             work) is accounted to; defaults to the network's shared one.
+        store: experiment store to record one run row per swept config
+            into (metrics + worker stats folded in); defaults to the
+            ``$REPRO_STORE`` opt-in, so sweeps are recorded whenever
+            the environment asks for it.
+        dataset: dataset label for the recorded runs.
 
     Returns:
         The :class:`EBRRResult` list, index-aligned with ``configs``.
@@ -121,7 +129,7 @@ def sweep_plans(
         return []
     if workers == 1:
         with span("sweep", configs=len(tasks), workers=1):
-            return [
+            results = [
                 plan_route(
                     instance,
                     config,
@@ -131,6 +139,8 @@ def sweep_plans(
                 )
                 for config, route_id in tasks
             ]
+        _record_sweep_runs(store, results, tasks, workers=1, dataset=dataset)
+        return results
     parent_trace = current_trace()
     results: List[EBRRResult] = []
     with span("sweep", configs=len(tasks), workers=workers) as sweep_span:
@@ -146,7 +156,61 @@ def sweep_plans(
                 if shard is not None and parent_trace is not None:
                     merge_shard(parent_trace, shard, parent=sweep_index)
     _fold_back_stats(engine, results)
+    _record_sweep_runs(store, results, tasks, workers=workers, dataset=dataset)
     return results
+
+
+def _record_sweep_runs(
+    store: Optional[RunStore],
+    results: Sequence[EBRRResult],
+    tasks: Sequence[SweepTask],
+    *,
+    workers: int,
+    dataset: Optional[str],
+) -> None:
+    """One experiment-store row per swept config: quality metrics, phase
+    timings, and the worker search stats folded into ``search.*`` keys.
+
+    Recording happens in the parent after the pool has drained — the
+    store handle is never shipped to workers (RL010), and a sweep whose
+    environment opts out (``$REPRO_STORE`` unset, no explicit store)
+    costs nothing.
+    """
+    owned = False
+    if store is None:
+        store = store_from_env()
+        owned = True
+    if store is None:
+        return
+    try:
+        for (config, route_id), result in zip(tasks, results):
+            metrics: Dict[str, object] = {
+                "K": config.max_stops,
+                "C": config.max_adjacent_cost,
+                "alpha": config.alpha,
+                "workers": workers,
+                "utility": result.metrics.utility,
+                "walk_cost": result.metrics.walk_cost,
+                "connectivity": result.metrics.connectivity,
+                "num_stops": result.metrics.num_stops,
+                "route_length": result.metrics.route_length,
+                "feasible": result.is_feasible,
+            }
+            for phase, seconds in sorted(result.timings.items()):
+                metrics[f"time.{phase}_s"] = seconds
+            for phase, stats in sorted(result.search_stats.items()):
+                metrics[f"search.{phase}.searches"] = stats.searches
+                metrics[f"search.{phase}.settled"] = stats.settled
+            store.record_run(
+                "sweep",
+                route_id,
+                dataset=dataset,
+                config=config,
+                metrics=metrics,
+            )
+    finally:
+        if owned:
+            store.close()
 
 
 def _fold_back_stats(

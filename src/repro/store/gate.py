@@ -1,0 +1,187 @@
+"""Perf-trajectory regression gate.
+
+Compares a *current* trajectory payload (fresh ``BENCH_*.json`` runs
+folded by :func:`repro.store.bench.export_trajectory`) against the
+*baseline* trajectory committed in the repo, and fails CI when the perf
+story got worse:
+
+* **gate regressions** are hard failures — a bench whose committed
+  gate is ``passed`` may not come back ``failed``;
+* **speedup headlines** are tolerance-banded — noisy CI boxes jitter,
+  so a speedup only regresses when it drops more than ``tolerance``
+  (fractional, default 0.25) below the committed value; faster is
+  always fine;
+* ``skipped`` current gates (e.g. ``cpu_limited`` 1-core boxes) are
+  loud warnings, never silent passes and never failures — the box
+  could not run the gate, which is not the code's fault;
+* benches present in the baseline but absent from the current run are
+  warnings by default (CI jobs each produce a subset) and failures for
+  names listed in ``require``.
+
+Runnable as ``python -m repro.store.gate`` and wired into
+``repro query gates --check``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["DEFAULT_TOLERANCE", "check_regression", "main"]
+
+#: Fractional slack allowed below a committed speedup headline.
+DEFAULT_TOLERANCE = 0.25
+
+Finding = Dict[str, Any]
+
+
+def _gate_index(trajectory: Mapping[str, Any]) -> Dict[str, Dict[str, Any]]:
+    gates = trajectory.get("gates", [])
+    index: Dict[str, Dict[str, Any]] = {}
+    for row in gates:
+        if isinstance(row, dict) and isinstance(row.get("bench"), str):
+            index[row["bench"]] = row
+    return index
+
+
+def _is_speedup(metric: Optional[str]) -> bool:
+    return isinstance(metric, str) and "speedup" in metric
+
+
+def check_regression(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    require: Sequence[str] = (),
+) -> Tuple[List[Finding], List[Finding]]:
+    """Compare two trajectory payloads; returns (failures, warnings).
+
+    Each finding is ``{"bench", "kind", "detail"}`` with ``kind`` one
+    of ``gate-regression``, ``speedup-regression``, ``missing``,
+    ``skipped``.
+    """
+    failures: List[Finding] = []
+    warnings: List[Finding] = []
+    base_gates = _gate_index(baseline)
+    cur_gates = _gate_index(current)
+    required = set(require)
+    for bench in sorted(base_gates):
+        base = base_gates[bench]
+        cur = cur_gates.get(bench)
+        if cur is None:
+            finding = {
+                "bench": bench,
+                "kind": "missing",
+                "detail": "bench present in baseline but not in current run",
+            }
+            (failures if bench in required else warnings).append(finding)
+            continue
+        base_state, cur_state = base.get("gate"), cur.get("gate")
+        if cur_state == "skipped":
+            suffix = " (cpu_limited)" if cur.get("cpu_limited") else ""
+            warnings.append(
+                {
+                    "bench": bench,
+                    "kind": "skipped",
+                    "detail": f"gate skipped on this box{suffix} — "
+                    "not verified, not a pass",
+                }
+            )
+            continue
+        if base_state == "passed" and cur_state == "failed":
+            failures.append(
+                {
+                    "bench": bench,
+                    "kind": "gate-regression",
+                    "detail": "committed gate passed, current run failed",
+                }
+            )
+            continue
+        base_head = base.get("headline") or {}
+        cur_head = cur.get("headline") or {}
+        if (
+            base_state == "passed"
+            and cur_state == "passed"
+            and _is_speedup(base_head.get("metric"))
+            and base_head.get("metric") == cur_head.get("metric")
+            and isinstance(base_head.get("value"), (int, float))
+            and isinstance(cur_head.get("value"), (int, float))
+        ):
+            floor = float(base_head["value"]) * (1.0 - tolerance)
+            if float(cur_head["value"]) < floor:
+                failures.append(
+                    {
+                        "bench": bench,
+                        "kind": "speedup-regression",
+                        "detail": (
+                            f"{base_head['metric']} "
+                            f"{float(cur_head['value']):.3f} dropped below "
+                            f"{floor:.3f} "
+                            f"(committed {float(base_head['value']):.3f} "
+                            f"- {tolerance:.0%} tolerance)"
+                        ),
+                    }
+                )
+    return failures, warnings
+
+
+def _print_findings(
+    label: str, findings: Sequence[Finding], stream: Any
+) -> None:
+    for finding in findings:
+        print(
+            f"{label}: {finding['bench']}: [{finding['kind']}] "
+            f"{finding['detail']}",
+            file=stream,
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; exit 1 on any regression."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store.gate",
+        description="fail when the current perf trajectory regresses "
+        "against the committed one",
+    )
+    parser.add_argument("--current", required=True,
+                        help="freshly exported trajectory JSON")
+    parser.add_argument("--baseline", required=True,
+                        help="committed trajectory JSON to compare against")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="fractional slack below a committed speedup "
+                             f"(default {DEFAULT_TOLERANCE})")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="BENCH",
+                        help="bench that must be present in the current "
+                             "run (repeatable)")
+    args = parser.parse_args(argv)
+    try:
+        with open(args.current, encoding="utf-8") as handle:
+            current = json.load(handle)
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load trajectory: {exc}", file=sys.stderr)
+        return 2
+    failures, warnings = check_regression(
+        current, baseline, tolerance=args.tolerance, require=args.require
+    )
+    _print_findings("warning", warnings, sys.stderr)
+    _print_findings("REGRESSION", failures, sys.stderr)
+    checked = len(_gate_index(baseline))
+    if failures:
+        print(
+            f"{len(failures)} regression(s) across {checked} gated "
+            "bench(es)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"no regressions across {checked} gated bench(es)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

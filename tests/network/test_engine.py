@@ -5,7 +5,7 @@ import math
 
 import pytest
 
-from repro.exceptions import GraphError
+from repro.exceptions import ConfigurationError, GraphError
 from repro.network.dijkstra import (
     IncrementalNearestDistance,
     distance_between,
@@ -15,7 +15,13 @@ from repro.network.dijkstra import (
     shortest_path,
     shortest_path_costs,
 )
-from repro.network.engine import SearchEngine, SearchStats, engine_for
+from repro.network.engine import (
+    SearchEngine,
+    SearchStats,
+    available_kernels,
+    engine_for,
+    resolve_kernel,
+)
 from repro.network.generators import grid_city, radial_city, sprawl_city
 from repro.network.graph import RoadNetwork
 
@@ -410,3 +416,36 @@ class TestBatchQuerySearch:
         is_candidate = [False, False, True, False]
         with pytest.raises(GraphError, match="query node 2"):
             engine.batch_query_search([0, 2], is_existing, is_candidate)
+
+
+class TestKernelResolution:
+    """$REPRO_KERNEL / explicit-name validation (resolve_kernel)."""
+
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert resolve_kernel(None).name == "python"
+
+    def test_env_picks_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", " vectorized ")
+        assert resolve_kernel(None).name == "vectorized"
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            resolve_kernel("turbo")
+        message = str(excinfo.value)
+        assert "'turbo'" in message
+        for name in available_kernels():
+            assert name in message
+
+    def test_unknown_env_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "turbo")
+        with pytest.raises(ConfigurationError, match=r"\$REPRO_KERNEL"):
+            resolve_kernel(None)
+
+    def test_explicit_name_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "turbo")  # never consulted
+        assert resolve_kernel("python").name == "python"
+
+    def test_instance_passthrough(self, network):
+        kernel = resolve_kernel("python")
+        assert resolve_kernel(kernel) is kernel

@@ -1,0 +1,204 @@
+"""Unit tests for the experiment-store DAO (:mod:`repro.store.db`)."""
+
+import sqlite3
+
+import pytest
+
+from repro.core.config import EBRRConfig
+from repro.exceptions import ConfigurationError
+from repro.store import RunStore, config_hash, store_from_env
+from repro.store.bench import gate_rows
+
+
+@pytest.fixture
+def store():
+    with RunStore(":memory:") as s:
+        yield s
+
+
+class TestConfigHash:
+    def test_dict_key_order_irrelevant(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_different_configs_differ(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_dataclass_stable(self):
+        a = EBRRConfig(max_stops=4, max_adjacent_cost=2.0, alpha=1.0)
+        b = EBRRConfig(max_stops=4, max_adjacent_cost=2.0, alpha=1.0)
+        c = EBRRConfig(max_stops=5, max_adjacent_cost=2.0, alpha=1.0)
+        assert config_hash(a) == config_hash(b)
+        assert config_hash(a) != config_hash(c)
+
+    def test_short_hex(self):
+        digest = config_hash({"a": 1})
+        assert len(digest) == 16
+        int(digest, 16)  # hex
+
+
+class TestRunsRoundTrip:
+    def test_record_and_read_back(self, store):
+        run_id = store.record_run(
+            "sweep",
+            "sweep-0",
+            dataset="toy",
+            seed=7,
+            config={"K": 4},
+            git_rev="abc123",
+            metrics={"utility": 20.0, "feasible": True, "label": "green"},
+        )
+        rows = store.runs()
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["id"] == run_id
+        assert row["kind"] == "sweep"
+        assert row["name"] == "sweep-0"
+        assert row["dataset"] == "toy"
+        assert row["seed"] == 7
+        assert row["git_rev"] == "abc123"
+        assert row["config_hash"] == config_hash({"K": 4})
+        assert store.run_config(run_id) == {"K": 4}
+
+    def test_metrics_typed(self, store):
+        run_id = store.record_run(
+            "planner",
+            "EBRR",
+            git_rev="r",
+            metrics={"utility": 20.0, "feasible": True, "note": "hi"},
+        )
+        by_key = {m["metric"]: m["value"] for m in store.metrics(run_id=run_id)}
+        assert by_key["utility"] == 20.0
+        assert by_key["feasible"] == "true"
+        assert by_key["note"] == "hi"
+
+    def test_metric_filter(self, store):
+        a = store.record_run("s", "a", git_rev="r", metrics={"x": 1, "y": 2})
+        store.record_run("s", "b", git_rev="r", metrics={"x": 3})
+        rows = store.metrics(metric="x")
+        assert [r["value"] for r in rows] == [1.0, 3.0]
+        rows = store.metrics(run_id=a)
+        assert [r["metric"] for r in rows] == ["x", "y"]
+
+    def test_dataset_and_kind_filters(self, store):
+        store.record_run("sweep", "a", dataset="toy", git_rev="r")
+        store.record_run("planner", "b", dataset="toy", git_rev="r")
+        store.record_run("sweep", "c", dataset="grid", git_rev="r")
+        assert len(store.runs(dataset="toy")) == 2
+        assert len(store.runs(kind="sweep")) == 2
+        assert len(store.runs(dataset="toy", kind="sweep")) == 1
+
+    def test_last_and_since(self, store):
+        for i in range(5):
+            store.record_run("s", f"run-{i}", git_rev="r")
+        rows = store.runs(last=2)
+        assert [r["name"] for r in rows] == ["run-3", "run-4"]
+        # created_at is ISO-8601 UTC, so string comparison is temporal.
+        assert len(store.runs(since="2000-01-01")) == 5
+        assert store.runs(since="9999-01-01") == []
+
+    def test_run_config_absent(self, store):
+        run_id = store.record_run("s", "bare", git_rev="r")
+        assert store.run_config(run_id) is None
+
+
+class TestBenchSeries:
+    def test_unchanged_payload_is_idempotent(self, store):
+        first = store.record_bench("fullscale", {"speedup": 8.0}, gate="passed")
+        again = store.record_bench("fullscale", {"speedup": 8.0}, gate="passed")
+        assert first == again
+        assert len(store.benches()) == 1
+
+    def test_changed_payload_appends(self, store):
+        store.record_bench("fullscale", {"speedup": 8.0}, gate="passed")
+        store.record_bench("fullscale", {"speedup": 9.0}, gate="passed")
+        rows = store.benches(bench="fullscale")
+        assert len(rows) == 2
+        assert [r["payload"]["speedup"] for r in rows] == [8.0, 9.0]
+
+    def test_latest_benches_newest_per_name_sorted(self, store):
+        store.record_bench("b", {"v": 1})
+        store.record_bench("a", {"v": 1})
+        store.record_bench("b", {"v": 2})
+        latest = store.latest_benches()
+        assert [r["bench"] for r in latest] == ["a", "b"]
+        assert latest[1]["payload"] == {"v": 2}
+
+    def test_gates_view_normalizes(self, store):
+        store.record_bench(
+            "fullscale", {"speedup": 8.0}, gate="passed",
+            headline_metric="speedup", headline_value=8.0,
+        )
+        store.record_bench(
+            "parallel", {"w": 1}, gate="skipped",
+            headline_metric="best_worker_speedup", headline_value=0.6,
+            cpu_limited=True,
+        )
+        store.record_bench("mystery", {"v": 1})  # no gate declared
+        gates = {row["bench"]: row for row in gate_rows(store)}
+        assert gates["fullscale"]["gate"] == "passed"
+        assert gates["fullscale"]["headline"] == {
+            "metric": "speedup", "value": 8.0,
+        }
+        assert gates["parallel"]["gate"] == "skipped"
+        assert gates["parallel"]["cpu_limited"] is True
+        assert gates["mystery"]["gate"] == "absent"
+        assert "cpu_limited" not in gates["fullscale"]
+        assert "mystery" not in {
+            row["bench"] for row in gate_rows(store, include_absent=False)
+        }
+
+
+class TestTraces:
+    def test_record_and_filter(self, store):
+        run_id = store.record_run("s", "a", git_rev="r")
+        store.record_trace("/tmp/a.json", kind="chrome", run_id=run_id)
+        store.record_trace("/tmp/b.jsonl", kind="jsonl")
+        assert len(store.traces()) == 2
+        rows = store.traces(run_id=run_id)
+        assert len(rows) == 1
+        assert rows[0]["path"] == "/tmp/a.json"
+        assert rows[0]["kind"] == "chrome"
+
+
+class TestStoreFromEnv:
+    def test_unset_means_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert store_from_env() is None
+
+    def test_blank_means_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "   ")
+        assert store_from_env() is None
+
+    def test_path_opts_in(self, monkeypatch, tmp_path):
+        db = tmp_path / "runs.db"
+        monkeypatch.setenv("REPRO_STORE", str(db))
+        with store_from_env() as store:
+            store.record_run("s", "a", git_rev="r")
+        with RunStore(db) as store:
+            assert len(store.runs()) == 1
+
+    def test_garbage_file_is_clear_error(self, monkeypatch, tmp_path):
+        bad = tmp_path / "not-a-db"
+        bad.write_text("this is not sqlite")
+        monkeypatch.setenv("REPRO_STORE", str(bad))
+        with pytest.raises(ConfigurationError, match="REPRO_STORE"):
+            store_from_env()
+
+    def test_reopen_existing_database(self, tmp_path):
+        db = tmp_path / "runs.db"
+        with RunStore(db) as store:
+            store.record_run("s", "a", git_rev="r")
+        with RunStore(db) as store:
+            store.record_run("s", "b", git_rev="r")
+            assert [r["name"] for r in store.runs()] == ["a", "b"]
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = RunStore(tmp_path / "runs.db")
+        store.close()
+        store.close()
+
+    def test_closed_store_rejects_writes(self, tmp_path):
+        store = RunStore(tmp_path / "runs.db")
+        store.close()
+        with pytest.raises((sqlite3.ProgrammingError, AttributeError)):
+            store.record_run("s", "a", git_rev="r")

@@ -1,0 +1,168 @@
+"""Regression-gate semantics (:mod:`repro.store.gate`)."""
+
+import json
+
+import pytest
+
+from repro.store.gate import DEFAULT_TOLERANCE, check_regression, main
+
+
+def _trajectory(*gates):
+    return {"artifact": "BENCH_trajectory", "gates": list(gates)}
+
+
+def _gate(bench, state="passed", metric="speedup", value=None, **extra):
+    row = {"bench": bench, "gate": state}
+    if value is not None:
+        row["headline"] = {"metric": metric, "value": value}
+    row.update(extra)
+    return row
+
+
+BASELINE = _trajectory(
+    _gate("fullscale", value=8.0),
+    _gate("preprocess", value=4.0),
+    _gate("trace_overhead", metric="disabled_overhead_pct", value=0.01),
+)
+
+
+class TestCheckRegression:
+    def test_identical_passes(self):
+        failures, warnings = check_regression(BASELINE, BASELINE)
+        assert failures == []
+        assert warnings == []
+
+    def test_gate_regression_is_hard_failure(self):
+        current = _trajectory(
+            _gate("fullscale", state="failed", value=8.0),
+            _gate("preprocess", value=4.0),
+            _gate("trace_overhead", metric="disabled_overhead_pct", value=0.01),
+        )
+        failures, _ = check_regression(current, BASELINE)
+        assert [f["kind"] for f in failures] == ["gate-regression"]
+        assert failures[0]["bench"] == "fullscale"
+
+    def test_speedup_drop_beyond_tolerance_fails(self):
+        current = _trajectory(
+            _gate("fullscale", value=8.0 * (1 - DEFAULT_TOLERANCE) - 0.1),
+            _gate("preprocess", value=4.0),
+            _gate("trace_overhead", metric="disabled_overhead_pct", value=0.01),
+        )
+        failures, _ = check_regression(current, BASELINE)
+        assert [f["kind"] for f in failures] == ["speedup-regression"]
+
+    def test_speedup_within_tolerance_passes(self):
+        current = _trajectory(
+            _gate("fullscale", value=8.0 * (1 - DEFAULT_TOLERANCE) + 0.1),
+            _gate("preprocess", value=4.5),  # faster is always fine
+            _gate("trace_overhead", metric="disabled_overhead_pct", value=0.01),
+        )
+        failures, warnings = check_regression(current, BASELINE)
+        assert failures == []
+        assert warnings == []
+
+    def test_overhead_headlines_are_not_speedups(self):
+        # A larger (worse) overhead number is not tolerance-banded: only
+        # the gate verdict governs non-speedup headlines.
+        current = _trajectory(
+            _gate("fullscale", value=8.0),
+            _gate("preprocess", value=4.0),
+            _gate("trace_overhead", metric="disabled_overhead_pct", value=1.9),
+        )
+        failures, _ = check_regression(current, BASELINE)
+        assert failures == []
+
+    def test_skipped_current_is_warning_not_failure(self):
+        current = _trajectory(
+            _gate("fullscale", state="skipped", value=0.6, cpu_limited=True),
+            _gate("preprocess", value=4.0),
+            _gate("trace_overhead", metric="disabled_overhead_pct", value=0.01),
+        )
+        failures, warnings = check_regression(current, BASELINE)
+        assert failures == []
+        assert [w["kind"] for w in warnings] == ["skipped"]
+        assert "cpu_limited" in warnings[0]["detail"]
+
+    def test_missing_bench_warns_by_default(self):
+        current = _trajectory(
+            _gate("fullscale", value=8.0),
+            _gate("trace_overhead", metric="disabled_overhead_pct", value=0.01),
+        )
+        failures, warnings = check_regression(current, BASELINE)
+        assert failures == []
+        assert [w["bench"] for w in warnings] == ["preprocess"]
+        assert warnings[0]["kind"] == "missing"
+
+    def test_required_missing_bench_fails(self):
+        current = _trajectory(_gate("fullscale", value=8.0))
+        failures, _ = check_regression(
+            current, BASELINE, require=["preprocess"]
+        )
+        assert ("preprocess", "missing") in [
+            (f["bench"], f["kind"]) for f in failures
+        ]
+
+    def test_custom_tolerance(self):
+        current = _trajectory(
+            _gate("fullscale", value=7.0),
+            _gate("preprocess", value=4.0),
+            _gate("trace_overhead", metric="disabled_overhead_pct", value=0.01),
+        )
+        tight, _ = check_regression(current, BASELINE, tolerance=0.05)
+        loose, _ = check_regression(current, BASELINE, tolerance=0.5)
+        assert len(tight) == 1
+        assert loose == []
+
+    def test_new_bench_in_current_is_ignored(self):
+        current = _trajectory(
+            _gate("fullscale", value=8.0),
+            _gate("preprocess", value=4.0),
+            _gate("trace_overhead", metric="disabled_overhead_pct", value=0.01),
+            _gate("brand_new", value=1.0),
+        )
+        failures, warnings = check_regression(current, BASELINE)
+        assert failures == []
+        assert warnings == []
+
+
+class TestMainCli:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        current = self._write(tmp_path, "current.json", BASELINE)
+        baseline = self._write(tmp_path, "baseline.json", BASELINE)
+        assert main(["--current", current, "--baseline", baseline]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        bad = _trajectory(
+            _gate("fullscale", value=1.0),
+            _gate("preprocess", value=4.0),
+            _gate("trace_overhead", metric="disabled_overhead_pct", value=0.01),
+        )
+        current = self._write(tmp_path, "current.json", bad)
+        baseline = self._write(tmp_path, "baseline.json", BASELINE)
+        assert main(["--current", current, "--baseline", baseline]) == 1
+        err = capsys.readouterr().err
+        assert "REGRESSION" in err
+        assert "speedup-regression" in err
+
+    def test_unreadable_file_exit_two(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "baseline.json", BASELINE)
+        code = main(
+            ["--current", str(tmp_path / "nope.json"), "--baseline", baseline]
+        )
+        assert code == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--require", "--tolerance"])
+    def test_flags_accepted(self, tmp_path, flag):
+        current = self._write(tmp_path, "current.json", BASELINE)
+        baseline = self._write(tmp_path, "baseline.json", BASELINE)
+        value = "fullscale" if flag == "--require" else "0.1"
+        assert main(
+            ["--current", current, "--baseline", baseline, flag, value]
+        ) == 0

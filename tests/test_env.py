@@ -1,0 +1,80 @@
+"""Environment-variable parsing helpers (:mod:`repro.env`)."""
+
+import pytest
+
+from repro.env import env_float, env_int_list, env_str
+from repro.exceptions import ConfigurationError
+
+
+class TestEnvStr:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_VAR", raising=False)
+        assert env_str("REPRO_TEST_VAR") is None
+        assert env_str("REPRO_TEST_VAR", "fallback") == "fallback"
+
+    def test_value_is_stripped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_VAR", "  hello ")
+        assert env_str("REPRO_TEST_VAR") == "hello"
+
+    def test_blank_is_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_VAR", "   ")
+        assert env_str("REPRO_TEST_VAR", "fallback") == "fallback"
+
+
+class TestEnvFloat:
+    def test_parses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", " 0.5 ")
+        assert env_float("REPRO_BENCH_SCALE", 0.12) == 0.5
+
+    def test_unset_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert env_float("REPRO_BENCH_SCALE", 0.12) == 0.12
+
+    def test_malformed_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "half")
+        with pytest.raises(ConfigurationError) as excinfo:
+            env_float("REPRO_BENCH_SCALE", 0.12)
+        message = str(excinfo.value)
+        assert "REPRO_BENCH_SCALE" in message
+        assert "'half'" in message
+        assert "expected" in message
+
+
+class TestEnvIntList:
+    def test_parses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_KS", "10,20,30")
+        assert env_int_list("REPRO_BENCH_KS", [1]) == [10, 20, 30]
+
+    def test_whitespace_and_trailing_comma(self, monkeypatch):
+        # The exact shape from the bug report: "10, 20," must parse.
+        monkeypatch.setenv("REPRO_BENCH_KS", "10, 20,")
+        assert env_int_list("REPRO_BENCH_KS", [1]) == [10, 20]
+
+    def test_duplicate_commas_skipped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_KS", "10,,20")
+        assert env_int_list("REPRO_BENCH_KS", [1]) == [10, 20]
+
+    def test_unset_returns_default_copy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_KS", raising=False)
+        default = [10, 20]
+        out = env_int_list("REPRO_BENCH_KS", default)
+        assert out == default
+        assert out is not default
+
+    def test_blank_returns_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_KS", "")
+        assert env_int_list("REPRO_BENCH_KS", [10]) == [10]
+
+    def test_bad_item_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_KS", "10,banana")
+        with pytest.raises(ConfigurationError) as excinfo:
+            env_int_list("REPRO_BENCH_KS", [1])
+        message = str(excinfo.value)
+        assert "REPRO_BENCH_KS" in message
+        assert "'banana'" in message
+        assert "10,20,30" in message
+
+    def test_only_commas_is_an_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_KS", ",,,")
+        with pytest.raises(ConfigurationError, match="no integers"):
+            env_int_list("REPRO_BENCH_KS", [1])
