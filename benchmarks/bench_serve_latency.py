@@ -1,0 +1,150 @@
+"""Serve-layer benchmark — warm engine residency vs per-request cold start.
+
+The whole case for ``repro serve`` is amortization: the daemon loads a
+dataset, calibrates alpha, and runs Algorithm 2 preprocessing **once**,
+then answers every request from resident state with warm engine caches.
+The CLI alternative pays that setup on every invocation.  This bench
+makes the claim measurable: it times a stream of ``/v1/plan`` requests
+through a resident :class:`~repro.serve.PlanService` (the real request
+path — admission, tracing, handler — minus only the loopback socket)
+against the same request stream where every request first rebuilds the
+world from scratch (dataset cache cleared, instance rebuilt,
+preprocessing recomputed), and **gates a >= 3x warm p50 speedup**.
+
+Request shapes alternate ``max_stops`` so every warm request genuinely
+re-runs the planner over resident preprocessing and warm caches — the
+warm path is NOT allowed to win by just replaying a memoized response
+(the tenant's default-plan cache is defeated by construction).  Both
+paths are also checked for bit-identical routes per shape, the serve
+identity contract restated under the timer.
+
+Emits machine-readable ``BENCH_serve.json`` for CI next to the human
+table.  ``REPRO_BENCH_SERVE_SCALE`` scales the city (default 0.1);
+``REPRO_BENCH_SERVE_REQUESTS`` sets the stream length per mode.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core import EBRRConfig, plan_route
+from repro.datasets import clear_cache, load_city
+from repro.eval import format_table
+from repro.eval.experiments import calibrated_alpha
+from repro.obs import now as obs_now
+from repro.serve import DatasetRegistry, PlanService, TenantSpec
+
+from _common import emit_bench, report
+from repro.env import env_float, env_int
+
+CITY = "orlando"
+SERVE_SCALE = env_float("REPRO_BENCH_SERVE_SCALE", 0.1)
+REQUESTS = env_int("REPRO_BENCH_SERVE_REQUESTS", 12)
+
+REQUIRED_SPEEDUP = 3.0
+#: The request stream cycles through these planner shapes.
+SHAPES = (20, 14, 17)
+
+
+def _shape(i):
+    return SHAPES[i % len(SHAPES)]
+
+
+def _cold_request(max_stops):
+    """One per-request cold start: the CLI path, timed end to end."""
+    clear_cache()
+    start = obs_now()
+    dataset = load_city(CITY, scale=SERVE_SCALE)
+    alpha = calibrated_alpha(dataset)
+    instance = dataset.instance(alpha)
+    config = EBRRConfig(
+        max_stops=max_stops, max_adjacent_cost=2.0, alpha=alpha
+    )
+    result = plan_route(instance, config)
+    return obs_now() - start, list(result.route.stops)
+
+
+def test_serve_warm_residency_speedup(experiment):
+    def run():
+        # -- warm: one resident daemon, the real request path ----------
+        registry = DatasetRegistry()
+        registry.add(
+            TenantSpec(city=CITY, scale=SERVE_SCALE), warm=True
+        )
+        service = PlanService(registry)
+
+        warm_times = []
+        warm_stops = {}
+        for i in range(REQUESTS):
+            shape = _shape(i)
+            start = obs_now()
+            status, body = service.handle(
+                "POST", "/v1/plan", {"dataset": CITY, "max_stops": shape}
+            )
+            warm_times.append(obs_now() - start)
+            assert status == 200, body
+            warm_stops.setdefault(shape, body["route"]["stops"])
+
+        # -- cold: same stream, world rebuilt per request --------------
+        cold_times = []
+        cold_stops = {}
+        for i in range(REQUESTS):
+            shape = _shape(i)
+            elapsed, stops = _cold_request(shape)
+            cold_times.append(elapsed)
+            cold_stops.setdefault(shape, stops)
+
+        return {
+            "warm_times": warm_times,
+            "cold_times": cold_times,
+            "warm_stops": warm_stops,
+            "cold_stops": cold_stops,
+        }
+
+    data = experiment(run)
+    warm_p50 = statistics.median(data["warm_times"])
+    cold_p50 = statistics.median(data["cold_times"])
+    speedup = cold_p50 / warm_p50
+
+    payload = {
+        "bench": "serve_latency",
+        "city": CITY,
+        "scale": SERVE_SCALE,
+        "requests_per_mode": REQUESTS,
+        "shapes": list(SHAPES),
+        "warm_p50_s": warm_p50,
+        "cold_p50_s": cold_p50,
+        "warm_max_s": max(data["warm_times"]),
+        "cold_max_s": max(data["cold_times"]),
+        "speedup": speedup,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "gate": "passed" if speedup >= REQUIRED_SPEEDUP else "failed",
+        "identical_routes": data["warm_stops"] == data["cold_stops"],
+    }
+    emit_bench("serve", payload)
+
+    text = format_table(
+        [
+            {
+                "mode": mode,
+                "p50_s": statistics.median(times),
+                "max_s": max(times),
+                "requests": len(times),
+            }
+            for mode, times in (
+                ("warm (resident daemon)", data["warm_times"]),
+                ("cold (per-request start)", data["cold_times"]),
+            )
+        ],
+        title=(
+            f"/v1/plan latency, warm residency vs per-request cold start "
+            f"({CITY}, scale {SERVE_SCALE}, {REQUESTS} requests/mode, "
+            f"speedup {speedup:.1f}x)"
+        ),
+        float_digits=4,
+    )
+    report(text, "serve_latency.txt")
+
+    # Residency must never change the answer — identity before speed.
+    assert data["warm_stops"] == data["cold_stops"], payload
+    assert speedup >= REQUIRED_SPEEDUP, payload

@@ -89,10 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--preprocess", choices=PREPROCESS_STRATEGIES,
                       default=None, dest="preprocess_strategy",
                       help="Algorithm 2 strategy (default: "
-                           "$REPRO_PREPROCESS, then 'per-query'; "
-                           "'inverted' batches preprocessing into one "
-                           "label field plus candidate balls — "
-                           "bit-identical plans, much faster at scale)")
+                           "$REPRO_PREPROCESS, then 'inverted', which "
+                           "batches preprocessing into one label field "
+                           "plus candidate balls; 'per-query' is the "
+                           "paper's literal loop — bit-identical plans "
+                           "either way)")
     plan.add_argument("--trace", type=str, default=None, metavar="PATH",
                       help="record a trace of the run and write it in "
                            "Chrome trace-event format (open in "
@@ -155,6 +156,52 @@ def build_parser() -> argparse.ArgumentParser:
                       help="incremental cache file location")
     lint.add_argument("--no-cache", action="store_true",
                       help="disable the incremental cache")
+
+    serve = sub.add_parser(
+        "serve", help="run the planning-as-a-service HTTP daemon"
+    )
+    serve.add_argument("--dataset", action="append", required=True,
+                       metavar="CITY", choices=available_cities(),
+                       help="city dataset to serve (repeatable; each is "
+                            "loaded once and kept warm)")
+    serve.add_argument("--scale", type=float, default=0.1,
+                       help="linear scale versus the paper's city sizes")
+    serve.add_argument("--host", type=str, default="127.0.0.1",
+                       help="bind address (default: loopback)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="bind port (default: $REPRO_SERVE_PORT, then "
+                            "8080; 0 picks an ephemeral port)")
+    serve.add_argument("-k", "--max-stops", type=int, default=20,
+                       help="default K for /v1/plan requests")
+    serve.add_argument("-c", "--max-adjacent-cost", type=float, default=2.0,
+                       help="default C for /v1/plan requests (km)")
+    serve.add_argument("--alpha", type=float, default=None,
+                       help="utility trade-off (default: calibrated per city)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="process-pool size for preprocessing fan-out")
+    serve.add_argument("--kernel", choices=available_kernels(), default=None,
+                       help="search-kernel backend for every tenant")
+    serve.add_argument("--preprocess", choices=PREPROCESS_STRATEGIES,
+                       default=None, dest="preprocess_strategy",
+                       help="Algorithm 2 strategy for every tenant")
+    serve.add_argument("--cache-capacity", type=int, default=None,
+                       help="bound each tenant engine's LRU row cache "
+                            "(daemon memory cap; default: engine default)")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       help="admitted-request concurrency bound (default: "
+                            "$REPRO_SERVE_MAX_INFLIGHT, then 4)")
+    serve.add_argument("--max-queued", type=int, default=16,
+                       help="requests allowed to wait for a slot; beyond "
+                            "this the daemon sheds with 429")
+    serve.add_argument("--deadline", type=float, default=30.0,
+                       help="default per-request deadline in seconds "
+                            "(503 when exceeded while queued)")
+    serve.add_argument("--trace-dir", type=str, default=None, metavar="DIR",
+                       help="write one JSONL trace per request into DIR")
+    serve.add_argument("--no-warm", action="store_true",
+                       help="skip boot-time warmup (preprocess + default "
+                            "plan per tenant; default: warm, or "
+                            "$REPRO_SERVE_WARM)")
 
     trace = sub.add_parser(
         "trace", help="inspect a recorded Chrome trace file"
@@ -254,6 +301,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "case-study":
         return _cmd_case_study(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "trace":
@@ -401,6 +450,83 @@ def _cmd_plan(args) -> int:
     if not result.is_feasible:
         print("violations:", "; ".join(result.constraint_violations))
         return 1
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import signal
+
+    from .env import env_bool, env_int
+    from .exceptions import ReproError
+    from .serve import (
+        AdmissionController,
+        DatasetRegistry,
+        PlanService,
+        TenantSpec,
+        create_server,
+        run_server,
+    )
+
+    code = _resolve_runtime_choices(args)
+    if code:
+        return code
+    try:
+        port = args.port if args.port is not None else env_int(
+            "REPRO_SERVE_PORT", 8080
+        )
+        max_inflight = (
+            args.max_inflight
+            if args.max_inflight is not None
+            else env_int("REPRO_SERVE_MAX_INFLIGHT", 4)
+        )
+        warm = False if args.no_warm else env_bool("REPRO_SERVE_WARM", True)
+        admission = AdmissionController(
+            max_inflight=max_inflight,
+            max_queued=args.max_queued,
+            default_timeout_s=args.deadline,
+        )
+        registry = DatasetRegistry()
+        for city in args.dataset:
+            spec = TenantSpec(
+                city=city,
+                scale=args.scale,
+                max_stops=args.max_stops,
+                max_adjacent_cost=args.max_adjacent_cost,
+                alpha=args.alpha,
+                workers=args.workers,
+                kernel=args.kernel,
+                preprocess_strategy=args.preprocess_strategy,
+                cache_capacity=args.cache_capacity,
+            )
+            print(f"loading {city} (scale {args.scale}, warm={warm}) ...")
+            tenant = registry.add(spec, warm=warm)
+            print(f"  ready: {len(tenant.instance.queries)} queries, "
+                  f"alpha={tenant.alpha:.3f}, kernel={tenant.engine.kernel_name}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service = PlanService(
+        registry, admission=admission, trace_dir=args.trace_dir
+    )
+    server = create_server(service, host=args.host, port=port)
+    bound_port = server.server_address[1]
+    print(f"serving {', '.join(registry.names())} on "
+          f"http://{args.host}:{bound_port} "
+          f"(max-inflight {max_inflight}, max-queued {args.max_queued}, "
+          f"deadline {args.deadline:g}s)")
+    sys.stdout.flush()
+
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        run_server(server)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        print("shutdown complete")
     return 0
 
 

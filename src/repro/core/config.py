@@ -62,6 +62,13 @@ class EBRRConfig:
             default.  Strategies produce equal preprocessing outputs
             and bit-identical plans (the equivalence suite proves it),
             so this too is purely a speed knob.
+        cache_capacity: bound on the :class:`~repro.network.engine.
+            SearchEngine` row-cache (LRU entries; the point cache is
+            bounded at 4x).  ``None`` keeps the engine's default.
+            Long-lived processes — the :mod:`repro.serve` daemon in
+            particular — set this to cap resident memory; caches are
+            purely a reuse optimization, so capacity never changes
+            results, only hit rates.
     """
 
     max_stops: int
@@ -76,6 +83,7 @@ class EBRRConfig:
     workers: int = 1
     kernel: Optional[str] = None
     preprocess_strategy: Optional[str] = None
+    cache_capacity: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_stops < 2:
@@ -96,6 +104,10 @@ class EBRRConfig:
         if self.workers < 1:
             raise ConfigurationError(
                 f"workers must be >= 1, got {self.workers}"
+            )
+        if self.cache_capacity is not None and self.cache_capacity < 1:
+            raise ConfigurationError(
+                f"cache_capacity must be >= 1, got {self.cache_capacity}"
             )
         if self.kernel is not None:
             # Imported lazily: config is a leaf module and the engine

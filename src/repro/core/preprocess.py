@@ -27,8 +27,9 @@ end.  The two strategies produce equal ``nn_distance``/``rnn``/
 ``EBRRResult``s (see DESIGN.md "Batched preprocessing" for the
 inversion argument and the generic-position caveat).  Select via
 ``strategy=`` / ``EBRRConfig.preprocess_strategy`` / ``--preprocess`` /
-``$REPRO_PREPROCESS``; the default stays ``per-query`` until CI has
-proven parity long enough to flip it.
+``$REPRO_PREPROCESS``; the default is ``inverted`` (flipped after the
+parity gates soaked in CI since the strategy landed), with
+``per-query`` kept as the explicit opt-out.
 
 The output powers the whole selection phase:
 
@@ -61,8 +62,11 @@ from .utility import BRRInstance
 PREPROCESS_STRATEGIES: Tuple[str, ...] = ("per-query", "inverted")
 
 #: Strategy used when neither the caller nor ``$REPRO_PREPROCESS``
-#: picks one.
-DEFAULT_PREPROCESS_STRATEGY = "per-query"
+#: picks one.  ``inverted`` since the CI parity gates proved it
+#: bit-identical to ``per-query`` across kernels and worker counts;
+#: pass ``--preprocess per-query`` (or set ``$REPRO_PREPROCESS``) to
+#: opt back out.
+DEFAULT_PREPROCESS_STRATEGY = "inverted"
 
 _INF = math.inf
 

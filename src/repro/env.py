@@ -17,7 +17,7 @@ from typing import List, Optional
 
 from .exceptions import ConfigurationError
 
-__all__ = ["env_str", "env_float", "env_int_list"]
+__all__ = ["env_str", "env_float", "env_int", "env_bool", "env_int_list"]
 
 
 def env_str(name: str, default: Optional[str] = None) -> Optional[str]:
@@ -50,6 +50,66 @@ def env_float(name: str, default: float) -> float:
             f"${name}={value!r} is not a number; expected a float like "
             f"{default!r}"
         ) from None
+
+
+def env_int(name: str, default: int) -> int:
+    """``$name`` parsed as an integer, or ``default`` when unset/blank.
+
+    Accepts only whole numbers (``"8080"``); a float like ``"80.5"``
+    is rejected rather than truncated — a port or concurrency limit
+    with a fractional part is always a mistake.
+
+    Raises:
+        ConfigurationError: naming the variable and the expected format
+            when the value does not parse.
+    """
+    value = env_str(name)
+    if value is None:
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        raise ConfigurationError(
+            f"${name}={value!r} is not an integer; expected a whole "
+            f"number like {default!r}"
+        ) from None
+
+
+#: Spellings ``env_bool`` accepts, lowercased.  Anything else raises.
+_BOOL_SPELLINGS = {
+    "1": True,
+    "true": True,
+    "yes": True,
+    "on": True,
+    "0": False,
+    "false": False,
+    "no": False,
+    "off": False,
+}
+
+
+def env_bool(name: str, default: bool) -> bool:
+    """``$name`` parsed as a boolean, or ``default`` when unset/blank.
+
+    Accepts the usual spellings case-insensitively — ``1/true/yes/on``
+    and ``0/false/no/off``.  Anything else (including ``"2"``) raises
+    rather than falling back, so ``FOO=ture`` fails loudly instead of
+    silently meaning "off".
+
+    Raises:
+        ConfigurationError: naming the variable and the accepted
+            spellings when the value is not one of them.
+    """
+    value = env_str(name)
+    if value is None:
+        return default
+    parsed = _BOOL_SPELLINGS.get(value.lower())
+    if parsed is None:
+        raise ConfigurationError(
+            f"${name}={value!r} is not a boolean; expected one of "
+            f"1/true/yes/on or 0/false/no/off (case-insensitive)"
+        )
+    return parsed
 
 
 def env_int_list(name: str, default: List[int]) -> List[int]:

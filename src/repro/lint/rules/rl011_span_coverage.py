@@ -8,11 +8,14 @@ still returns correct routes — only the trace goes blind.  This rule
 makes the convention checkable.
 
 An **entry point** is a public module-level function, defined under
-``repro.core`` or ``repro.parallel``, whose name starts with one of the
-phase verbs (``plan``, ``run``, ``sweep``, ``preprocess``, ``update``,
-``postprocess``, ``refine``, ``select``, ``order``) — the naming
-convention every phase driver in this codebase already follows, so new
-phases are covered the moment they are named like one.
+``repro.core``, ``repro.parallel``, or ``repro.serve``, whose name
+starts with one of the phase verbs (``plan``, ``run``, ``sweep``,
+``preprocess``, ``update``, ``postprocess``, ``refine``, ``select``,
+``order``, ``handle``, ``serve``) — the naming convention every phase
+driver and request handler in this codebase already follows, so new
+phases (and new service endpoints — each request must produce a
+complete span tree for ``--trace-dir``) are covered the moment they
+are named like one.
 
 **Coverage** is transitive over the resolved call graph: the function
 itself opens a span (``with span(...)`` / ``with tracing(...)`` /
@@ -29,7 +32,7 @@ from ..project import FunctionFact, ProjectModel
 from ..registry import ProjectRule, register
 
 #: Package prefixes whose public functions are phase material.
-PHASE_PACKAGES = ("repro.core.", "repro.parallel.")
+PHASE_PACKAGES = ("repro.core.", "repro.parallel.", "repro.serve.")
 
 #: Leading verbs that mark a public function as a phase entry point.
 PHASE_VERBS = (
@@ -42,6 +45,8 @@ PHASE_VERBS = (
     "refine",
     "select",
     "order",
+    "handle",
+    "serve",
 )
 
 
@@ -59,10 +64,11 @@ class SpanCoverageRule(ProjectRule):
     rule_id = "RL011"
     title = "span-coverage"
     rationale = (
-        "public phase entry points (plan_/run_/sweep_/... under "
-        "repro.core and repro.parallel) must run under an obs span — "
-        "directly or via a callee — so traces and derived timings "
-        "cannot silently lose a phase"
+        "public phase entry points (plan_/run_/sweep_/handle_/... "
+        "under repro.core, repro.parallel, and repro.serve) must run "
+        "under an obs span — directly or via a callee — so traces, "
+        "derived timings, and per-request span trees cannot silently "
+        "lose a phase"
     )
 
     def check_project(self, model: ProjectModel, graph: CallGraph) -> None:

@@ -277,6 +277,30 @@ class SearchEngine:
         """
         self._kernel = resolve_kernel(kernel)
 
+    @property
+    def cache_capacity(self) -> int:
+        """The LRU bound on cached rows (points are bounded at 4x)."""
+        return self._cache_size
+
+    def set_cache_capacity(self, capacity: int) -> None:
+        """Rebound the row cache to ``capacity`` entries (points to 4x).
+
+        Shrinking trims oldest-first immediately — the trimmed entries
+        count as evictions — so a long-lived process (the serve daemon)
+        can cap resident memory without restarting.  Capacity is purely
+        a reuse knob: results never depend on it, only hit rates do.
+
+        Raises:
+            GraphError: when ``capacity`` is less than 1.
+        """
+        if capacity < 1:
+            raise GraphError(f"cache_capacity must be >= 1, got {capacity}")
+        self._cache_size = capacity
+        for store, bound in ((self._rows, capacity), (self._points, 4 * capacity)):
+            while len(store) > bound:
+                store.popitem(last=False)
+                self._info.evictions += 1
+
     def counters(self, phase: str) -> SearchStats:
         """The live, mutable stats block for ``phase`` (created on first
         use).  External searchers that ride on the engine's CSR (e.g.

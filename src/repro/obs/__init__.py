@@ -36,6 +36,7 @@ from .collect import TraceShard, begin_worker_trace, drain_shard, merge_shard, w
 from .export import (
     chrome_trace,
     load_chrome_trace,
+    load_jsonl,
     summarize,
     validate_chrome_trace,
     write_chrome_trace,
@@ -95,6 +96,7 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "load_chrome_trace",
+    "load_jsonl",
     "validate_chrome_trace",
     "summarize",
 ]

@@ -95,25 +95,30 @@ def chrome_trace(trace: Trace) -> Dict[str, Any]:
     }
 
 
-def _record_trace_pointer(path: str, kind: str) -> None:
+def _record_trace_pointer(
+    path: str, kind: str, run_id: Optional[int] = None
+) -> None:
     """File a pointer to an exported trace in the experiment store when
     ``$REPRO_STORE`` opts in, so traces are one join away from the runs
-    they explain.  Lazy import: obs stays dependency-free unless the
-    store is actually in use."""
+    they explain.  ``run_id`` links the pointer to an already-recorded
+    run row (the serve daemon records one per request).  Lazy import:
+    obs stays dependency-free unless the store is actually in use."""
     from ..store import store_from_env
 
     store = store_from_env()
     if store is not None:
         with store:
-            store.record_trace(path, kind=kind)
+            store.record_trace(path, kind=kind, run_id=run_id)
 
 
-def write_chrome_trace(trace: Trace, path: str) -> None:
+def write_chrome_trace(
+    trace: Trace, path: str, *, run_id: Optional[int] = None
+) -> None:
     """Write the Chrome trace JSON to ``path`` (stable key order)."""
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(chrome_trace(trace), handle, indent=1, sort_keys=True)
         handle.write("\n")
-    _record_trace_pointer(path, "chrome")
+    _record_trace_pointer(path, "chrome", run_id)
 
 
 def validate_chrome_trace(obj: Any) -> List[str]:
@@ -199,10 +204,71 @@ def load_chrome_trace(path: str) -> Tuple[List[Span], Dict[str, Any]]:
     return spans, metrics
 
 
-def write_jsonl(trace: Trace, path: str) -> None:
+def write_jsonl(
+    trace: Trace, path: str, *, run_id: Optional[int] = None
+) -> None:
     """Write the trace as JSON lines: meta, spans, metrics."""
     _write_jsonl(trace, path)
-    _record_trace_pointer(path, "jsonl")
+    _record_trace_pointer(path, "jsonl", run_id)
+
+
+def load_jsonl(path: str) -> Tuple[List[Span], Dict[str, Any]]:
+    """Rebuild ``(spans, metrics_dict)`` from a :func:`write_jsonl`
+    file — the inverse the CI serve job uses to re-validate a
+    per-request JSONL trace against the Chrome schema (load, rebuild,
+    :func:`validate_chrome_trace`).
+
+    The returned metrics dict has the ``as_dict()`` shape
+    (``counters``/``gauges``/``histograms``).
+
+    Raises:
+        ValueError: when the file is not a repro JSONL trace (bad meta
+            line, unknown record type, or a span count that disagrees
+            with the meta line).
+    """
+    spans: List[Span] = []
+    metrics: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    meta: Optional[Dict[str, Any]] = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not JSON ({exc})"
+                ) from None
+            kind = record.get("type")
+            if kind == "meta":
+                meta = record
+            elif kind == "span":
+                spans.append(
+                    Span(
+                        name=record["name"],
+                        start=record["start"],
+                        duration=record["duration"],
+                        index=record["index"],
+                        parent=record["parent"],
+                        lane=record["lane"],
+                        attrs=dict(record.get("attrs", {})),
+                    )
+                )
+            elif kind == "metric":
+                metrics[record["kind"] + "s"][record["name"]] = record["value"]
+            else:
+                raise ValueError(
+                    f"{path}:{lineno}: unknown record type {kind!r}"
+                )
+    if meta is None or meta.get("generator") != "repro.obs":
+        raise ValueError(f"{path}: missing repro.obs meta line")
+    if meta.get("spans") != len(spans):
+        raise ValueError(
+            f"{path}: meta says {meta.get('spans')} spans, found {len(spans)}"
+        )
+    spans.sort(key=lambda s: s.index)
+    return spans, metrics
 
 
 def _write_jsonl(trace: Trace, path: str) -> None:

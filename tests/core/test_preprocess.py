@@ -162,14 +162,14 @@ class TestStrategies:
         assert inv.searches == 1 + len(inv.nn_distance)
         assert inv.settled_nodes > 0
 
-    def test_default_strategy_is_per_query(self, toy_instance, monkeypatch):
+    def test_default_strategy_is_inverted(self, toy_instance, monkeypatch):
         monkeypatch.delenv("REPRO_PREPROCESS", raising=False)
         result = preprocess_queries(toy_instance)
-        assert result.strategy == "per-query"
+        assert result.strategy == "inverted"
 
     def test_env_resolution(self, toy_instance, monkeypatch):
-        monkeypatch.setenv("REPRO_PREPROCESS", "inverted")
-        assert preprocess_queries(toy_instance).strategy == "inverted"
+        monkeypatch.setenv("REPRO_PREPROCESS", "per-query")
+        assert preprocess_queries(toy_instance).strategy == "per-query"
         # An explicit argument wins over the environment.
         explicit = preprocess_queries(toy_instance, strategy="per-query")
         assert explicit.strategy == "per-query"
@@ -188,5 +188,5 @@ class TestStrategies:
         with pytest.raises(ConfigurationError, match="bogus"):
             resolve_preprocess_strategy()
         monkeypatch.delenv("REPRO_PREPROCESS")
-        assert resolve_preprocess_strategy() == "per-query"
-        assert resolve_preprocess_strategy("inverted") == "inverted"
+        assert resolve_preprocess_strategy() == "inverted"
+        assert resolve_preprocess_strategy("per-query") == "per-query"

@@ -275,6 +275,34 @@ def test_rl011_ignores_private_and_non_phase_names():
     assert violations == []
 
 
+def test_rl011_fires_on_uncovered_serve_handler():
+    violations = lint(
+        """
+        def handle_plan(tenant, payload):
+            return tenant.plan(payload)
+        """,
+        "src/repro/serve/handlers.py",
+        "RL011",
+    )
+    assert [v.rule_id for v in violations] == ["RL011"]
+    assert "handle_plan" in violations[0].message
+
+
+def test_rl011_passes_spanned_serve_handler():
+    violations = lint(
+        """
+        from repro.obs import span
+
+        def handle_plan(tenant, payload):
+            with span("serve.plan"):
+                return tenant.plan(payload)
+        """,
+        "src/repro/serve/handlers.py",
+        "RL011",
+    )
+    assert violations == []
+
+
 def test_rl011_ignores_modules_outside_phase_packages():
     violations = lint(
         """

@@ -16,6 +16,7 @@ import pytest
 from repro.obs import (
     chrome_trace,
     load_chrome_trace,
+    load_jsonl,
     summarize,
     validate_chrome_trace,
     write_chrome_trace,
@@ -120,6 +121,60 @@ class TestJsonl:
         assert kinds.count("span") == len(reference_trace.spans)
         metric_names = {r["name"] for r in records if r["type"] == "metric"}
         assert "search.total.searches" in metric_names
+
+    def test_load_round_trips_write(self, reference_trace, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(reference_trace, path)
+        spans, metrics = load_jsonl(path)
+        assert [
+            (s.name, s.start, s.duration, s.index, s.parent, s.attrs)
+            for s in spans
+        ] == [
+            (s.name, s.start, s.duration, s.index, s.parent, s.attrs)
+            for s in reference_trace.spans
+        ]
+        assert metrics == reference_trace.metrics.as_dict()
+
+    def test_loaded_spans_render_a_valid_chrome_trace(
+        self, reference_trace, tmp_path
+    ):
+        from repro.obs import Trace
+
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(reference_trace, path)
+        spans, _ = load_jsonl(path)
+        reloaded = Trace(lane=reference_trace.lane)
+        reloaded.spans = spans
+        assert validate_chrome_trace(chrome_trace(reloaded)) == []
+
+    @pytest.mark.parametrize(
+        "content, problem",
+        [
+            ("", "meta"),
+            ('{"type": "mystery"}\n', "unknown record type"),
+            (
+                '{"type": "meta", "generator": "elsewhere", "version": 1,'
+                ' "lanes": [], "spans": 0}\n',
+                "meta",
+            ),
+            (
+                '{"type": "meta", "generator": "repro.obs", "version": 1,'
+                ' "lanes": [], "spans": 3}\n',
+                "meta says 3 spans",
+            ),
+            (
+                '{"type": "meta", "generator": "repro.obs", "version": 1,'
+                ' "lanes": [], "spans": 0}\nnot json\n',
+                "not JSON",
+            ),
+        ],
+    )
+    def test_load_rejects_corrupt_files(self, tmp_path, content, problem):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(content)
+        with pytest.raises(ValueError) as excinfo:
+            load_jsonl(str(path))
+        assert problem in str(excinfo.value)
 
 
 def regenerate():

@@ -1,0 +1,127 @@
+"""Live-socket fixtures for the serve suite.
+
+Every test here exercises the daemon over a **real** loopback socket —
+a ``ThreadingHTTPServer`` on an ephemeral port, torn down after each
+module — so what is asserted is the wire behavior (status codes, JSON
+bodies, shedding) and not a shortcut through the service object.  The
+service object is still exposed on the harness for the tests that need
+to manipulate admission state deterministically.
+
+All modules share one small city (``orlando`` at scale 0.05); the
+dataset registry in :mod:`repro.datasets` caches it process-wide, so
+only the first module pays the generation cost while every module gets
+a *fresh tenant* (fresh demand/preprocess state) over the shared
+network and engine caches — exactly the sharing the daemon itself
+relies on, and safe because cache state never changes results.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import (
+    AdmissionController,
+    DatasetRegistry,
+    PlanService,
+    TenantSpec,
+    create_server,
+    run_server,
+)
+
+CITY = "orlando"
+SCALE = 0.05
+
+
+class ServeHarness:
+    """One live daemon: HTTP helpers plus the underlying service."""
+
+    def __init__(self, service, server, thread):
+        self.service = service
+        self.server = server
+        self.thread = thread
+        self.port = server.server_address[1]
+
+    def request(self, method, path, payload=None, timeout=120.0):
+        """Fire one HTTP request; returns ``(status, body_dict)`` for
+        JSON responses of any status (4xx/5xx included)."""
+        data = (
+            json.dumps(payload).encode("utf-8") if payload is not None else None
+        )
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{self.port}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return resp.status, json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError:
+                body = {"raw": raw}
+            return exc.code, body
+
+    def get(self, path):
+        return self.request("GET", path)
+
+    def post(self, path, payload):
+        return self.request("POST", path, payload)
+
+    def raw_post(self, path, data, timeout=120.0):
+        """POST arbitrary bytes (for malformed-body tests)."""
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{self.port}{path}",
+            data=data,
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return resp.status, resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read().decode("utf-8", errors="replace")
+
+    def shutdown(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(timeout=10)
+
+
+def start_harness(*, spec=None, admission=None, trace_dir=None, warm=False):
+    """Boot a daemon on an ephemeral port and return its harness."""
+    registry = DatasetRegistry()
+    registry.add(spec or TenantSpec(city=CITY, scale=SCALE), warm=warm)
+    service = PlanService(registry, admission=admission, trace_dir=trace_dir)
+    server = create_server(service)
+    thread = threading.Thread(target=run_server, args=(server,), daemon=True)
+    thread.start()
+    return ServeHarness(service, server, thread)
+
+
+@pytest.fixture(scope="module")
+def live():
+    """A default-config daemon shared by one test module."""
+    harness = start_harness()
+    yield harness
+    harness.shutdown()
+
+
+@pytest.fixture
+def make_harness():
+    """Factory for daemons with custom admission/trace/spec config."""
+    harnesses = []
+
+    def build(**kwargs):
+        harness = start_harness(**kwargs)
+        harnesses.append(harness)
+        return harness
+
+    yield build
+    for harness in harnesses:
+        harness.shutdown()

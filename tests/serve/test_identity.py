@@ -1,0 +1,198 @@
+"""The serve acceptance criterion: responses are bit-identical to the
+library path.
+
+Every comparison below is exact equality — not ``approx`` — because the
+daemon promises *the same computation*, not a similar one: warm engines,
+resident preprocessing, and response caching must be invisible in the
+payload.  JSON float serialization round-trips exactly (``repr`` of a
+float parses back to the same float), so exact comparison over the wire
+is sound.
+"""
+
+import dataclasses
+import json
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core import EBRRConfig, plan_route, update_preprocess
+from repro.datasets import load_city
+from repro.eval.experiments import calibrated_alpha
+from repro.demand import QuerySet
+from repro.transit import JourneyPlanner
+
+from .conftest import CITY, SCALE
+
+
+@pytest.fixture(scope="module")
+def direct():
+    """The library-path ground truth for the same city/scale."""
+    dataset = load_city(CITY, scale=SCALE)
+    alpha = calibrated_alpha(dataset)
+    instance = dataset.instance(alpha)
+    config = EBRRConfig(max_stops=20, max_adjacent_cost=2.0, alpha=alpha)
+    return dataset, instance, config
+
+
+def direct_plan_body(instance, config):
+    """Serialize a direct plan_route result the way the daemon does."""
+    result = plan_route(instance, config)
+    return {
+        "route": {
+            "route_id": result.route.route_id,
+            "stops": list(result.route.stops),
+            "path": list(result.route.path),
+        },
+        "metrics": {
+            "utility": result.metrics.utility,
+            "walk_cost": result.metrics.walk_cost,
+            "walk_decrease": result.metrics.walk_decrease,
+            "connectivity": result.metrics.connectivity,
+            "num_stops": result.metrics.num_stops,
+            "route_length": result.metrics.route_length,
+        },
+        "feasible": result.is_feasible,
+        "violations": list(result.constraint_violations),
+    }
+
+
+def served_semantics(body):
+    """The semantic slice of a served plan body (drop per-request noise)."""
+    return {
+        "route": body["route"],
+        "metrics": body["metrics"],
+        "feasible": body["feasible"],
+        "violations": body["violations"],
+    }
+
+
+class TestPlanIdentity:
+    def test_served_plan_matches_direct(self, live, direct):
+        _, instance, config = direct
+        status, body = live.post("/v1/plan", {"dataset": CITY})
+        assert status == 200
+        assert served_semantics(body) == direct_plan_body(instance, config)
+
+    def test_served_override_matches_direct(self, live, direct):
+        _, instance, config = direct
+        status, body = live.post("/v1/plan", {"dataset": CITY, "max_stops": 12})
+        assert status == 200
+        narrow = dataclasses.replace(config, max_stops=12)
+        assert served_semantics(body) == direct_plan_body(instance, narrow)
+
+    def test_repeat_requests_are_value_identical(self, live):
+        bodies = [
+            served_semantics(live.post("/v1/plan", {"dataset": CITY})[1])
+            for _ in range(3)
+        ]
+        assert bodies[0] == bodies[1] == bodies[2]
+
+    def test_concurrent_clients_all_match_ground_truth(self, live, direct):
+        """≥2 concurrent clients, mixed request shapes, exact equality.
+
+        This is the load-bearing test: warm caches plus the admission
+        queue plus the shared planning core must never let one client's
+        request shape bleed into another's response.
+        """
+        _, instance, config = direct
+        truth = {
+            20: direct_plan_body(instance, config),
+            12: direct_plan_body(
+                instance, dataclasses.replace(config, max_stops=12)
+            ),
+        }
+
+        def fire(max_stops):
+            payload = {"dataset": CITY}
+            if max_stops != 20:
+                payload["max_stops"] = max_stops
+            status, body = live.post("/v1/plan", payload)
+            return max_stops, status, body
+
+        shapes = [20, 12, 20, 12, 20, 12]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            outcomes = list(pool.map(fire, shapes))
+
+        request_ids = set()
+        for max_stops, status, body in outcomes:
+            assert status == 200
+            assert served_semantics(body) == truth[max_stops]
+            request_ids.add(body["request_id"])
+        assert len(request_ids) == len(shapes)  # each request traced alone
+
+
+class TestWireEncoding:
+    def test_floats_round_trip_exactly(self, live, direct):
+        """Raw wire bytes re-parse to the same floats the library made."""
+        _, instance, config = direct
+        truth = direct_plan_body(instance, config)["metrics"]
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{live.port}/v1/plan",
+            data=json.dumps({"dataset": CITY}).encode("utf-8"),
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=120) as resp:
+            wire = resp.read()
+        metrics = json.loads(wire)["metrics"]
+        for key, value in truth.items():
+            assert metrics[key] == value  # exact, not approx
+
+
+class TestUpdateAndJourneyIdentity:
+    def test_served_update_matches_direct(self, make_harness, direct):
+        """A served update must land the EXACT state a direct
+        update_preprocess lands, verified through the next plan."""
+        dataset, instance, config = direct
+        harness = make_harness(
+            spec=None  # default spec == the `direct` fixture's instance
+        )
+        retire = instance.queries.nodes[0]
+        add = [5, 6]
+
+        status, body = harness.post(
+            "/v1/update", {"dataset": CITY, "add": add, "remove": [retire]}
+        )
+        assert status == 200
+
+        from repro.core import preprocess_queries
+
+        nodes = list(instance.queries.nodes)
+        nodes.remove(retire)
+        nodes.extend(add)
+        new_queries = QuerySet(instance.network, nodes, name="truth")
+        pre = preprocess_queries(instance)
+        new_instance, _, stats = update_preprocess(instance, pre, new_queries)
+
+        assert body["stats"] == {
+            "added_nodes": stats.added_nodes,
+            "removed_nodes": stats.removed_nodes,
+            "rescaled_nodes": stats.rescaled_nodes,
+            "searches": stats.searches,
+        }
+        assert body["queries"] == len(new_instance.queries.nodes)
+
+        status, plan_body = harness.post("/v1/plan", {"dataset": CITY})
+        assert status == 200
+        assert served_semantics(plan_body) == direct_plan_body(
+            new_instance, config
+        )
+
+    def test_served_journey_matches_direct(self, live, direct):
+        dataset, instance, config = direct
+        route = plan_route(instance, config).route
+        planner = JourneyPlanner(dataset.transit.with_route(route))
+        truth = planner.journey(0, 9)
+
+        status, body = live.post(
+            "/v1/journey", {"dataset": CITY, "origin": 0, "destination": 9}
+        )
+        assert status == 200
+        assert body["minutes"] == truth.minutes
+        assert len(body["legs"]) == len(truth.legs)
+        for wire_leg, leg in zip(body["legs"], truth.legs):
+            assert wire_leg["mode"] == leg.mode
+            assert wire_leg["route_id"] == leg.route_id
+            assert wire_leg["nodes"] == list(leg.nodes)
+            assert wire_leg["minutes"] == leg.minutes

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.env import env_float, env_int_list, env_str
+from repro.env import env_bool, env_float, env_int, env_int_list, env_str
 from repro.exceptions import ConfigurationError
 
 
@@ -38,6 +38,73 @@ class TestEnvFloat:
         assert "REPRO_BENCH_SCALE" in message
         assert "'half'" in message
         assert "expected" in message
+
+
+class TestEnvInt:
+    def test_parses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_PORT", "8931")
+        assert env_int("REPRO_SERVE_PORT", 8080) == 8931
+
+    def test_unset_and_blank_return_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_PORT", raising=False)
+        assert env_int("REPRO_SERVE_PORT", 8080) == 8080
+        monkeypatch.setenv("REPRO_SERVE_PORT", "  ")
+        assert env_int("REPRO_SERVE_PORT", 8080) == 8080
+
+    def test_whitespace_tolerated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_MAX_INFLIGHT", " 8 ")
+        assert env_int("REPRO_SERVE_MAX_INFLIGHT", 4) == 8
+
+    def test_negative_allowed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_PORT", "-1")
+        assert env_int("REPRO_SERVE_PORT", 8080) == -1
+
+    def test_float_rejected(self, monkeypatch):
+        # A fractional port/concurrency is always a mistake: no
+        # silent truncation.
+        monkeypatch.setenv("REPRO_SERVE_PORT", "80.5")
+        with pytest.raises(ConfigurationError, match="REPRO_SERVE_PORT"):
+            env_int("REPRO_SERVE_PORT", 8080)
+
+    def test_malformed_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_MAX_INFLIGHT", "many")
+        with pytest.raises(ConfigurationError) as excinfo:
+            env_int("REPRO_SERVE_MAX_INFLIGHT", 4)
+        message = str(excinfo.value)
+        assert "REPRO_SERVE_MAX_INFLIGHT" in message
+        assert "'many'" in message
+
+
+class TestEnvBool:
+    @pytest.mark.parametrize("raw", ["1", "true", "True", "YES", "on", "On"])
+    def test_truthy_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_SERVE_WARM", raw)
+        assert env_bool("REPRO_SERVE_WARM", False) is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", "FALSE", "no", "off", "Off"])
+    def test_falsy_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_SERVE_WARM", raw)
+        assert env_bool("REPRO_SERVE_WARM", True) is False
+
+    def test_unset_and_blank_return_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_WARM", raising=False)
+        assert env_bool("REPRO_SERVE_WARM", True) is True
+        monkeypatch.setenv("REPRO_SERVE_WARM", " ")
+        assert env_bool("REPRO_SERVE_WARM", False) is False
+
+    def test_malformed_names_the_variable(self, monkeypatch):
+        # "ture" must fail loudly, not silently mean "off".
+        monkeypatch.setenv("REPRO_SERVE_WARM", "ture")
+        with pytest.raises(ConfigurationError) as excinfo:
+            env_bool("REPRO_SERVE_WARM", True)
+        message = str(excinfo.value)
+        assert "REPRO_SERVE_WARM" in message
+        assert "'ture'" in message
+
+    def test_numbers_other_than_binary_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_WARM", "2")
+        with pytest.raises(ConfigurationError, match="REPRO_SERVE_WARM"):
+            env_bool("REPRO_SERVE_WARM", True)
 
 
 class TestEnvIntList:
